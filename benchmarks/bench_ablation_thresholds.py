@@ -1,0 +1,64 @@
+"""Threshold ablations: how theta_qs / theta_cm move the ER trade-off.
+
+The paper fixes ``theta_qs = 7`` (the community's low-quality read
+threshold) and selects ``theta_cm`` for near-zero false negatives;
+these benches sweep both to show the operating points sit on sensible
+knees of the rejection/FN curves.
+"""
+
+from repro.experiments import run_figure12, run_figure13
+
+
+def test_ablation_theta_qs(benchmark, bench_scale, bench_seed):
+    def sweep():
+        out = {}
+        for theta in (5.0, 7.0, 9.0):
+            result = run_figure12(
+                n_qs_values=(2,),
+                datasets=("ecoli-like",),
+                theta_qs=theta,
+                scale=bench_scale,
+                seed=bench_seed,
+            )
+            out[theta] = result.sweeps["ecoli-like"][0]
+        return out
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("theta_qs ablation (E. coli, N_qs = 2):")
+    for theta, point in points.items():
+        print(
+            f"  theta_qs={theta:>4.1f}: rejection {point.rejection_ratio:.3f}, "
+            f"FN {point.false_negative_ratio:.3f}"
+        )
+    # A stricter threshold rejects monotonically more reads.
+    rejections = [points[t].rejection_ratio for t in (5.0, 7.0, 9.0)]
+    assert rejections == sorted(rejections)
+
+
+def test_ablation_theta_cm(benchmark, bench_scale, bench_seed):
+    def sweep():
+        out = {}
+        for theta in (0.01, 0.04, 0.15):
+            result = run_figure13(
+                n_cm_values=(5,),
+                datasets=("ecoli-like",),
+                theta_cm=theta,
+                scale=bench_scale,
+                seed=bench_seed,
+            )
+            out[theta] = result.sweeps["ecoli-like"][0]
+        return out
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("theta_cm ablation (E. coli, N_cm = 5):")
+    for theta, point in points.items():
+        print(
+            f"  theta_cm={theta:>5.2f}: rejection {point.rejection_ratio:.3f}, "
+            f"FN {point.false_negative_ratio:.3f}"
+        )
+    rejections = [points[t].rejection_ratio for t in (0.01, 0.04, 0.15)]
+    assert rejections == sorted(rejections)
+    # The default (0.04) keeps FN near zero.
+    assert points[0.04].false_negative_ratio < 0.1

@@ -1,0 +1,67 @@
+"""Ablation benches for GenPIP's design choices.
+
+The paper's design decisions this quantifies:
+
+* **ER composition** (Sec. 6.1/6.2's GenPIP-CP vs -CP-QSR vs full):
+  how much each rejection technique contributes to runtime/energy;
+* **chunk-size robustness** (Fig. 10/11's 300/400/500 sweep);
+* **movement elimination** (the Fig. 4 decomposition): how much of
+  GenPIP's win comes from integration alone.
+"""
+
+from repro.experiments.context import get_context
+from repro.perf.systems import evaluate_all_systems
+
+
+def _estimates(bench_scale, bench_seed, chunk_size=300):
+    context = get_context("ecoli-like", scale=bench_scale["ecoli-like"], seed=bench_seed)
+    return evaluate_all_systems(context.workloads(chunk_size))
+
+
+def test_ablation_er_composition(benchmark, bench_scale, bench_seed):
+    estimates = benchmark.pedantic(
+        lambda: _estimates(bench_scale, bench_seed), rounds=1, iterations=1
+    )
+    cp = estimates["GenPIP-CP"]
+    qsr = estimates["GenPIP-CP-QSR"]
+    full = estimates["GenPIP"]
+    pim = estimates["PIM"]
+    print()
+    print("ER ablation (speedup over PIM):")
+    for name, est in (("CP only", cp), ("CP+QSR", qsr), ("CP+QSR+CMR", full)):
+        print(f"  {name:<12} {pim.time_s / est.time_s:6.2f}x   (paper: 1.16 / 1.32 / 1.39)")
+    assert pim.time_s / cp.time_s >= 1.0
+    assert full.time_s <= qsr.time_s <= cp.time_s
+
+
+def test_ablation_chunk_size(benchmark, bench_scale, bench_seed):
+    def sweep():
+        context = get_context(
+            "ecoli-like", scale=bench_scale["ecoli-like"], seed=bench_seed
+        )
+        out = {}
+        for chunk_size in (300, 400, 500):
+            estimates = evaluate_all_systems(context.workloads(chunk_size))
+            out[chunk_size] = estimates["CPU"].time_s / estimates["GenPIP"].time_s
+        return out
+
+    speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("chunk-size ablation (GenPIP speedup vs CPU):", {k: round(v, 1) for k, v in speedups.items()})
+    values = list(speedups.values())
+    assert max(values) / min(values) < 1.35  # paper: "robust to chunk size"
+
+
+def test_ablation_movement_elimination(benchmark, bench_scale, bench_seed):
+    """How much of the CPU->GenPIP gap is data movement alone?"""
+    estimates = benchmark.pedantic(
+        lambda: _estimates(bench_scale, bench_seed), rounds=1, iterations=1
+    )
+    cpu = estimates["CPU"]
+    movement = cpu.breakdown.get("movement", 0.0)
+    print()
+    print(
+        f"movement share of CPU runtime: {movement / cpu.time_s:.1%} "
+        "(paper Fig. 4: ~20% of System A)"
+    )
+    assert 0.05 < movement / cpu.time_s < 0.5

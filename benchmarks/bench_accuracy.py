@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of the accuracy-preservation study."""
+
+from repro.experiments import run_accuracy
+
+
+def test_accuracy(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_accuracy(scale=bench_scale["ecoli-like"], seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.retention > 0.8
+    assert result.locus_agreement > 0.95

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 10 (the full speedup grid)."""
+
+from repro.experiments import run_figure10
+
+
+def test_figure10(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure10(
+            chunk_sizes=(300, 400, 500), scale=bench_scale, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    gmean = result.gmean()
+    assert gmean["GenPIP"] > gmean["PIM"] > gmean["GPU"] > 1.0

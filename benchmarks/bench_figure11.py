@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 11 (the energy grid)."""
+
+from repro.experiments import run_figure11
+
+
+def test_figure11(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure11(
+            chunk_sizes=(300, 400, 500), scale=bench_scale, seed=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    gmean = result.gmean()
+    assert gmean["GenPIP"] > gmean["PIM"] > 1.0

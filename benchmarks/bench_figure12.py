@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of Figure 12 (ER-QSR sensitivity)."""
+
+from repro.experiments import run_figure12
+
+
+def test_figure12(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure12(scale=bench_scale, seed=bench_seed), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for points in result.sweeps.values():
+        assert all(0.0 <= p.rejection_ratio <= 0.5 for p in points)

@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of Figure 13 (ER-CMR sensitivity)."""
+
+from repro.experiments import run_figure13
+
+
+def test_figure13(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure13(scale=bench_scale, seed=bench_seed), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for name in ("ecoli-like", "human-like"):
+        assert result.chosen_point(name).false_negative_ratio < 0.15

@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of Figure 4 (potential-benefit study)."""
+
+from repro.experiments import run_figure4
+
+
+def test_figure4(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure4(scale=bench_scale, seed=bench_seed), rounds=3, iterations=1
+    )
+    print()
+    print(result.render())
+    speedups = result.speedups
+    assert speedups["A"] < speedups["B"] < speedups["C"] < speedups["D"]

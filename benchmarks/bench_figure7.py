@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 7 (chunk quality trajectories)."""
+
+from repro.experiments import run_figure7
+
+
+def test_figure7(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_figure7(scale=bench_scale, seed=bench_seed), rounds=3, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.low_chunk_scores.mean() < result.high_chunk_scores.mean()

@@ -1,0 +1,132 @@
+"""Microbenchmarks of the computational kernels every experiment rests on.
+
+These are the operations the paper's hardware accelerates -- MVM
+(basecalling), hash lookup (seeding), chain DP, alignment DP -- plus the
+simulator's own hot paths. They quantify the software substrate; the
+hardware models' speedups are relative to these costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.basecalling import SurrogateBasecaller, ViterbiBasecaller, ViterbiConfig
+from repro.basecalling.dnn import BonitoLikeModel
+from repro.genomics.mutate import apply_errors
+from repro.genomics.reference import ReferenceGenome
+from repro.hardware.cam import CamArray, CamConfig
+from repro.hardware.nvm_crossbar import CrossbarArray, CrossbarConfig
+from repro.mapping import MinimizerIndex, align_banded, edit_distance
+from repro.mapping.chaining import ChainingConfig, chain_scores
+from repro.mapping.minimizers import MinimizerConfig, minimizer_arrays
+from repro.mapping.seeding import collect_anchor_arrays
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal import SignalConfig, synthesize_signal
+from repro.perf.pipeline_sim import simulate_flow_shop
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return ReferenceGenome.random(200_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(reference):
+    return MinimizerIndex.build(reference)
+
+
+def test_minimizer_extraction(benchmark, reference):
+    codes = reference.fetch(0, 50_000)
+    result = benchmark(minimizer_arrays, codes, MinimizerConfig())
+    assert result[0].size > 1_000
+
+
+def test_index_build(benchmark):
+    small = ReferenceGenome.random(50_000, seed=4)
+    index = benchmark(MinimizerIndex.build, small)
+    assert len(index) > 1_000
+
+
+def test_seeding_query(benchmark, reference, index):
+    rng = np.random.default_rng(5)
+    read = apply_errors(reference.fetch(10_000, 19_000), 0.12, rng).codes
+    grouped = benchmark(collect_anchor_arrays, index, read, 0, read.size)
+    assert grouped[1].shape[0] > 100
+
+
+def test_chaining_dp(benchmark):
+    rng = np.random.default_rng(6)
+    n = 2_000
+    anchors = np.stack(
+        [np.sort(rng.integers(0, 100_000, n)), np.sort(rng.integers(0, 9_000, n))],
+        axis=1,
+    ).astype(np.int64)
+    scores, parents = benchmark(chain_scores, anchors, ChainingConfig())
+    assert scores.size == n
+
+
+def test_alignment_dp(benchmark):
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 4, 400).astype(np.uint8)
+    b = apply_errors(a, 0.12, rng).codes
+    result = benchmark(align_banded, a, b)
+    assert result.identity > 0.7
+
+
+def test_edit_distance_long(benchmark):
+    rng = np.random.default_rng(8)
+    a = rng.integers(0, 4, 2_000).astype(np.uint8)
+    b = apply_errors(a, 0.1, rng).codes
+    distance = benchmark(edit_distance, a, b)
+    assert 0 < distance < 600
+
+
+def test_viterbi_chunk_decode(benchmark):
+    pore = PoreModel.synthetic(k=5)
+    rng = np.random.default_rng(9)
+    codes = rng.integers(0, 4, 300).astype(np.uint8)
+    signal = synthesize_signal(codes, pore, SignalConfig(noise_std=2.0), np.random.default_rng(10))
+    caller = ViterbiBasecaller(pore, ViterbiConfig(extra_noise_std=2.0))
+    called = benchmark(caller.basecall, signal.samples)
+    assert len(called.bases) > 200
+
+
+def test_surrogate_chunk_basecall(benchmark):
+    from repro.nanopore.read_simulator import ReadSimulator, SimulatorConfig
+
+    ref = ReferenceGenome.random(40_000, seed=11)
+    read = ReadSimulator(ref, SimulatorConfig(median_length=9_000, mean_length=9_100), seed=12).sample_read()
+    caller = SurrogateBasecaller()
+    chunk = benchmark(caller.basecall_chunk, read, 0, 300)
+    assert len(chunk) > 200
+
+
+def test_dnn_forward(benchmark):
+    model = BonitoLikeModel(seed=0, hidden=32)
+    samples = np.random.default_rng(13).normal(100, 10, 1_800)
+    log_probs = benchmark(model.forward, samples)
+    assert log_probs.shape[1] == 5
+
+
+def test_crossbar_mvm(benchmark):
+    array = CrossbarArray(CrossbarConfig(rows=128, cols=128, bits_per_cell=4))
+    rng = np.random.default_rng(14)
+    array.program(rng.normal(size=(128, 128)))
+    vector = rng.normal(size=128)
+    out = benchmark(array.mvm, vector)
+    assert out.shape == (128,)
+
+
+def test_cam_search(benchmark):
+    cam = CamArray(CamConfig(rows=832, width_bits=64))
+    rng = np.random.default_rng(15)
+    keys = rng.integers(0, 2**48, 832).tolist()
+    cam.program_all(keys)
+    hits = benchmark(cam.search, keys[500])
+    assert hits.size >= 1
+
+
+def test_flow_shop_sim(benchmark):
+    rng = np.random.default_rng(16)
+    jobs = rng.uniform(0.5, 2.0, size=(5_000, 2))
+    result = benchmark(simulate_flow_shop, jobs)
+    assert result.makespan_s > 0

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Table 1 (dataset statistics)."""
+
+from repro.experiments import run_table1
+
+
+def test_table1(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=bench_scale, seed=bench_seed), rounds=3, iterations=1
+    )
+    print()
+    print(result.render())
+    for _, stat, measured, paper in result.rows():
+        if "length" in stat:
+            assert abs(measured - paper) / paper < 0.35

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table 2 (area/power breakdown)."""
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark(run_table2)
+    print()
+    print(result.render())
+    assert result.budget.total_power_w / 147.2 - 1.0 < 0.01
+    assert result.budget.total_area_mm2 / 163.8 - 1.0 < 0.01

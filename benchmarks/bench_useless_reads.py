@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the Sec. 2.3 useless-reads study."""
+
+from repro.experiments import run_useless_reads
+
+
+def test_useless_reads(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_useless_reads(scale=bench_scale, seed=bench_seed),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert 0.1 < result.useless_fraction < 0.5

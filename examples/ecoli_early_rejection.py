@@ -1,0 +1,53 @@
+"""The paper's E. coli story: useless reads and what early rejection saves.
+
+Reproduces, on the E. coli-like dataset, the narrative of Secs. 2.3-2.4
+and 6.1: measure the useless-read population, run the three GenPIP
+variants (CP, CP+QSR, full ER), and model the resulting runtimes on the
+ten evaluated systems.
+
+Run with: ``python examples/ecoli_early_rejection.py``
+"""
+
+from repro.core.pipeline import ReadStatus
+from repro.experiments.context import get_context
+from repro.perf.systems import SYSTEM_NAMES, evaluate_all_systems
+
+
+def main() -> None:
+    context = get_context("ecoli-like", scale=0.0015, seed=7)
+    print(f"dataset: {len(context.dataset)} reads, "
+          f"{context.dataset.stats().total_bases / 1e6:.1f} Mbases")
+
+    # --- Sec. 2.3: the useless-read population.
+    conventional = context.report("conventional")
+    n = conventional.n_reads
+    print("\nconventional pipeline outcome (Sec. 2.3):")
+    print(f"  low-quality (discarded after basecalling): "
+          f"{conventional.count(ReadStatus.FAILED_QC) / n:.1%}  (paper: 20.5%)")
+    print(f"  high-quality but unmapped:                 "
+          f"{conventional.count(ReadStatus.UNMAPPED) / n:.1%}  (paper: 10%)")
+
+    # --- Sec. 6: what each ER stage saves.
+    qsr_only = context.report("qsr_only")
+    full_er = context.report("full_er")
+    print("\nbasecalling work saved by early rejection:")
+    print(f"  QSR only:   {qsr_only.basecall_savings:.1%} of all chunks")
+    print(f"  QSR + CMR:  {full_er.basecall_savings:.1%} of all chunks")
+
+    # --- Fig. 10/11: the modelled systems.
+    estimates = evaluate_all_systems(context.workloads(300))
+    cpu = estimates["CPU"]
+    print("\nmodelled runtime and energy (normalised to the CPU system):")
+    print(f"  {'system':<14} {'speedup':>8} {'energy x':>9}")
+    for name in SYSTEM_NAMES:
+        est = estimates[name]
+        print(
+            f"  {name:<14} {cpu.time_s / est.time_s:>8.1f} "
+            f"{cpu.energy_j / est.energy_j:>9.1f}"
+        )
+    print("\npaper headlines: GenPIP = 41.6x CPU / 8.4x GPU / 1.39x PIM speedup,")
+    print("                 32.8x / 20.8x / 1.37x energy reduction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Project a sampled human-like workload to the full NA12878 dataset.
+
+The human dataset of Table 1 has 449,212 reads / 2.58 Gbases -- far
+beyond a laptop-scale functional run. This example runs the functional
+pipeline on a small sample, then linearly extrapolates the workload
+aggregates to the full dataset size (the per-read chunk traces keep
+their measured shape) and reports projected runtimes and energies per
+system in human units (hours, kWh).
+
+Run with: ``python examples/human_scale_projection.py``
+"""
+
+from repro.experiments.context import get_context
+from repro.nanopore.datasets import HUMAN_LIKE
+from repro.perf.systems import SYSTEM_NAMES, WORKLOAD_KIND, evaluate_system
+
+
+def main() -> None:
+    context = get_context("human-like", scale=0.0003, seed=7)
+    sample = context.dataset
+    print(f"sampled {len(sample)} reads of the human-like preset "
+          f"({HUMAN_LIKE.full_read_count:,} in the full dataset)")
+
+    workloads = context.workloads(300)
+    factor = HUMAN_LIKE.full_read_count / len(sample)
+    projected = {kind: w.scaled(factor) for kind, w in workloads.items()}
+    full = projected["conventional"]
+    print(f"projected full-dataset volume: {full.total_bases / 1e9:.2f} Gbases "
+          "(paper: 2.58 Gbases)")
+
+    print("\nprojected full-dataset runtime and energy:")
+    print(f"  {'system':<14} {'runtime':>12} {'energy':>12}")
+    for name in SYSTEM_NAMES:
+        estimate = evaluate_system(name, projected[WORKLOAD_KIND[name]])
+        hours = estimate.time_s / 3600.0
+        kwh = estimate.energy_j / 3.6e6
+        runtime = f"{hours:8.1f} h" if hours >= 1 else f"{hours * 60:8.1f} m"
+        print(f"  {name:<14} {runtime:>12} {kwh:>10.1f} kWh")
+
+    genpip = evaluate_system("GenPIP", projected["full_er"])
+    cpu = evaluate_system("CPU", projected["conventional"])
+    print(
+        f"\nGenPIP vs the software pipeline: {cpu.time_s / genpip.time_s:.1f}x faster, "
+        f"{cpu.energy_j / genpip.energy_j:.1f}x less energy "
+        "(paper: 41.6x / 32.8x on the dataset GMEAN)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline evaluation environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (which build a wheel) fail. This
+shim enables the legacy ``pip install -e . --no-use-pep517`` /
+``python setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

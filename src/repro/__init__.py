@@ -1,0 +1,18 @@
+"""GenPIP reproduction: in-memory acceleration of genome analysis.
+
+A full Python reproduction of *GenPIP: In-Memory Acceleration of Genome
+Analysis via Tight Integration of Basecalling and Read Mapping* (Mao et
+al., MICRO 2022). See README.md for the tour, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for measured-vs-paper results.
+
+Top-level entry points:
+
+>>> from repro.core import GenPIP, GenPIPConfig
+>>> from repro.mapping import MinimizerIndex
+>>> from repro.nanopore import ECOLI_LIKE, generate_dataset
+>>> dataset = generate_dataset(ECOLI_LIKE, scale=0.001, seed=0)
+>>> index = MinimizerIndex.build(dataset.reference)
+>>> report = GenPIP(index, GenPIPConfig()).run(dataset)
+"""
+
+__version__ = "1.0.0"

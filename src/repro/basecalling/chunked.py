@@ -1,0 +1,58 @@
+"""Chunk boundary arithmetic and chunk reassembly.
+
+The paper's basecallers split a read's signal into fixed-size chunks
+(~300 bases of signal), basecall each chunk, and reassemble the pieces
+into the full read. GenPIP keeps that chunk granularity alive through
+quality control and read mapping; these helpers define the *single*
+notion of chunk boundaries used everywhere (simulator, basecallers, CP
+pipeline, early rejection), so every component agrees on what "chunk i"
+means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.basecalling.types import BasecalledChunk, BasecalledRead
+
+
+def chunk_bounds(total_bases: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Half-open (start, end) base intervals of each chunk of a read.
+
+    The final chunk absorbs the remainder; a read shorter than one chunk
+    is a single chunk.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    if total_bases < 0:
+        raise ValueError("total_bases must be non-negative")
+    if total_bases == 0:
+        return [(0, 0)]
+    bounds = []
+    for start in range(0, total_bases, chunk_size):
+        bounds.append((start, min(start + chunk_size, total_bases)))
+    return bounds
+
+
+def reassemble_chunks(read_id: str, chunks: list[BasecalledChunk]) -> BasecalledRead:
+    """Concatenate basecalled chunks back into a full read.
+
+    Chunks must be supplied complete and in order (the GenPIP controller's
+    chunk buffer guarantees this before sequence alignment).
+    """
+    if not chunks:
+        raise ValueError("cannot reassemble zero chunks")
+    indices = [c.chunk_index for c in chunks]
+    if indices != list(range(len(chunks))):
+        raise ValueError(f"chunks out of order or missing: indices {indices}")
+    bases = "".join(c.bases for c in chunks)
+    if chunks[0].qualities.size or len(chunks) > 1:
+        qualities = np.concatenate([c.qualities for c in chunks])
+    else:
+        qualities = chunks[0].qualities
+    return BasecalledRead(
+        read_id=read_id,
+        bases=bases,
+        qualities=qualities,
+        n_chunks=len(chunks),
+    )

@@ -1,0 +1,49 @@
+"""Numpy DNN inference substrate with a Bonito-like basecaller network.
+
+State-of-the-art basecallers (Bonito, Guppy) are deep networks whose
+dominant operation is the matrix-vector multiply (MVM); Helix -- the PIM
+basecalling accelerator GenPIP builds on -- executes those MVMs inside
+NVM crossbar arrays (paper Sec. 2.2, Fig. 2).
+
+This subpackage provides:
+
+* :mod:`repro.basecalling.dnn.layers` -- dense, 1-D convolution (as
+  im2col matmul), activations, layer norm;
+* :mod:`repro.basecalling.dnn.rnn` -- GRU cells/layers and a
+  bidirectional wrapper;
+* :mod:`repro.basecalling.dnn.ctc` -- CTC greedy/beam decoding of the
+  network's per-sample base probabilities;
+* :mod:`repro.basecalling.dnn.model` -- :class:`BonitoLikeModel`, a
+  conv + bi-GRU + dense CTC architecture whose
+  :meth:`~repro.basecalling.dnn.model.BonitoLikeModel.workload` method
+  reports the exact MVM dimensions and MAC counts per signal chunk.
+  That workload description is what the Helix-like hardware model maps
+  onto crossbar tiles.
+
+The network ships with deterministic random weights: it is a *workload
+and substrate* model (its compute graph, shapes, and cost are real), not
+a trained basecaller -- training is out of scope offline, and pipeline
+accuracy comes from the Viterbi/surrogate engines instead.
+"""
+
+from repro.basecalling.dnn.layers import Conv1d, Dense, LayerNorm, relu, sigmoid, swish, tanh
+from repro.basecalling.dnn.rnn import BiGRU, GRULayer
+from repro.basecalling.dnn.ctc import ctc_beam_decode, ctc_greedy_decode
+from repro.basecalling.dnn.model import BonitoLikeModel, MVMWorkload, MVMOp
+
+__all__ = [
+    "Conv1d",
+    "Dense",
+    "LayerNorm",
+    "relu",
+    "sigmoid",
+    "swish",
+    "tanh",
+    "BiGRU",
+    "GRULayer",
+    "ctc_beam_decode",
+    "ctc_greedy_decode",
+    "BonitoLikeModel",
+    "MVMWorkload",
+    "MVMOp",
+]

@@ -1,0 +1,96 @@
+"""CTC decoding of per-sample base probabilities.
+
+A CTC basecaller emits, per output timestep, a distribution over
+``{blank, A, C, G, T}``. Decoding collapses repeated symbols and strips
+blanks. Greedy decoding suffices for workload modelling; a small
+prefix beam search is included for completeness (and exercises the same
+maths real basecallers use).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.genomics.alphabet import BASES
+
+#: Index of the CTC blank symbol in the class dimension.
+BLANK = 0
+
+
+def ctc_greedy_decode(log_probs: np.ndarray) -> tuple[str, np.ndarray]:
+    """Best-path CTC decoding.
+
+    Parameters
+    ----------
+    log_probs:
+        ``float[T, 5]`` log-probabilities (blank first, then ACGT).
+
+    Returns
+    -------
+    (sequence, qualities):
+        The collapsed base string and a per-base Phred score derived
+        from the emitting frames' posterior of the chosen base.
+    """
+    if log_probs.ndim != 2 or log_probs.shape[1] != 5:
+        raise ValueError("log_probs must have shape [T, 5]")
+    if log_probs.shape[0] == 0:
+        return "", np.empty(0)
+    best = np.argmax(log_probs, axis=1)
+    bases: list[str] = []
+    qualities: list[float] = []
+    prev = BLANK
+    probs = np.exp(log_probs - np.max(log_probs, axis=1, keepdims=True))
+    probs /= probs.sum(axis=1, keepdims=True)
+    for t, symbol in enumerate(best):
+        if symbol != BLANK and symbol != prev:
+            bases.append(BASES[symbol - 1])
+            p_err = float(np.clip(1.0 - probs[t, symbol], 1e-4, 1.0))
+            qualities.append(-10.0 * np.log10(p_err))
+        prev = symbol
+    return "".join(bases), np.asarray(qualities, dtype=np.float64)
+
+
+def ctc_beam_decode(log_probs: np.ndarray, beam_width: int = 8) -> str:
+    """Prefix beam search CTC decoding (log-space).
+
+    Tracks, per prefix, the log-probability of ending in blank vs in the
+    prefix's last symbol, and keeps the ``beam_width`` best prefixes per
+    frame. Reduces to greedy decoding for confident inputs.
+    """
+    if log_probs.ndim != 2 or log_probs.shape[1] != 5:
+        raise ValueError("log_probs must have shape [T, 5]")
+    if beam_width < 1:
+        raise ValueError("beam_width must be positive")
+
+    neg_inf = -np.inf
+    # beams: prefix -> (log P(prefix, ends in blank), log P(prefix, ends in symbol))
+    beams: dict[str, tuple[float, float]] = {"": (0.0, neg_inf)}
+    for frame in log_probs:
+        new_beams: dict[str, list[float]] = defaultdict(lambda: [neg_inf, neg_inf])
+        for prefix, (p_blank, p_symbol) in beams.items():
+            total = np.logaddexp(p_blank, p_symbol)
+            # Extend with blank: prefix unchanged.
+            entry = new_beams[prefix]
+            entry[0] = np.logaddexp(entry[0], total + frame[BLANK])
+            # Repeat last symbol without blank: prefix unchanged.
+            if prefix:
+                last_index = BASES.index(prefix[-1]) + 1
+                entry[1] = np.logaddexp(entry[1], p_symbol + frame[last_index])
+            # Extend with a new symbol.
+            for symbol in range(1, 5):
+                base = BASES[symbol - 1]
+                extended = prefix + base
+                ext_entry = new_beams[extended]
+                if prefix and base == prefix[-1]:
+                    # Same symbol after blank only.
+                    ext_entry[1] = np.logaddexp(ext_entry[1], p_blank + frame[symbol])
+                else:
+                    ext_entry[1] = np.logaddexp(ext_entry[1], total + frame[symbol])
+        ranked = sorted(
+            new_beams.items(), key=lambda kv: np.logaddexp(kv[1][0], kv[1][1]), reverse=True
+        )
+        beams = {prefix: (values[0], values[1]) for prefix, values in ranked[:beam_width]}
+    best = max(beams.items(), key=lambda kv: np.logaddexp(kv[1][0], kv[1][1]))
+    return best[0]

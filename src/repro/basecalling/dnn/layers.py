@@ -1,0 +1,150 @@
+"""Dense / convolution / normalisation layers as explicit MVM workloads.
+
+Every layer knows its own matrix-vector-multiply decomposition
+(``mvm_ops(T)``): the Helix-like PIM model consumes those shapes to
+place weights on crossbar tiles and count array activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def swish(x: np.ndarray) -> np.ndarray:
+    """Swish/SiLU activation (used by Bonito's conv stack)."""
+    return x * sigmoid(x)
+
+
+@dataclass(frozen=True)
+class MVMShape:
+    """One matrix-vector multiply: ``out = W[rows, cols] @ x[cols]``."""
+
+    rows: int
+    cols: int
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.cols
+
+
+class Dense:
+    """Affine layer ``y = W x + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = rng.normal(0.0, scale, size=(out_features, in_features))
+        self.bias = rng.normal(0.0, 0.01, size=out_features)
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply to ``x[..., in_features]``."""
+        return x @ self.weight.T + self.bias
+
+    def mvm_shape(self) -> MVMShape:
+        return MVMShape(rows=self.out_features, cols=self.in_features)
+
+
+class Conv1d:
+    """1-D convolution evaluated as an im2col matrix multiply.
+
+    Input layout ``x[T, in_channels]``; output ``y[T_out, out_channels]``
+    with ``T_out = floor((T + 2*padding - kernel) / stride) + 1``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+    ):
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid conv hyper-parameters")
+        scale = 1.0 / np.sqrt(in_channels * kernel_size)
+        self.weight = rng.normal(0.0, scale, size=(out_channels, in_channels, kernel_size))
+        self.bias = rng.normal(0.0, 0.01, size=out_channels)
+        self.stride = stride
+        self.padding = padding
+
+    @property
+    def in_channels(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_channels(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def kernel_size(self) -> int:
+        return self.weight.shape[2]
+
+    def output_length(self, t: int) -> int:
+        """Temporal output length for input length ``t``."""
+        return (t + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Convolve ``x[T, in_channels]``."""
+        if x.ndim != 2 or x.shape[1] != self.in_channels:
+            raise ValueError(f"expected input [T, {self.in_channels}]")
+        t = x.shape[0]
+        if self.padding:
+            pad = np.zeros((self.padding, self.in_channels))
+            x = np.concatenate([pad, x, pad], axis=0)
+        t_out = self.output_length(t)
+        if t_out <= 0:
+            return np.empty((0, self.out_channels))
+        # im2col: windows[T_out, kernel*in_channels]
+        idx = np.arange(self.kernel_size)[None, :] + self.stride * np.arange(t_out)[:, None]
+        windows = x[idx]  # (T_out, kernel, in)
+        flat = windows.reshape(t_out, -1)
+        w = self.weight.transpose(0, 2, 1).reshape(self.out_channels, -1)
+        return flat @ w.T + self.bias
+
+    def mvm_shape(self) -> MVMShape:
+        """The per-output-step MVM this convolution reduces to."""
+        return MVMShape(rows=self.out_channels, cols=self.in_channels * self.kernel_size)
+
+
+class LayerNorm:
+    """Feature-wise layer normalisation with learned scale/shift."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        self.gamma = np.ones(features)
+        self.beta = np.zeros(features)
+        self.eps = eps
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return self.gamma * (x - mean) / np.sqrt(var + self.eps) + self.beta

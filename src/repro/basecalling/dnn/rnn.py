@@ -1,0 +1,82 @@
+"""GRU recurrent layers (numpy inference only).
+
+Bonito's recurrent stages dominate its MVM workload: per timestep a GRU
+evaluates two fused matrices (input and recurrent projections, each
+``3*hidden`` rows). The shapes reported by :meth:`GRULayer.mvm_shapes`
+are exactly what the Helix-like PIM model lays out on crossbars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.basecalling.dnn.layers import MVMShape, sigmoid, tanh
+
+
+class GRULayer:
+    """A unidirectional GRU processing ``x[T, input_size]``.
+
+    Gate layout follows the common (reset, update, new) convention:
+
+    .. code-block:: text
+
+        r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)
+        z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)
+        n_t = tanh(W_n x_t + r_t * (U_n h_{t-1}) + b_n)
+        h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator, reverse: bool = False):
+        scale_in = 1.0 / np.sqrt(input_size)
+        scale_h = 1.0 / np.sqrt(hidden_size)
+        self.w = rng.normal(0.0, scale_in, size=(3 * hidden_size, input_size))
+        self.u = rng.normal(0.0, scale_h, size=(3 * hidden_size, hidden_size))
+        self.b = np.zeros(3 * hidden_size)
+        self.hidden_size = hidden_size
+        self.input_size = input_size
+        self.reverse = reverse
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run over time; returns hidden states ``h[T, hidden_size]``."""
+        if x.ndim != 2 or x.shape[1] != self.input_size:
+            raise ValueError(f"expected input [T, {self.input_size}]")
+        t_total = x.shape[0]
+        h = np.zeros(self.hidden_size)
+        out = np.empty((t_total, self.hidden_size))
+        hs = self.hidden_size
+        # Input projections for all timesteps at once (one big matmul).
+        xw = x @ self.w.T + self.b
+        time_order = range(t_total - 1, -1, -1) if self.reverse else range(t_total)
+        for t in time_order:
+            uh = self.u @ h
+            r = sigmoid(xw[t, :hs] + uh[:hs])
+            z = sigmoid(xw[t, hs : 2 * hs] + uh[hs : 2 * hs])
+            n = tanh(xw[t, 2 * hs :] + r * uh[2 * hs :])
+            h = (1.0 - z) * n + z * h
+            out[t] = h
+        return out
+
+    def mvm_shapes(self) -> list[MVMShape]:
+        """Per-timestep MVMs: fused input and recurrent projections."""
+        return [
+            MVMShape(rows=3 * self.hidden_size, cols=self.input_size),
+            MVMShape(rows=3 * self.hidden_size, cols=self.hidden_size),
+        ]
+
+
+class BiGRU:
+    """A bidirectional GRU: forward and backward passes, concatenated."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.fwd = GRULayer(input_size, hidden_size, rng, reverse=False)
+        self.bwd = GRULayer(input_size, hidden_size, rng, reverse=True)
+
+    @property
+    def output_size(self) -> int:
+        return 2 * self.fwd.hidden_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate([self.fwd.forward(x), self.bwd.forward(x)], axis=1)
+
+    def mvm_shapes(self) -> list[MVMShape]:
+        return self.fwd.mvm_shapes() + self.bwd.mvm_shapes()

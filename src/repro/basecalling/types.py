@@ -1,0 +1,87 @@
+"""Data types shared by all basecalling engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BasecalledChunk:
+    """The basecaller's output for one chunk of a read.
+
+    Attributes
+    ----------
+    chunk_index:
+        0-based position of the chunk within its read.
+    bases:
+        Called bases (may differ in length from the true chunk due to
+        indel errors).
+    qualities:
+        Per-base Phred scores, aligned with ``bases``.
+    n_true_bases:
+        Number of underlying true bases the chunk covers (the chunk size
+        except for the final chunk of a read).
+    """
+
+    chunk_index: int
+    bases: str
+    qualities: np.ndarray
+    n_true_bases: int
+
+    def __post_init__(self) -> None:
+        q = np.ascontiguousarray(self.qualities, dtype=np.float64)
+        if q.shape != (len(self.bases),):
+            raise ValueError("qualities must align with bases")
+        object.__setattr__(self, "qualities", q)
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    @property
+    def sum_quality(self) -> float:
+        """SQS -- the sum of the chunk's base quality scores (paper Eq. 2).
+
+        This is what the PIM-CQS unit computes in hardware (a dot product
+        of the quality vector with an all-ones vector).
+        """
+        return float(self.qualities.sum())
+
+    @property
+    def mean_quality(self) -> float:
+        """Average quality score of the chunk's bases."""
+        if self.qualities.size == 0:
+            return 0.0
+        return float(self.qualities.mean())
+
+
+@dataclass(frozen=True)
+class BasecalledRead:
+    """A fully basecalled read assembled from its chunks.
+
+    ``mean_quality`` is the read's AQS (paper Eq. 1): the chunk-merged
+    computation of Eq. 3 yields the identical value, which
+    ``tests/test_core_pipeline.py`` asserts.
+    """
+
+    read_id: str
+    bases: str
+    qualities: np.ndarray
+    n_chunks: int
+
+    def __post_init__(self) -> None:
+        q = np.ascontiguousarray(self.qualities, dtype=np.float64)
+        if q.shape != (len(self.bases),):
+            raise ValueError("qualities must align with bases")
+        object.__setattr__(self, "qualities", q)
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    @property
+    def mean_quality(self) -> float:
+        """AQS of the entire read (paper Eq. 1)."""
+        if self.qualities.size == 0:
+            return 0.0
+        return float(self.qualities.mean())

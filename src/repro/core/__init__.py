@@ -1,0 +1,50 @@
+"""GenPIP's core contribution: the chunk-based pipeline and early rejection.
+
+This package implements the paper's Sections 3 and 4 at the functional
+level (the hardware cost models live in :mod:`repro.hardware` /
+:mod:`repro.perf`):
+
+* :mod:`repro.core.config` -- :class:`GenPIPConfig` with the paper's
+  parameters (chunk size, ``N_qs``/``theta_qs``, ``N_cm``/``theta_cm``)
+  and per-dataset presets (E. coli: ``N_qs=2, N_cm=5``; human:
+  ``N_qs=5, N_cm=3``; Sec. 6.3).
+* :mod:`repro.core.early_rejection` -- QSR (Algorithm 1) and CMR.
+* :mod:`repro.core.pipeline` -- the chunk-based pipeline: basecall ->
+  CQS -> seed -> chain per chunk, with ER interleaved, then final
+  chaining + alignment; plus the conventional pipeline for comparison.
+* :mod:`repro.core.genpip` -- the :class:`GenPIP` system facade and the
+  dataset-level report consumed by the performance model and the
+  experiments.
+"""
+
+from repro.core.config import ECOLI_PARAMS, HUMAN_PARAMS, GenPIPConfig
+from repro.core.early_rejection import (
+    CMRPolicy,
+    QSRPolicy,
+    qsr_sample_indices,
+)
+from repro.core.pipeline import (
+    ConventionalPipeline,
+    GenPIPPipeline,
+    ReadOutcome,
+    ReadStatus,
+)
+from repro.core.genpip import GenPIP, GenPIPReport
+from repro.core.controller import AQSCalculator, ControllerTrace
+
+__all__ = [
+    "AQSCalculator",
+    "ControllerTrace",
+    "GenPIPConfig",
+    "ECOLI_PARAMS",
+    "HUMAN_PARAMS",
+    "QSRPolicy",
+    "CMRPolicy",
+    "qsr_sample_indices",
+    "GenPIPPipeline",
+    "ConventionalPipeline",
+    "ReadOutcome",
+    "ReadStatus",
+    "GenPIP",
+    "GenPIPReport",
+]

@@ -1,0 +1,136 @@
+"""The GenPIP controller's structural model (paper Sec. 4.2, Fig. 8c).
+
+The controller owns the staging state of the architecture: the **read
+queue** (raw signals from the sequencer, sized for the longest signal,
+~6 MB), the **chunk buffer** (basecalled chunks held until alignment or
+early rejection, sized for the longest read at 2.3 M bases), the **AQS
+calculator** (a running sum of chunk quality scores), and the
+**ER-QSR / ER-CMR controllers** (threshold comparators that fire the
+termination signals).
+
+:class:`ControllerTrace` replays a pipeline run through this structural
+model and records what the hardware would have to sustain: peak buffer
+occupancies, ER signal counts, and overflow checks against the paper's
+provisioned capacities. It is an accounting layer -- the functional
+decisions stay in :mod:`repro.core.pipeline` -- but it verifies that
+the paper's buffer sizes actually cover the simulated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ReadOutcome, ReadStatus
+from repro.hardware.edram import EDramBuffer, chunk_buffer, read_queue_buffer
+
+#: Raw-signal bytes per base held in the read queue (dwell ~6 samples
+#: of 2-byte current values).
+SIGNAL_BYTES_PER_BASE = 12.0
+
+#: Basecalled bytes per base in the chunk buffer (base + quality).
+CALLED_BYTES_PER_BASE = 2.0
+
+
+@dataclass(frozen=True)
+class AQSCalculator:
+    """The running average-quality-score accumulator (Fig. 8c).
+
+    Hardware keeps one (sum, count) pair per in-flight read; merging a
+    chunk is one addition (the paper's Eq. 3 computation).
+    """
+
+    sum_quality: float = 0.0
+    n_bases: int = 0
+
+    def merged(self, chunk_sum: float, chunk_bases: int) -> "AQSCalculator":
+        """Fold one chunk's SQS into the running state."""
+        if chunk_bases < 0:
+            raise ValueError("chunk_bases must be non-negative")
+        return AQSCalculator(
+            sum_quality=self.sum_quality + chunk_sum,
+            n_bases=self.n_bases + chunk_bases,
+        )
+
+    @property
+    def average(self) -> float:
+        """The AQS over everything merged so far."""
+        if self.n_bases == 0:
+            return 0.0
+        return self.sum_quality / self.n_bases
+
+
+@dataclass
+class ControllerTrace:
+    """Structural replay of a pipeline run through the controller.
+
+    Attributes
+    ----------
+    read_queue, chunk_buffer:
+        The provisioned staging buffers (paper defaults unless
+        overridden).
+    """
+
+    read_queue: EDramBuffer = field(default_factory=read_queue_buffer)
+    chunk_buffer: EDramBuffer = field(default_factory=chunk_buffer)
+
+    n_reads: int = 0
+    n_qsr_signals: int = 0
+    n_cmr_signals: int = 0
+    peak_read_queue_bytes: int = 0
+    peak_chunk_buffer_bytes: int = 0
+    read_queue_overflows: int = 0
+    chunk_buffer_overflows: int = 0
+
+    def observe_read(self, outcome: ReadOutcome) -> None:
+        """Account one read's staging demands and ER signals."""
+        self.n_reads += 1
+        signal_bytes = int(outcome.read_length * SIGNAL_BYTES_PER_BASE)
+        self.peak_read_queue_bytes = max(self.peak_read_queue_bytes, signal_bytes)
+        if not self.read_queue.fits(signal_bytes):
+            self.read_queue_overflows += 1
+
+        # The chunk buffer holds the basecalled chunks of the in-flight
+        # read until alignment completes or ER terminates it.
+        called_bytes = int(outcome.n_bases_basecalled * CALLED_BYTES_PER_BASE)
+        self.peak_chunk_buffer_bytes = max(self.peak_chunk_buffer_bytes, called_bytes)
+        if not self.chunk_buffer.fits(called_bytes):
+            self.chunk_buffer_overflows += 1
+
+        if outcome.status is ReadStatus.REJECTED_QSR:
+            self.n_qsr_signals += 1
+        elif outcome.status is ReadStatus.REJECTED_CMR:
+            self.n_cmr_signals += 1
+
+    def observe_run(self, outcomes) -> "ControllerTrace":
+        """Account a whole run; returns self for chaining."""
+        for outcome in outcomes:
+            self.observe_read(outcome)
+        return self
+
+    @property
+    def peak_read_queue_utilisation(self) -> float:
+        """Peak fraction of the read queue used by any one signal."""
+        return self.peak_read_queue_bytes / self.read_queue.size_bytes
+
+    @property
+    def peak_chunk_buffer_utilisation(self) -> float:
+        return self.peak_chunk_buffer_bytes / self.chunk_buffer.size_bytes
+
+    @property
+    def er_signal_ratio(self) -> float:
+        """Fraction of reads terminated by an ER signal."""
+        if self.n_reads == 0:
+            return 0.0
+        return (self.n_qsr_signals + self.n_cmr_signals) / self.n_reads
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary for reports and tests."""
+        return {
+            "reads": float(self.n_reads),
+            "qsr_signals": float(self.n_qsr_signals),
+            "cmr_signals": float(self.n_cmr_signals),
+            "peak_read_queue_utilisation": self.peak_read_queue_utilisation,
+            "peak_chunk_buffer_utilisation": self.peak_chunk_buffer_utilisation,
+            "read_queue_overflows": float(self.read_queue_overflows),
+            "chunk_buffer_overflows": float(self.chunk_buffer_overflows),
+        }

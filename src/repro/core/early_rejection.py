@@ -1,0 +1,129 @@
+"""Early rejection (ER): QSR and CMR policies (paper Sec. 3.2).
+
+ER predicts, from a handful of basecalled chunks, whether a read will be
+useless downstream -- either low-quality (QSR) or unmappable (CMR) --
+and stops the pipeline for such reads before the remaining (tens to
+hundreds of) chunks are basecalled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.basecalling.types import BasecalledChunk
+
+
+def qsr_sample_indices(n_chunks: int, n_qs: int) -> list[int]:
+    """Indices of the ``n_qs`` chunks QSR samples (paper Algorithm 1).
+
+    Algorithm 1 samples chunks "evenly distributed in a read"; the
+    printed index formula (``floor(i / (N_qs - 1)) * floor(N / C)``)
+    collapses to the first and last chunk only, so -- following the
+    stated intent and Fig. 7's non-consecutive-sampling rationale -- we
+    spread the samples uniformly across ``[0, n_chunks - 1]``, first and
+    last chunk included.
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be positive")
+    if n_qs < 1:
+        raise ValueError("n_qs must be positive")
+    if n_qs == 1 or n_chunks == 1:
+        return [0]
+    raw = np.round(np.linspace(0, n_chunks - 1, min(n_qs, n_chunks))).astype(int)
+    return sorted(set(int(i) for i in raw))
+
+
+@dataclass(frozen=True)
+class QSRDecision:
+    """Outcome of a quality-score rejection check."""
+
+    reject: bool
+    average_quality: float
+    sampled_indices: tuple[int, ...]
+
+
+class QSRPolicy:
+    """Quality-Score-based Rejection (paper Sec. 3.2.1, Algorithm 1).
+
+    Averages the chunk quality scores of ``n_qs`` evenly-spaced chunks
+    and rejects the read when that average falls below ``theta_qs``.
+    """
+
+    def __init__(self, theta_qs: float = 7.0, n_qs: int = 2):
+        if theta_qs < 0:
+            raise ValueError("theta_qs must be non-negative")
+        if n_qs < 1:
+            raise ValueError("n_qs must be positive")
+        self.theta_qs = theta_qs
+        self.n_qs = n_qs
+
+    def sample_indices(self, n_chunks: int) -> list[int]:
+        return qsr_sample_indices(n_chunks, self.n_qs)
+
+    def decide(self, sampled_chunks: list[BasecalledChunk]) -> QSRDecision:
+        """Apply the threshold to the sampled chunks' mean quality.
+
+        The average is computed base-weighted (total SQS over total
+        bases), matching what the PIM-CQS unit + AQS calculator compute
+        in hardware: chunk SQS sums divided by the base count.
+        """
+        if not sampled_chunks:
+            raise ValueError("QSR needs at least one sampled chunk")
+        total_quality = sum(c.sum_quality for c in sampled_chunks)
+        total_bases = sum(len(c) for c in sampled_chunks)
+        average = total_quality / total_bases if total_bases else 0.0
+        return QSRDecision(
+            reject=average < self.theta_qs,
+            average_quality=average,
+            sampled_indices=tuple(c.chunk_index for c in sampled_chunks),
+        )
+
+
+@dataclass(frozen=True)
+class CMRDecision:
+    """Outcome of a chunk-mapping rejection check."""
+
+    reject: bool
+    chain_score: float
+    merged_bases: int
+    threshold: float
+
+
+class CMRPolicy:
+    """Chunk-Mapping-based Rejection (paper Sec. 3.2.2).
+
+    Merges the first ``n_cm`` consecutive chunks into one large chunk,
+    chains it against the reference, and rejects the read when the
+    chaining score falls below the threshold. Individual ~300-base
+    chunks produce too many spurious candidate loci (the paper's
+    motivation for merging); ~1500 merged bases chain decisively.
+
+    The threshold is ``theta_cm`` *per merged base* so that one value is
+    meaningful across chunk sizes and ``n_cm`` values.
+    """
+
+    def __init__(self, theta_cm: float = 0.15, n_cm: int = 5):
+        if theta_cm < 0:
+            raise ValueError("theta_cm must be non-negative")
+        if n_cm < 1:
+            raise ValueError("n_cm must be positive")
+        self.theta_cm = theta_cm
+        self.n_cm = n_cm
+
+    def merged_chunk_indices(self, n_chunks: int) -> list[int]:
+        """The first ``n_cm`` chunks (continuous, per the paper)."""
+        return list(range(min(self.n_cm, n_chunks)))
+
+    def decide(self, chain_score: float, merged_bases: int) -> CMRDecision:
+        """Apply the per-base chaining-score threshold."""
+        if merged_bases < 0:
+            raise ValueError("merged_bases must be non-negative")
+        threshold = self.theta_cm * merged_bases
+        return CMRDecision(
+            reject=chain_score < threshold,
+            chain_score=chain_score,
+            merged_bases=merged_bases,
+            threshold=threshold,
+        )

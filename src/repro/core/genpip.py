@@ -1,0 +1,147 @@
+"""The GenPIP system facade and its dataset-level report.
+
+:class:`GenPIP` wires a reference index, a basecaller, and a
+:class:`~repro.core.config.GenPIPConfig` into the chunk pipeline and
+processes whole datasets. The resulting :class:`GenPIPReport` carries
+the per-read outcomes plus the aggregate counters that the performance
+model (:mod:`repro.perf`) and the experiments consume: how many chunks
+were actually basecalled / seeded, how many reads each ER stage
+rejected, and -- with ground truth from the simulator -- the rejection
+and false-negative ratios of Figs. 12/13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.basecalling.surrogate import SurrogateBasecaller
+from repro.core.config import GenPIPConfig
+from repro.core.pipeline import GenPIPPipeline, ReadOutcome, ReadStatus
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.mapper import MapperConfig
+from repro.nanopore.datasets import Dataset
+
+
+@dataclass(frozen=True)
+class GenPIPReport:
+    """Aggregate results of processing one dataset.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-read terminal records, in dataset order.
+    config:
+        The pipeline configuration that produced them.
+    """
+
+    outcomes: list[ReadOutcome]
+    config: GenPIPConfig
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def count(self, status: ReadStatus) -> int:
+        return sum(o.status is status for o in self.outcomes)
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def qsr_rejection_ratio(self) -> float:
+        """Reads rejected by QSR over all reads (Fig. 12a metric)."""
+        return self.count(ReadStatus.REJECTED_QSR) / max(self.n_reads, 1)
+
+    @property
+    def cmr_rejection_ratio(self) -> float:
+        """Reads rejected by CMR over all reads (Fig. 13a metric)."""
+        return self.count(ReadStatus.REJECTED_CMR) / max(self.n_reads, 1)
+
+    @property
+    def mapped_ratio(self) -> float:
+        return self.count(ReadStatus.MAPPED) / max(self.n_reads, 1)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(o.n_chunks_total for o in self.outcomes)
+
+    @property
+    def chunks_basecalled(self) -> int:
+        return sum(o.n_chunks_basecalled for o in self.outcomes)
+
+    @property
+    def bases_basecalled(self) -> int:
+        return sum(o.n_bases_basecalled for o in self.outcomes)
+
+    @property
+    def total_bases(self) -> int:
+        return sum(o.read_length for o in self.outcomes)
+
+    @property
+    def chunks_seeded(self) -> int:
+        return sum(o.n_chunks_seeded for o in self.outcomes)
+
+    @property
+    def reads_aligned(self) -> int:
+        return sum(o.aligned for o in self.outcomes)
+
+    @property
+    def basecall_savings(self) -> float:
+        """Fraction of chunk-basecalling work ER eliminated."""
+        total = self.total_chunks
+        return 1.0 - self.chunks_basecalled / total if total else 0.0
+
+    def mean_identity(self) -> float:
+        """Mean alignment identity over mapped reads."""
+        identities = [
+            o.mapping.identity
+            for o in self.outcomes
+            if o.mapping is not None and o.mapping.mapped
+        ]
+        return float(np.mean(identities)) if identities else 0.0
+
+
+class GenPIP:
+    """End-to-end GenPIP system over a dataset.
+
+    Parameters
+    ----------
+    index:
+        Prebuilt reference minimizer index (the offline indexing phase).
+    config:
+        Pipeline parameters; defaults to the paper's E. coli preset.
+    basecaller / mapper_config:
+        Engine overrides for experiments.
+    """
+
+    def __init__(
+        self,
+        index: MinimizerIndex,
+        config: GenPIPConfig | None = None,
+        basecaller: SurrogateBasecaller | None = None,
+        mapper_config: MapperConfig | None = None,
+        align: bool = True,
+    ):
+        self._config = config or GenPIPConfig()
+        self._pipeline = GenPIPPipeline(
+            index, basecaller, self._config, mapper_config, align=align
+        )
+
+    @property
+    def pipeline(self) -> GenPIPPipeline:
+        return self._pipeline
+
+    @property
+    def config(self) -> GenPIPConfig:
+        return self._config
+
+    def process_read(self, read) -> ReadOutcome:
+        """Run one read through the pipeline."""
+        return self._pipeline.process_read(read)
+
+    def run(self, dataset: Dataset) -> GenPIPReport:
+        """Process every read of a dataset."""
+        outcomes = [self._pipeline.process_read(read) for read in dataset.reads]
+        return GenPIPReport(outcomes=outcomes, config=self._config)

@@ -1,0 +1,334 @@
+"""The chunk-based pipeline (CP) with early rejection (ER) interleaved.
+
+Functional model of the paper's Fig. 6 control flow:
+
+1. basecall the ``N_qs`` evenly-sampled chunks, check QSR -> maybe stop;
+2. basecall the first ``N_cm`` chunks, merge, seed + chain, check CMR ->
+   maybe stop;
+3. basecall the remaining chunks (each chunk is seeded as it appears,
+   with a (k + w - 2)-base context overlap so that chunked seeding finds
+   *exactly* the anchors whole-read seeding finds); final chaining +
+   alignment produce the mapping result.
+
+The :class:`ConventionalPipeline` (basecall everything -> read-level QC
+-> map) is provided for equivalence testing and as the software baseline
+of the evaluation. With ER disabled, the chunk-based pipeline produces
+*identical* results to the conventional one -- the paper's "negligible
+accuracy loss" claim, which ``tests/test_core_pipeline.py`` checks
+exactly.
+
+Timing is *not* modelled here: this module decides what work happens;
+:mod:`repro.perf` decides how long that work takes on each system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.basecalling.chunked import reassemble_chunks
+from repro.basecalling.surrogate import SurrogateBasecaller
+from repro.basecalling.types import BasecalledChunk, BasecalledRead
+from repro.core.config import GenPIPConfig
+from repro.core.early_rejection import CMRDecision, CMRPolicy, QSRDecision, QSRPolicy
+from repro.genomics import alphabet
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.mapper import IncrementalChunkMapper, MapperConfig, MappingResult
+from repro.nanopore.read_simulator import SimulatedRead
+
+
+class ReadStatus(enum.Enum):
+    """Terminal state of one read in the pipeline."""
+
+    #: Stopped by quality-score early rejection (after N_qs chunks).
+    REJECTED_QSR = "rejected_qsr"
+    #: Stopped by chunk-mapping early rejection (after ~N_qs + N_cm chunks).
+    REJECTED_CMR = "rejected_cmr"
+    #: Fully basecalled but dropped by read-level quality control.
+    FAILED_QC = "failed_qc"
+    #: Fully processed but no confident mapping was found.
+    UNMAPPED = "unmapped"
+    #: Fully processed and mapped.
+    MAPPED = "mapped"
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Everything the experiments and the performance model need per read.
+
+    Work counters count *distinct* chunks (a chunk basecalled for QSR is
+    not re-basecalled later).
+    """
+
+    read_id: str
+    status: ReadStatus
+    read_length: int
+    n_chunks_total: int
+    n_chunks_basecalled: int
+    n_bases_basecalled: int
+    n_chunks_seeded: int
+    n_chain_invocations: int
+    aligned: bool
+    mean_quality: float | None = None
+    qsr: QSRDecision | None = None
+    cmr: CMRDecision | None = None
+    mapping: MappingResult | None = None
+
+    @property
+    def rejected_early(self) -> bool:
+        return self.status in (ReadStatus.REJECTED_QSR, ReadStatus.REJECTED_CMR)
+
+    @property
+    def basecall_fraction(self) -> float:
+        """Fraction of the read's chunks that were actually basecalled."""
+        return self.n_chunks_basecalled / max(self.n_chunks_total, 1)
+
+
+class GenPIPPipeline:
+    """Chunk-based pipeline with optional early rejection."""
+
+    def __init__(
+        self,
+        index: MinimizerIndex,
+        basecaller: SurrogateBasecaller | None = None,
+        config: GenPIPConfig | None = None,
+        mapper_config: MapperConfig | None = None,
+        align: bool = True,
+    ):
+        self._index = index
+        self._basecaller = basecaller or SurrogateBasecaller()
+        self._config = config or GenPIPConfig()
+        self._mapper_config = mapper_config or MapperConfig()
+        self._align = align
+        self._qsr = QSRPolicy(self._config.theta_qs, self._config.n_qs)
+        self._cmr = CMRPolicy(self._config.theta_cm, self._config.n_cm)
+        # Context overlap that makes chunked seeding anchor-identical to
+        # whole-read seeding: k-1 for boundary k-mers plus w-1 for
+        # boundary windows.
+        self._seed_overlap = self._index.config.k + self._index.config.w - 2
+
+    @property
+    def config(self) -> GenPIPConfig:
+        return self._config
+
+    @property
+    def index(self) -> MinimizerIndex:
+        return self._index
+
+    def process_read(self, read: SimulatedRead) -> ReadOutcome:
+        """Run one read through CP (+ ER if enabled)."""
+        cfg = self._config
+        chunk_size = cfg.chunk_size
+        n_chunks = self._basecaller.n_chunks(read, chunk_size)
+        called: dict[int, BasecalledChunk] = {}
+
+        def basecall(index: int) -> BasecalledChunk:
+            if index not in called:
+                called[index] = self._basecaller.basecall_chunk(read, index, chunk_size)
+            return called[index]
+
+        er_eligible = n_chunks >= cfg.min_chunks_for_er
+
+        # --- Stage 1: QSR on N_qs evenly sampled chunks (Fig. 6 (1)-(3)).
+        qsr_decision = None
+        if cfg.enable_qsr and er_eligible:
+            sampled = [basecall(i) for i in self._qsr.sample_indices(n_chunks)]
+            qsr_decision = self._qsr.decide(sampled)
+            if qsr_decision.reject:
+                return self._outcome(
+                    read,
+                    ReadStatus.REJECTED_QSR,
+                    n_chunks,
+                    called,
+                    n_chunks_seeded=0,
+                    n_chain_invocations=0,
+                    aligned=False,
+                    qsr=qsr_decision,
+                )
+
+        # --- Stage 2: CMR on the first N_cm chunks merged (Fig. 6 (4)-(6)).
+        cmr_decision = None
+        n_chain_invocations = 0
+        # Provisional read length (the true length) for reverse-strand
+        # coordinate flipping during prefix chaining; fixed to the exact
+        # basecalled length before finalize().
+        chunk_mapper = IncrementalChunkMapper(
+            self._index, read_length=len(read), config=self._mapper_config
+        )
+        seeded: set[int] = set()
+        if cfg.enable_cmr and er_eligible:
+            merged_indices = self._cmr.merged_chunk_indices(n_chunks)
+            for i in merged_indices:
+                basecall(i)
+            self._reindex_mapper(chunk_mapper, called, merged_indices, seeded)
+            primary, _ = chunk_mapper.chain_prefix()
+            merged_bases = sum(len(called[i]) for i in merged_indices)
+            score = primary.score if primary is not None else 0.0
+            n_chain_invocations += 1
+            cmr_decision = self._cmr.decide(score, merged_bases)
+            if cmr_decision.reject:
+                return self._outcome(
+                    read,
+                    ReadStatus.REJECTED_CMR,
+                    n_chunks,
+                    called,
+                    n_chunks_seeded=len(seeded),
+                    n_chain_invocations=n_chain_invocations,
+                    aligned=False,
+                    qsr=qsr_decision,
+                    cmr=cmr_decision,
+                )
+
+        # --- Stage 3: basecall + seed the remaining chunks (Fig. 6 (6b)-(7)).
+        for i in range(n_chunks):
+            basecall(i)
+        self._reindex_mapper(chunk_mapper, called, range(n_chunks), seeded)
+
+        full_read = reassemble_chunks(read.read_id, [called[i] for i in range(n_chunks)])
+
+        # Read-level quality control applies when QSR is off (QSR *is*
+        # the quality filter when enabled).
+        if not cfg.enable_qsr and full_read.mean_quality < cfg.theta_qs:
+            return self._outcome(
+                read,
+                ReadStatus.FAILED_QC,
+                n_chunks,
+                called,
+                n_chunks_seeded=len(seeded),
+                n_chain_invocations=n_chain_invocations,
+                aligned=False,
+                mean_quality=full_read.mean_quality,
+            )
+
+        read_codes = alphabet.encode(full_read.bases)
+        chunk_mapper.set_read_length(read_codes.size)
+        mapping = chunk_mapper.finalize(read.read_id, read_codes, align=self._align)
+        n_chain_invocations += 1
+        status = ReadStatus.MAPPED if mapping.mapped else ReadStatus.UNMAPPED
+        return self._outcome(
+            read,
+            status,
+            n_chunks,
+            called,
+            n_chunks_seeded=len(seeded),
+            n_chain_invocations=n_chain_invocations,
+            aligned=mapping.alignment is not None,
+            mean_quality=full_read.mean_quality,
+            qsr=qsr_decision,
+            cmr=cmr_decision,
+            mapping=mapping,
+        )
+
+    def basecall_full(self, read: SimulatedRead) -> BasecalledRead:
+        """Basecall every chunk of a read (oracle/recovery helper)."""
+        return self._basecaller.basecall_read(read, self._config.chunk_size)
+
+    def _reindex_mapper(
+        self,
+        chunk_mapper: IncrementalChunkMapper,
+        called: dict[int, BasecalledChunk],
+        indices,
+        seeded: set[int],
+    ) -> None:
+        """Seed not-yet-seeded chunks, in order, with context overlap.
+
+        Chunk boundaries in *called-base* coordinates shift with indel
+        errors, so offsets are the cumulative called lengths. Each chunk
+        after the first is seeded with the previous chunk's trailing
+        ``k + w - 2`` bases prepended, making the union of chunk anchors
+        exactly equal to whole-read anchors (deduplicated downstream).
+        """
+        ordered = sorted(set(indices))
+        # Seeding must proceed in order; offsets need all prior chunks.
+        offsets: dict[int, int] = {}
+        acc = 0
+        max_index = max(ordered) if ordered else -1
+        for i in range(max_index + 1):
+            offsets[i] = acc
+            if i in called:
+                acc += len(called[i])
+        for i in ordered:
+            if i in seeded or i not in called:
+                continue
+            # Contiguity guard: only seed when all earlier chunks are
+            # called (offsets would otherwise be wrong). The pipeline
+            # always satisfies this for CMR (chunks 0..N_cm-1) and the
+            # final pass (all chunks).
+            if any(j not in called for j in range(i)):
+                continue
+            chunk = called[i]
+            codes = alphabet.encode(chunk.bases)
+            offset = offsets[i]
+            if i > 0 and self._seed_overlap > 0:
+                prev = alphabet.encode(called[i - 1].bases)
+                context = prev[-self._seed_overlap :]
+                codes = np.concatenate([context, codes])
+                offset -= context.size
+            chunk_mapper.add_chunk(codes, read_offset=offset)
+            seeded.add(i)
+
+    def _outcome(
+        self,
+        read: SimulatedRead,
+        status: ReadStatus,
+        n_chunks: int,
+        called: dict[int, BasecalledChunk],
+        n_chunks_seeded: int,
+        n_chain_invocations: int,
+        aligned: bool,
+        mean_quality: float | None = None,
+        qsr: QSRDecision | None = None,
+        cmr: CMRDecision | None = None,
+        mapping: MappingResult | None = None,
+    ) -> ReadOutcome:
+        return ReadOutcome(
+            read_id=read.read_id,
+            status=status,
+            read_length=len(read),
+            n_chunks_total=n_chunks,
+            n_chunks_basecalled=len(called),
+            n_bases_basecalled=sum(c.n_true_bases for c in called.values()),
+            n_chunks_seeded=n_chunks_seeded,
+            n_chain_invocations=n_chain_invocations,
+            aligned=aligned,
+            mean_quality=mean_quality,
+            qsr=qsr,
+            cmr=cmr,
+            mapping=mapping,
+        )
+
+
+class ConventionalPipeline:
+    """The decoupled software pipeline: basecall -> RQC -> map.
+
+    This is what Systems ``CPU`` / ``GPU`` of the evaluation run; it
+    produces the same :class:`ReadOutcome` records so the performance
+    model and the experiments can treat all pipelines uniformly.
+    """
+
+    def __init__(
+        self,
+        index: MinimizerIndex,
+        basecaller: SurrogateBasecaller | None = None,
+        config: GenPIPConfig | None = None,
+        mapper_config: MapperConfig | None = None,
+    ):
+        config = (config or GenPIPConfig()).conventional()
+        self._pipeline = GenPIPPipeline(index, basecaller, config, mapper_config)
+
+    @property
+    def config(self) -> GenPIPConfig:
+        return self._pipeline.config
+
+    def process_read(self, read: SimulatedRead) -> ReadOutcome:
+        """Conventional processing == chunk pipeline with ER disabled.
+
+        The chunk-based pipeline with ER off performs exactly the same
+        computation as basecall-everything-then-map (identical basecalls
+        by chunk determinism; identical anchors by the seeding overlap),
+        so the conventional pipeline *is* that configuration -- only the
+        performance model treats their timing differently.
+        """
+        return self._pipeline.process_read(read)

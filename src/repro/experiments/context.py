@@ -1,0 +1,127 @@
+"""Shared, cached state for the experiment suite.
+
+Dataset generation, index construction, and functional pipeline runs are
+the expensive parts of every experiment; an :class:`ExperimentContext`
+memoises them per (profile, chunk size, ER variant) so that Fig. 10,
+Fig. 11, and the benchmark suite can reuse one another's runs. Contexts
+themselves are memoised per (profile, scale, seed) in
+:func:`get_context`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import GenPIP, GenPIPConfig, ECOLI_PARAMS, HUMAN_PARAMS
+from repro.core.genpip import GenPIPReport
+from repro.mapping.index import MinimizerIndex
+from repro.nanopore.datasets import Dataset, PRESETS, generate_dataset
+from repro.perf.workload import PipelineWorkload
+
+#: Default generation scales: a few hundred reads per dataset -- enough
+#: for stable ratios, small enough for laptop turnaround.
+DEFAULT_SCALES = {"ecoli-like": 0.002, "human-like": 0.0004}
+
+#: Sec. 6.3's chosen ER parameters per dataset.
+DATASET_PARAMS = {"ecoli-like": ECOLI_PARAMS, "human-like": HUMAN_PARAMS}
+
+#: ER variants of the evaluation and their config transform.
+VARIANTS = ("conventional", "qsr_only", "full_er")
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily-built dataset, index, and cached pipeline runs."""
+
+    profile_name: str = "ecoli-like"
+    scale: float | None = None
+    seed: int = 42
+
+    _dataset: Dataset | None = field(default=None, repr=False)
+    _index: MinimizerIndex | None = field(default=None, repr=False)
+    _reports: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.profile_name not in PRESETS:
+            raise ValueError(f"unknown profile {self.profile_name!r}")
+        if self.scale is None:
+            self.scale = DEFAULT_SCALES[self.profile_name]
+
+    @property
+    def dataset(self) -> Dataset:
+        if self._dataset is None:
+            self._dataset = generate_dataset(
+                PRESETS[self.profile_name], scale=self.scale, seed=self.seed
+            )
+        return self._dataset
+
+    @property
+    def index(self) -> MinimizerIndex:
+        if self._index is None:
+            self._index = MinimizerIndex.build(self.dataset.reference)
+        return self._index
+
+    def base_config(self, chunk_size: int = 300) -> GenPIPConfig:
+        """The dataset's Sec. 6.3 parameters at a chunk size."""
+        return DATASET_PARAMS[self.profile_name].with_chunk_size(chunk_size)
+
+    def _variant_config(self, variant: str, chunk_size: int) -> GenPIPConfig:
+        config = self.base_config(chunk_size)
+        if variant == "conventional":
+            return config.conventional()
+        if variant == "qsr_only":
+            from dataclasses import replace
+
+            return replace(config, enable_cmr=False)
+        if variant == "full_er":
+            return config
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+
+    def report(
+        self, variant: str = "full_er", chunk_size: int = 300, align: bool = False
+    ) -> GenPIPReport:
+        """Cached functional pipeline run for one variant/chunk size.
+
+        ``align=False`` (default) skips base-level alignment -- the
+        performance model derives alignment *work* from mapping status,
+        and skipping the DP makes the sweep experiments several times
+        faster. Accuracy-focused experiments pass ``align=True``.
+        """
+        key = (variant, chunk_size, align)
+        if key not in self._reports:
+            config = self._variant_config(variant, chunk_size)
+            system = GenPIP(self.index, config, align=align)
+            self._reports[key] = system.run(self.dataset)
+        return self._reports[key]
+
+    def workloads(self, chunk_size: int = 300) -> dict[str, PipelineWorkload]:
+        """The three workload kinds the system models consume."""
+        return {
+            variant: PipelineWorkload.from_report(self.report(variant, chunk_size))
+            for variant in VARIANTS
+        }
+
+
+_CONTEXTS: dict[tuple, ExperimentContext] = {}
+
+
+def resolve_scale(scale, profile_name: str) -> float | None:
+    """Normalise a scale argument: float, per-dataset dict, or None."""
+    if scale is None or isinstance(scale, (int, float)):
+        return scale
+    return scale.get(profile_name)
+
+
+def get_context(
+    profile_name: str = "ecoli-like", scale=None, seed: int = 42
+) -> ExperimentContext:
+    """Process-wide memoised context (shared by experiments and benches).
+
+    ``scale`` may be a float, ``None`` (preset default), or a dict
+    mapping profile names to scales.
+    """
+    scale = resolve_scale(scale, profile_name)
+    key = (profile_name, scale, seed)
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = ExperimentContext(profile_name=profile_name, scale=scale, seed=seed)
+    return _CONTEXTS[key]

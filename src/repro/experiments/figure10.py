@@ -1,0 +1,76 @@
+"""Figure 10: speedups of the ten systems, normalised to CPU.
+
+The paper sweeps both datasets over chunk sizes 300/400/500 and reports
+per-configuration bars plus the GMEAN. This experiment reproduces the
+same grid from functional workloads + the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import paper_values
+from repro.experiments.context import get_context
+from repro.perf.systems import SYSTEM_NAMES, evaluate_all_systems
+
+
+@dataclass(frozen=True)
+class Figure10Result:
+    """Speedup of each system vs CPU, per (dataset, chunk size)."""
+
+    speedups: dict[tuple[str, int], dict[str, float]]
+
+    def gmean(self) -> dict[str, float]:
+        """Geometric-mean speedup per system across the grid."""
+        out = {}
+        for system in SYSTEM_NAMES:
+            values = [cell[system] for cell in self.speedups.values()]
+            out[system] = float(np.exp(np.mean(np.log(values))))
+        return out
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(system, measured GMEAN, paper GMEAN) rows."""
+        gmean = self.gmean()
+        return [
+            (system, gmean[system], paper_values.FIGURE10_SPEEDUPS_VS_CPU[system])
+            for system in SYSTEM_NAMES
+        ]
+
+    def render(self) -> str:
+        lines = ["Figure 10: speedup normalised to CPU"]
+        grid_keys = sorted(self.speedups)
+        header = f"{'system':<14}" + "".join(
+            f" {name}.{chunk:<4}" for name, chunk in grid_keys
+        )
+        lines.append(header + f" {'GMEAN':>8} {'paper':>8}")
+        gmean = self.gmean()
+        for system in SYSTEM_NAMES:
+            cells = "".join(
+                f" {self.speedups[key][system]:>{len(key[0]) + 5}.1f}" for key in grid_keys
+            )
+            lines.append(
+                f"{system:<14}{cells} {gmean[system]:>8.1f}"
+                f" {paper_values.FIGURE10_SPEEDUPS_VS_CPU[system]:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def run_figure10(
+    chunk_sizes: tuple[int, ...] = (300, 400, 500),
+    datasets: tuple[str, ...] = ("ecoli-like", "human-like"),
+    scale=None,
+    seed: int = 42,
+) -> Figure10Result:
+    """Evaluate the full system grid of Fig. 10."""
+    speedups: dict[tuple[str, int], dict[str, float]] = {}
+    for name in datasets:
+        context = get_context(name, scale=scale, seed=seed)
+        for chunk_size in chunk_sizes:
+            estimates = evaluate_all_systems(context.workloads(chunk_size))
+            base = estimates["CPU"].time_s
+            speedups[(name, chunk_size)] = {
+                system: base / estimate.time_s for system, estimate in estimates.items()
+            }
+    return Figure10Result(speedups=speedups)

@@ -1,0 +1,64 @@
+"""Figure 11: energy reduction of the ten systems, normalised to CPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import paper_values
+from repro.experiments.context import get_context
+from repro.perf.systems import SYSTEM_NAMES, evaluate_all_systems
+
+
+@dataclass(frozen=True)
+class Figure11Result:
+    """Energy reduction of each system vs CPU, per (dataset, chunk size)."""
+
+    reductions: dict[tuple[str, int], dict[str, float]]
+
+    def gmean(self) -> dict[str, float]:
+        out = {}
+        for system in SYSTEM_NAMES:
+            values = [cell[system] for cell in self.reductions.values()]
+            out[system] = float(np.exp(np.mean(np.log(values))))
+        return out
+
+    def rows(self) -> list[tuple[str, float, float | None]]:
+        """(system, measured GMEAN, paper GMEAN where reported)."""
+        gmean = self.gmean()
+        return [
+            (
+                system,
+                gmean[system],
+                paper_values.FIGURE11_ENERGY_REDUCTION_VS_CPU.get(system),
+            )
+            for system in SYSTEM_NAMES
+        ]
+
+    def render(self) -> str:
+        lines = ["Figure 11: energy reduction normalised to CPU"]
+        lines.append(f"{'system':<14} {'GMEAN':>8} {'paper':>8}")
+        for system, measured, paper in self.rows():
+            paper_text = f"{paper:8.1f}" if paper is not None else "       -"
+            lines.append(f"{system:<14} {measured:>8.1f} {paper_text}")
+        return "\n".join(lines)
+
+
+def run_figure11(
+    chunk_sizes: tuple[int, ...] = (300, 400, 500),
+    datasets: tuple[str, ...] = ("ecoli-like", "human-like"),
+    scale=None,
+    seed: int = 42,
+) -> Figure11Result:
+    """Evaluate the energy grid of Fig. 11."""
+    reductions: dict[tuple[str, int], dict[str, float]] = {}
+    for name in datasets:
+        context = get_context(name, scale=scale, seed=seed)
+        for chunk_size in chunk_sizes:
+            estimates = evaluate_all_systems(context.workloads(chunk_size))
+            base = estimates["CPU"].energy_j
+            reductions[(name, chunk_size)] = {
+                system: base / estimate.energy_j for system, estimate in estimates.items()
+            }
+    return Figure11Result(reductions=reductions)

@@ -1,0 +1,44 @@
+"""Figure 4: the potential-benefit study (Systems A-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_values
+from repro.experiments.context import get_context
+from repro.nanopore.read_simulator import ReadClass
+from repro.perf.potential import potential_study
+from repro.perf.workload import PipelineWorkload
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Measured Systems A-D speedups alongside the paper's."""
+
+    speedups: dict[str, float]
+    useless_fraction: float
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        return [
+            (system, self.speedups[system], paper_values.FIGURE4_SPEEDUPS[system])
+            for system in ("A", "B", "C", "D")
+        ]
+
+    def render(self) -> str:
+        lines = ["Figure 4: potential-benefit study (speedup over System A)"]
+        lines.append(f"{'system':<8} {'measured':>10} {'paper':>10}")
+        for system, measured, paper in self.rows():
+            lines.append(f"{system:<8} {measured:>10.2f} {paper:>10.2f}")
+        lines.append(f"useless-read fraction: {self.useless_fraction:.3f} (paper 0.305)")
+        return "\n".join(lines)
+
+
+def run_figure4(scale=None, seed: int = 42) -> Figure4Result:
+    """Model Systems A-D on the E. coli-like dataset (paper Sec. 2.4)."""
+    context = get_context("ecoli-like", scale=scale, seed=seed)
+    workload = PipelineWorkload.from_report(context.report("conventional"))
+    useless = sum(
+        read.read_class is not ReadClass.NORMAL for read in context.dataset.reads
+    ) / len(context.dataset)
+    result = potential_study(workload, useless_fraction=useless)
+    return Figure4Result(speedups=result.speedups, useless_fraction=useless)

@@ -1,0 +1,102 @@
+"""Reference values reported by the paper, for measured-vs-paper tables.
+
+All values transcribed from Mao et al., MICRO 2022 (arXiv:2209.08600v2).
+"""
+
+# ---------------------------------------------------------------------------
+# Table 1: dataset statistics.
+# ---------------------------------------------------------------------------
+TABLE1 = {
+    "ecoli-like": {
+        "mean_length": 9_005.9,
+        "mean_quality": 7.9,
+        "median_length": 8_652.0,
+        "median_quality": 9.3,
+        "n_reads": 58_221,
+        "total_bases": 524_330_535,
+    },
+    "human-like": {
+        "mean_length": 5_738.3,
+        "mean_quality": 11.3,
+        "median_length": 6_124.0,
+        "median_quality": 12.1,
+        "n_reads": 449_212,
+        "total_bases": 2_577_692_011,
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 4: potential-benefit study (speedup over System A).
+# ---------------------------------------------------------------------------
+FIGURE4_SPEEDUPS = {"A": 1.0, "B": 2.74, "C": 6.12, "D": 9.0}
+
+# ---------------------------------------------------------------------------
+# Fig. 7: chunk quality-score ranges of the representative reads.
+# ---------------------------------------------------------------------------
+FIGURE7_LOW_READ_RANGE = (4.0, 10.0)
+FIGURE7_HIGH_READ_RANGE = (11.0, 18.0)
+
+# ---------------------------------------------------------------------------
+# Fig. 10: GMEAN speedups normalised to the CPU system.
+# (Derived from the reported pairwise factors: GenPIP = 41.6x CPU,
+# 8.4x GPU, 1.39x PIM; CPU-CP/CPU-GP = 1.20/1.42 x CPU; GPU-CP/GPU-GP =
+# 1.32/1.46 x GPU; GenPIP-CP / GenPIP-CP-QSR = 1.16/1.32 x PIM.)
+# ---------------------------------------------------------------------------
+FIGURE10_SPEEDUPS_VS_CPU = {
+    "CPU": 1.0,
+    "CPU-CP": 1.20,
+    "CPU-GP": 1.42,
+    "GPU": 41.6 / 8.4,
+    "GPU-CP": 41.6 / 8.4 * 1.32,
+    "GPU-GP": 41.6 / 8.4 * 1.46,
+    "PIM": 41.6 / 1.39,
+    "GenPIP-CP": 41.6 / 1.39 * 1.16,
+    "GenPIP-CP-QSR": 41.6 / 1.39 * 1.32,
+    "GenPIP": 41.6,
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 11: GMEAN energy reductions normalised to the CPU system.
+# (GenPIP = 32.8x CPU, 20.8x GPU, 1.37x PIM; 1.07x / 1.37x over
+# GenPIP-CP-QSR / GenPIP-CP.)
+# ---------------------------------------------------------------------------
+FIGURE11_ENERGY_REDUCTION_VS_CPU = {
+    "CPU": 1.0,
+    "GPU": 32.8 / 20.8,
+    "PIM": 32.8 / 1.37,
+    "GenPIP-CP": 32.8 / 1.37,
+    "GenPIP-CP-QSR": 32.8 / 1.07,
+    "GenPIP": 32.8,
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 12: ER-QSR sensitivity (approximate values read off the figure).
+# ---------------------------------------------------------------------------
+FIGURE12_CHOSEN_N_QS = {"ecoli-like": 2, "human-like": 5}
+FIGURE12_REJECTION_RANGE = (0.08, 0.35)
+FIGURE12_FN_RANGE = (0.0, 0.45)
+
+# ---------------------------------------------------------------------------
+# Fig. 13: ER-CMR sensitivity.
+# ---------------------------------------------------------------------------
+FIGURE13_CHOSEN_N_CM = {"ecoli-like": 5, "human-like": 3}
+FIGURE13_CHOSEN_REJECTION = {"ecoli-like": 0.063, "human-like": 0.055}
+
+# ---------------------------------------------------------------------------
+# Table 2: area/power breakdown (32 nm).
+# ---------------------------------------------------------------------------
+TABLE2_MODULES = {
+    "basecalling": {"power_w": 27.4, "area_mm2": 49.2},
+    "read-mapping": {"power_w": 114.5, "area_mm2": 93.1},
+    "controller": {"power_w": 5.3, "area_mm2": 21.5},
+}
+TABLE2_TOTAL = {"power_w": 147.2, "area_mm2": 163.8}
+
+# ---------------------------------------------------------------------------
+# Sec. 2.3: useless-read fractions (E. coli).
+# ---------------------------------------------------------------------------
+USELESS_READS = {
+    "low_quality_fraction": 0.205,
+    "unmapped_fraction": 0.10,
+    "useless_fraction": 0.305,
+}

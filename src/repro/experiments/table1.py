@@ -1,0 +1,52 @@
+"""Table 1: dataset statistics, measured vs paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_values
+from repro.experiments.context import get_context
+from repro.nanopore.datasets import DatasetStats
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Measured dataset statistics alongside the paper's Table 1."""
+
+    stats: dict[str, DatasetStats]
+
+    def rows(self) -> list[tuple[str, str, float, float]]:
+        """(dataset, statistic, measured, paper) rows."""
+        out = []
+        for name, stats in self.stats.items():
+            paper = paper_values.TABLE1[name]
+            out.extend(
+                [
+                    (name, "mean_length", stats.mean_length, paper["mean_length"]),
+                    (name, "mean_quality", stats.mean_quality, paper["mean_quality"]),
+                    (name, "median_length", stats.median_length, paper["median_length"]),
+                    (name, "median_quality", stats.median_quality, paper["median_quality"]),
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        lines = ["Table 1: dataset statistics (measured vs paper)"]
+        lines.append(f"{'dataset':<12} {'statistic':<16} {'measured':>12} {'paper':>12}")
+        for dataset, stat, measured, paper in self.rows():
+            lines.append(f"{dataset:<12} {stat:<16} {measured:>12.1f} {paper:>12.1f}")
+        return "\n".join(lines)
+
+
+def run_table1(scale=None, seed: int = 42) -> Table1Result:
+    """Generate both presets and compare their statistics to Table 1.
+
+    Note the generated read *count* is ``scale`` times the paper's; the
+    distributional statistics are scale-invariant and are what the
+    comparison checks.
+    """
+    stats = {}
+    for name in ("ecoli-like", "human-like"):
+        context = get_context(name, scale=scale, seed=seed)
+        stats[name] = context.dataset.stats()
+    return Table1Result(stats=stats)

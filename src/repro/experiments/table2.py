@@ -1,0 +1,49 @@
+"""Table 2: GenPIP's area and power breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper_values
+from repro.hardware.area_power import GenPIPBudget, genpip_table2_budget
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Assembled budget alongside the paper's module totals."""
+
+    budget: GenPIPBudget
+
+    def rows(self) -> list[tuple[str, float, float, float, float]]:
+        """(module, power, paper power, area, paper area) rows."""
+        out = []
+        for module, paper in paper_values.TABLE2_MODULES.items():
+            power, area = self.budget.module_total(module)
+            out.append((module, power, paper["power_w"], area, paper["area_mm2"]))
+        total = paper_values.TABLE2_TOTAL
+        out.append(
+            (
+                "TOTAL",
+                self.budget.total_power_w,
+                total["power_w"],
+                self.budget.total_area_mm2,
+                total["area_mm2"],
+            )
+        )
+        return out
+
+    def render(self) -> str:
+        lines = ["Table 2: area/power breakdown at 32 nm (measured vs paper)"]
+        lines.append(
+            f"{'module':<14} {'power W':>9} {'paper':>8} {'area mm2':>10} {'paper':>8}"
+        )
+        for module, power, p_paper, area, a_paper in self.rows():
+            lines.append(
+                f"{module:<14} {power:>9.2f} {p_paper:>8.1f} {area:>10.2f} {a_paper:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def run_table2() -> Table2Result:
+    """Assemble the budget from the hardware component models."""
+    return Table2Result(budget=genpip_table2_budget())

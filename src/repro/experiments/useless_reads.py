@@ -1,0 +1,53 @@
+"""Sec. 2.3's population study: how many reads are useless?
+
+Runs the conventional pipeline on the E. coli-like dataset and measures
+the fractions the paper reports: ~20.5% of reads are basecalled but then
+discarded as low-quality, a further ~10% are high-quality but unmapped
+-- 30.5% of the basecalling work feeds reads that are never used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ReadStatus
+from repro.experiments import paper_values
+from repro.experiments.context import get_context
+
+
+@dataclass(frozen=True)
+class UselessReadsResult:
+    """Measured useless-read fractions vs Sec. 2.3."""
+
+    low_quality_fraction: float
+    unmapped_fraction: float
+
+    @property
+    def useless_fraction(self) -> float:
+        return self.low_quality_fraction + self.unmapped_fraction
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        paper = paper_values.USELESS_READS
+        return [
+            ("low-quality reads", self.low_quality_fraction, paper["low_quality_fraction"]),
+            ("unmapped reads", self.unmapped_fraction, paper["unmapped_fraction"]),
+            ("useless total", self.useless_fraction, paper["useless_fraction"]),
+        ]
+
+    def render(self) -> str:
+        lines = ["Sec. 2.3: useless reads in the E. coli dataset (measured vs paper)"]
+        lines.append(f"{'population':<20} {'measured':>10} {'paper':>10}")
+        for name, measured, paper in self.rows():
+            lines.append(f"{name:<20} {measured:>10.3f} {paper:>10.3f}")
+        return "\n".join(lines)
+
+
+def run_useless_reads(scale=None, seed: int = 42) -> UselessReadsResult:
+    """Measure QC-failure and unmapped fractions on the E. coli preset."""
+    context = get_context("ecoli-like", scale=scale, seed=seed)
+    report = context.report("conventional")
+    n = report.n_reads
+    return UselessReadsResult(
+        low_quality_fraction=report.count(ReadStatus.FAILED_QC) / n,
+        unmapped_fraction=report.count(ReadStatus.UNMAPPED) / n,
+    )

@@ -1,0 +1,74 @@
+"""Genomics primitives: alphabets, sequences, quality scores, I/O, mutation.
+
+This subpackage provides the foundational data types that every other part
+of the GenPIP reproduction builds on:
+
+* :mod:`repro.genomics.alphabet` -- the DNA alphabet, 2-bit encoding,
+  reverse complement, and k-mer arithmetic.
+* :mod:`repro.genomics.sequence` -- an immutable :class:`Sequence` value
+  type.
+* :mod:`repro.genomics.quality` -- Phred quality-score math (the genome
+  analysis pipeline's read quality control operates on these scores).
+* :mod:`repro.genomics.reference` -- reference genome generation and
+  region fetching.
+* :mod:`repro.genomics.mutate` -- sequencing-error models used both by
+  the read simulator and by the surrogate basecaller.
+* :mod:`repro.genomics.io_fasta` / :mod:`repro.genomics.io_fastq` --
+  plain-text interchange formats.
+"""
+
+from repro.genomics.alphabet import (
+    BASES,
+    CODE_TO_BASE,
+    decode,
+    encode,
+    kmer_to_int,
+    int_to_kmer,
+    random_bases,
+    reverse_complement,
+    is_valid_dna,
+)
+from repro.genomics.quality import (
+    PHRED_OFFSET,
+    decode_phred,
+    encode_phred,
+    error_prob_to_phred,
+    mean_quality,
+    effective_quality,
+    phred_to_error_prob,
+)
+from repro.genomics.sequence import Sequence
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.mutate import ErrorProfile, MutationResult, apply_errors
+from repro.genomics.io_fasta import FastaRecord, read_fasta, write_fasta
+from repro.genomics.io_fastq import FastqRecord, read_fastq, write_fastq
+
+__all__ = [
+    "BASES",
+    "CODE_TO_BASE",
+    "decode",
+    "encode",
+    "kmer_to_int",
+    "int_to_kmer",
+    "random_bases",
+    "reverse_complement",
+    "is_valid_dna",
+    "PHRED_OFFSET",
+    "decode_phred",
+    "encode_phred",
+    "error_prob_to_phred",
+    "mean_quality",
+    "effective_quality",
+    "phred_to_error_prob",
+    "Sequence",
+    "ReferenceGenome",
+    "ErrorProfile",
+    "MutationResult",
+    "apply_errors",
+    "FastaRecord",
+    "read_fasta",
+    "write_fasta",
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+]

@@ -1,0 +1,62 @@
+"""Minimal FASTA reading and writing.
+
+Used by the examples to persist synthetic references and by tests to
+round-trip sequences. Only the features the pipeline needs are
+implemented: multi-record files, line wrapping, and ``>name description``
+headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: ``>name description`` followed by sequence lines."""
+
+    name: str
+    sequence: str
+    description: str = ""
+
+
+def read_fasta(path) -> Iterator[FastaRecord]:
+    """Iterate over the records of a FASTA file."""
+    name = None
+    description = ""
+    parts: list[str] = []
+    with open(Path(path), "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield FastaRecord(name, "".join(parts), description)
+                header = line[1:].split(maxsplit=1)
+                name = header[0] if header else ""
+                description = header[1] if len(header) > 1 else ""
+                parts = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA file does not start with a '>' header")
+                parts.append(line.strip())
+    if name is not None:
+        yield FastaRecord(name, "".join(parts), description)
+
+
+def write_fasta(path, records: Iterable[FastaRecord], line_width: int = 80) -> None:
+    """Write records to a FASTA file with wrapped sequence lines."""
+    if line_width < 1:
+        raise ValueError("line_width must be positive")
+    with open(Path(path), "w", encoding="ascii") as handle:
+        for record in records:
+            header = f">{record.name}"
+            if record.description:
+                header += f" {record.description}"
+            handle.write(header + "\n")
+            seq = record.sequence
+            for i in range(0, len(seq), line_width):
+                handle.write(seq[i : i + line_width] + "\n")

@@ -1,0 +1,72 @@
+"""Minimal FASTQ reading and writing (Phred+33 qualities).
+
+Basecalled reads with per-base quality scores travel between pipeline
+stages as FASTQ in the conventional (decoupled) genome analysis pipeline;
+the examples use this module to materialise those intermediates so the
+data-movement volumes modelled in :mod:`repro.perf` are tangible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.genomics.quality import decode_phred, encode_phred
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record: name, sequence, and per-base Phred qualities."""
+
+    name: str
+    sequence: str
+    qualities: np.ndarray
+
+    def __post_init__(self) -> None:
+        q = np.asarray(self.qualities, dtype=np.float64)
+        if q.shape != (len(self.sequence),):
+            raise ValueError(
+                f"record {self.name!r}: quality length {q.size} != sequence length {len(self.sequence)}"
+            )
+        object.__setattr__(self, "qualities", q)
+
+    @property
+    def mean_quality(self) -> float:
+        """Arithmetic mean of the per-base quality scores."""
+        if self.qualities.size == 0:
+            return 0.0
+        return float(self.qualities.mean())
+
+
+def read_fastq(path) -> Iterator[FastqRecord]:
+    """Iterate over the records of a FASTQ file."""
+    with open(Path(path), "r", encoding="ascii") as handle:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@"):
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            sequence = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise ValueError("malformed FASTQ record: missing '+' separator")
+            if len(quality) != len(sequence):
+                raise ValueError("malformed FASTQ record: quality/sequence length mismatch")
+            name = header[1:].split(maxsplit=1)[0] if len(header) > 1 else ""
+            yield FastqRecord(name, sequence, decode_phred(quality))
+
+
+def write_fastq(path, records: Iterable[FastqRecord]) -> None:
+    """Write records to a FASTQ file."""
+    with open(Path(path), "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f"@{record.name}\n")
+            handle.write(record.sequence + "\n")
+            handle.write("+\n")
+            handle.write(encode_phred(record.qualities) + "\n")

@@ -1,0 +1,166 @@
+"""Sequencing-error models.
+
+Nanopore reads carry 10-15% errors (substitutions, insertions,
+deletions). Two places in this reproduction inject errors:
+
+* the **read simulator** perturbs the true genomic sequence to produce
+  the "read as the basecaller would emit it";
+* the **surrogate basecaller** replays exactly this process chunk by
+  chunk, with error probabilities tied to the per-base quality scores so
+  that low-quality chunks really do carry more errors (which is what
+  makes quality-based early rejection meaningful).
+
+The error process is position-wise: each true base is independently
+substituted / deleted / followed by an insertion according to either a
+fixed :class:`ErrorProfile` or a per-base error probability vector
+(derived from Phred scores via ``p = 10^(-q/10)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genomics import alphabet
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Relative mix and overall rate of sequencing errors.
+
+    Attributes
+    ----------
+    substitution, insertion, deletion:
+        Non-negative weights of each error type; they are normalised
+        internally, so only ratios matter. The default 50/25/25 split
+        approximates ONT R9 behaviour.
+    """
+
+    substitution: float = 0.5
+    insertion: float = 0.25
+    deletion: float = 0.25
+
+    def __post_init__(self) -> None:
+        weights = (self.substitution, self.insertion, self.deletion)
+        if any(w < 0 for w in weights):
+            raise ValueError("error weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("at least one error weight must be positive")
+
+    def split(self, error_prob):
+        """Split per-base error probability into (sub, ins, del) parts."""
+        total = self.substitution + self.insertion + self.deletion
+        p = np.asarray(error_prob, dtype=np.float64)
+        return (
+            p * (self.substitution / total),
+            p * (self.insertion / total),
+            p * (self.deletion / total),
+        )
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Outcome of applying sequencing errors to a true sequence.
+
+    Attributes
+    ----------
+    codes:
+        The erroneous sequence as a 2-bit code array.
+    n_substitutions, n_insertions, n_deletions:
+        Counts of each injected error type.
+    source_index:
+        For every output base, the index of the true base it derives
+        from (insertions copy the index of the preceding true base).
+        Used by tests to verify error bookkeeping.
+    """
+
+    codes: np.ndarray
+    n_substitutions: int
+    n_insertions: int
+    n_deletions: int
+    source_index: np.ndarray
+
+    @property
+    def n_errors(self) -> int:
+        return self.n_substitutions + self.n_insertions + self.n_deletions
+
+
+def apply_errors(
+    codes: np.ndarray,
+    error_prob,
+    rng: np.random.Generator,
+    profile: ErrorProfile | None = None,
+) -> MutationResult:
+    """Inject substitutions/insertions/deletions into a code array.
+
+    Parameters
+    ----------
+    codes:
+        True sequence (2-bit codes).
+    error_prob:
+        Either a scalar error probability applied to every base or a
+        vector of per-base probabilities with ``len == len(codes)``.
+    rng:
+        Source of randomness.
+    profile:
+        Error-type mix; defaults to :class:`ErrorProfile`'s ONT-like mix.
+
+    Notes
+    -----
+    Deletion wins over substitution when both fire at a position (the
+    base is simply dropped); insertions are applied after the (possibly
+    substituted) base, drawing a uniformly random inserted base.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    profile = profile or ErrorProfile()
+    p = np.broadcast_to(np.asarray(error_prob, dtype=np.float64), (n,))
+    if np.any(p < 0) or np.any(p > 1):
+        raise ValueError("error probabilities must be within [0, 1]")
+    p_sub, p_ins, p_del = profile.split(p)
+
+    draws = rng.random((3, n))
+    do_sub = draws[0] < p_sub
+    do_ins = draws[1] < p_ins
+    do_del = draws[2] < p_del
+    do_sub &= ~do_del
+
+    # Substituted bases get a random *different* base: add 1..3 mod 4.
+    shifted = (codes + rng.integers(1, 4, size=n)).astype(np.uint8) % 4
+    out_base = np.where(do_sub, shifted, codes)
+
+    keep = ~do_del
+    inserted = rng.integers(0, 4, size=n).astype(np.uint8)
+
+    # Assemble output: for each position, the kept base then an optional
+    # inserted base. Vectorised via per-position output lengths.
+    per_pos = keep.astype(np.int64) + do_ins.astype(np.int64)
+    total = int(per_pos.sum())
+    out = np.empty(total, dtype=np.uint8)
+    src = np.empty(total, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(per_pos)[:-1]))
+
+    kept_pos = offsets[keep]
+    out[kept_pos] = out_base[keep]
+    src[kept_pos] = np.nonzero(keep)[0]
+
+    ins_pos = offsets[do_ins] + keep[do_ins].astype(np.int64)
+    out[ins_pos] = inserted[do_ins]
+    src[ins_pos] = np.nonzero(do_ins)[0]
+
+    return MutationResult(
+        codes=out,
+        n_substitutions=int(do_sub.sum()),
+        n_insertions=int(do_ins.sum()),
+        n_deletions=int(do_del.sum()),
+        source_index=src,
+    )
+
+
+def identity_from_quality(qualities) -> float:
+    """Expected sequence identity implied by per-base Phred scores."""
+    q = np.asarray(qualities, dtype=np.float64)
+    if q.size == 0:
+        raise ValueError("empty quality array")
+    return float(1.0 - np.power(10.0, -q / 10.0).mean())

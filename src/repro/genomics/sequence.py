@@ -1,0 +1,67 @@
+"""An immutable DNA sequence value type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.genomics import alphabet
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An immutable, validated DNA sequence.
+
+    ``Sequence`` is a thin value type: most numeric kernels in this
+    repository operate on raw strings or 2-bit code arrays for speed, and
+    ``Sequence`` provides the validated boundary between them.
+
+    Parameters
+    ----------
+    bases:
+        Upper-case string over ``ACGT``.
+    name:
+        Optional identifier carried through I/O.
+    """
+
+    bases: str
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not alphabet.is_valid_dna(self.bases):
+            raise ValueError(f"sequence {self.name!r} contains non-ACGT characters")
+        object.__setattr__(self, "bases", self.bases.upper())
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    def __getitem__(self, index) -> "Sequence":
+        if isinstance(index, slice):
+            return Sequence(self.bases[index], name=self.name)
+        return Sequence(self.bases[index], name=self.name)
+
+    def __str__(self) -> str:
+        return self.bases
+
+    def codes(self) -> np.ndarray:
+        """The 2-bit code array for this sequence."""
+        return alphabet.encode(self.bases)
+
+    def reverse_complement(self) -> "Sequence":
+        """The reverse complement, preserving the name."""
+        return Sequence(alphabet.reverse_complement(self.bases), name=self.name)
+
+    def gc_content(self) -> float:
+        """Fraction of G/C bases (0 for the empty sequence)."""
+        if not self.bases:
+            return 0.0
+        gc = self.bases.count("G") + self.bases.count("C")
+        return gc / len(self.bases)
+
+    def kmers(self, k: int):
+        """Iterate over the k-mer substrings of the sequence."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        for i in range(len(self.bases) - k + 1):
+            yield self.bases[i : i + k]

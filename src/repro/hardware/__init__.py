@@ -1,0 +1,50 @@
+"""Hardware component models: functional behaviour + latency/energy/area.
+
+The GenPIP paper evaluates with an in-house simulator whose component
+costs come from Synopsys DC (logic), NVSim / NVSim-CAM (ReRAM RAM and
+CAM arrays), CACTI (eDRAM), and the Helix / PARC papers (the PIM
+basecaller and DP units). This package rebuilds that modelling layer:
+
+* every array actually *computes* (the crossbar multiplies with
+  quantisation, the CAM matches bit patterns, the seeding unit returns
+  exactly the software index's hits), so functional equivalence is
+  testable, and
+* every component exposes per-operation latency (ns), energy (pJ), and
+  area (mm^2) at the paper's 32 nm node, assembled into the Table 2
+  area/power budget by :mod:`repro.hardware.area_power`.
+"""
+
+from repro.hardware.nvm_crossbar import CrossbarArray, CrossbarConfig, MVMEngine
+from repro.hardware.cam import CamArray, CamConfig
+from repro.hardware.edram import EDramBuffer, EDRAM_AREA_MM2_PER_MB, EDRAM_POWER_W_PER_MB
+from repro.hardware.pim_cqs import PimCqsUnit
+from repro.hardware.seeding_unit import InMemorySeedingUnit, SeedingUnitConfig
+from repro.hardware.dp_unit import DpUnit, DpUnitConfig
+from repro.hardware.helix import HelixModel
+from repro.hardware.parc import ParcModel
+from repro.hardware.area_power import (
+    ComponentBudget,
+    GenPIPBudget,
+    genpip_table2_budget,
+)
+
+__all__ = [
+    "CrossbarArray",
+    "CrossbarConfig",
+    "MVMEngine",
+    "CamArray",
+    "CamConfig",
+    "EDramBuffer",
+    "EDRAM_AREA_MM2_PER_MB",
+    "EDRAM_POWER_W_PER_MB",
+    "PimCqsUnit",
+    "InMemorySeedingUnit",
+    "SeedingUnitConfig",
+    "DpUnit",
+    "DpUnitConfig",
+    "HelixModel",
+    "ParcModel",
+    "ComponentBudget",
+    "GenPIPBudget",
+    "genpip_table2_budget",
+]

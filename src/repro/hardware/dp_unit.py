@@ -1,0 +1,73 @@
+"""DP units for chaining and alignment (PARC-style, Table 2 row 'DP').
+
+PARC implements the chaining/alignment dynamic programming in
+NVM-based CAM arrays; GenPIP provisions 1024 such units (85 W,
+10.9 mm^2). The functional result is identical to the software DP
+(:mod:`repro.mapping.chaining` / :mod:`repro.mapping.alignment`), so
+this model only costs the work: chaining is O(n x lookback) cell
+updates, alignment O(cells along the chain's segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DpUnitConfig:
+    """Throughput/energy of the DP unit pool."""
+
+    n_units: int = 1024
+    #: DP cell updates evaluated per ns by one unit (CAM-parallel row ops).
+    cells_per_ns_per_unit: float = 4.0
+    energy_pj_per_cell: float = 0.8
+    total_power_w: float = 85.0
+    total_area_mm2: float = 10.9
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1:
+            raise ValueError("n_units must be positive")
+        if self.cells_per_ns_per_unit <= 0 or self.energy_pj_per_cell <= 0:
+            raise ValueError("costs must be positive")
+
+
+@dataclass(frozen=True)
+class DpExecution:
+    """Cost of one DP invocation."""
+
+    n_cells: int
+    latency_ns: float
+    energy_pj: float
+
+
+class DpUnit:
+    """Cost model of the pooled DP units."""
+
+    def __init__(self, config: DpUnitConfig | None = None):
+        self._config = config or DpUnitConfig()
+
+    @property
+    def config(self) -> DpUnitConfig:
+        return self._config
+
+    def chaining_cost(self, n_anchors: int, lookback: int = 50, parallel_units: int = 1) -> DpExecution:
+        """Cost of the chain DP over ``n_anchors`` anchors."""
+        if n_anchors < 0:
+            raise ValueError("n_anchors must be non-negative")
+        cells = n_anchors * lookback
+        return self._execute(cells, parallel_units)
+
+    def alignment_cost(self, n_cells: int, parallel_units: int = 1) -> DpExecution:
+        """Cost of base-level alignment over ``n_cells`` DP cells."""
+        if n_cells < 0:
+            raise ValueError("n_cells must be non-negative")
+        return self._execute(n_cells, parallel_units)
+
+    def _execute(self, cells: int, parallel_units: int) -> DpExecution:
+        units = max(1, min(parallel_units, self._config.n_units))
+        latency = cells / (self._config.cells_per_ns_per_unit * units)
+        return DpExecution(
+            n_cells=cells,
+            latency_ns=latency,
+            energy_pj=cells * self._config.energy_pj_per_cell,
+        )

@@ -1,0 +1,71 @@
+"""eDRAM buffer cost model (CACTI-flavoured, 32 nm).
+
+GenPIP uses eDRAM for every staging buffer: the read queue (sized for
+the longest raw signal, ~6 MB), the chunk buffer (2.3 M bases), the
+seeding units' staging buffers, and the read-mapping controller's 4 MB
+buffer. Constants are fit to the paper's Table 2 rows (4 MB RMC eDRAM
+= 5.472 mm^2 / 1.346 W; 12 MB controller = 21.5 mm^2 / 5.3 W including
+its logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Area density fit from Table 2's eDRAM rows.
+EDRAM_AREA_MM2_PER_MB = 1.37
+
+#: Power density (refresh + access mix) fit from Table 2.
+EDRAM_POWER_W_PER_MB = 0.34
+
+#: Dynamic access energy per byte (CACTI-class, 32 nm).
+EDRAM_ACCESS_PJ_PER_BYTE = 1.1
+
+#: Access latency for a small eDRAM macro.
+EDRAM_ACCESS_NS = 1.5
+
+
+@dataclass(frozen=True)
+class EDramBuffer:
+    """A staging buffer with capacity accounting and access costs."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 1:
+            raise ValueError("size_bytes must be positive")
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1 << 20)
+
+    @property
+    def area_mm2(self) -> float:
+        return self.size_mb * EDRAM_AREA_MM2_PER_MB
+
+    @property
+    def standby_power_w(self) -> float:
+        return self.size_mb * EDRAM_POWER_W_PER_MB
+
+    def access_energy_pj(self, n_bytes: int) -> float:
+        """Dynamic energy of moving ``n_bytes`` through the buffer."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return n_bytes * EDRAM_ACCESS_PJ_PER_BYTE
+
+    def fits(self, n_bytes: int) -> bool:
+        """Whether a payload fits in the buffer."""
+        return 0 <= n_bytes <= self.size_bytes
+
+
+def read_queue_buffer() -> EDramBuffer:
+    """The GenPIP controller's read queue: sized for the longest raw
+    signal (~6 MB, Sec. 4.2)."""
+    return EDramBuffer(name="read-queue", size_bytes=6 << 20)
+
+
+def chunk_buffer() -> EDramBuffer:
+    """The chunk buffer: 2.3 M bases of basecalled chunks with quality
+    scores (~2.3 MB at ~1 byte/base, Sec. 4.2)."""
+    return EDramBuffer(name="chunk-buffer", size_bytes=int(2.3 * (1 << 20)))

@@ -1,0 +1,89 @@
+"""Helix-like PIM basecaller model (Lou et al., PACT 2020; Table 2 row 1).
+
+Helix maps the basecaller DNN's weight matrices onto NVM crossbar tiles
+and streams signal chunks through them. GenPIP provisions 168 tiles plus
+a 4 MB eDRAM global buffer (27.1 W, 49.24 mm^2).
+
+The throughput model is structural: the Bonito-like network's per-chunk
+MVM workload (from :mod:`repro.basecalling.dnn.model`) executes on the
+:class:`~repro.hardware.nvm_crossbar.MVMEngine`; chunk pipelining across
+tiles gives the sustained rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basecalling.dnn.model import BonitoLikeModel
+from repro.hardware.nvm_crossbar import CrossbarConfig, MVMEngine
+
+
+@dataclass(frozen=True)
+class HelixThroughput:
+    """Sustained basecalling rate of the accelerator."""
+
+    chunk_latency_ns: float
+    chunk_energy_pj: float
+    chunks_per_second: float
+    bases_per_second: float
+
+
+class HelixModel:
+    """Performance/energy model of the PIM basecaller."""
+
+    #: Table 2 provisioning.
+    N_TILES = 168
+    POWER_W = 27.1
+    AREA_MM2 = 49.24
+
+    def __init__(
+        self,
+        network: BonitoLikeModel | None = None,
+        crossbar: CrossbarConfig | None = None,
+        samples_per_base: float = 6.0,
+    ):
+        if samples_per_base <= 0:
+            raise ValueError("samples_per_base must be positive")
+        self._network = network or BonitoLikeModel(seed=0)
+        self._engine = MVMEngine(crossbar)
+        self._samples_per_base = samples_per_base
+
+    @property
+    def engine(self) -> MVMEngine:
+        return self._engine
+
+    @property
+    def network(self) -> BonitoLikeModel:
+        return self._network
+
+    def chunk_samples(self, chunk_bases: int) -> int:
+        """Raw-signal samples corresponding to a chunk of bases."""
+        return int(round(chunk_bases * self._samples_per_base))
+
+    def throughput(self, chunk_bases: int = 300) -> HelixThroughput:
+        """Sustained rate for a given chunk size.
+
+        One chunk's MVM workload executes in ``latency_ns``; with the
+        network pipelined across tile groups, a new chunk completes
+        every ``latency / pipeline_depth`` where the depth is how many
+        chunks fit in flight across the provisioned tiles.
+        """
+        if chunk_bases < 1:
+            raise ValueError("chunk_bases must be positive")
+        workload = self._network.workload(self.chunk_samples(chunk_bases))
+        execution = self._engine.execute(workload)
+        tiles_per_chunk = max(execution.total_tiles, 1)
+        depth = max(1, self.N_TILES // tiles_per_chunk)
+        interval_ns = execution.latency_ns / depth
+        chunks_per_second = 1e9 / interval_ns if interval_ns > 0 else 0.0
+        return HelixThroughput(
+            chunk_latency_ns=execution.latency_ns,
+            chunk_energy_pj=execution.energy_pj,
+            chunks_per_second=chunks_per_second,
+            bases_per_second=chunks_per_second * chunk_bases,
+        )
+
+    def energy_per_base_pj(self, chunk_bases: int = 300) -> float:
+        """Dynamic MVM energy per basecalled base."""
+        throughput = self.throughput(chunk_bases)
+        return throughput.chunk_energy_pj / chunk_bases

@@ -1,0 +1,63 @@
+"""PARC-like PIM read-mapping accelerator model (Chen et al., ASP-DAC 2020).
+
+PARC executes the chaining/alignment DP in NVM CAM arrays. In GenPIP's
+evaluation, the ``PIM`` baseline is Helix + PARC glued together with
+idealised assumptions; GenPIP itself reuses PARC-style DP units
+(:mod:`repro.hardware.dp_unit`) plus the new in-memory seeding unit.
+
+This model wraps the DP-unit costs at read granularity: given a read's
+anchor count and alignment cell count, it reports latency/energy for
+the chaining and alignment phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.dp_unit import DpUnit, DpUnitConfig
+
+
+@dataclass(frozen=True)
+class ParcReadCost:
+    """Mapping cost of one read on the accelerator."""
+
+    chaining_latency_ns: float
+    alignment_latency_ns: float
+    energy_pj: float
+
+    @property
+    def total_latency_ns(self) -> float:
+        return self.chaining_latency_ns + self.alignment_latency_ns
+
+
+class ParcModel:
+    """Read-mapping cost model built on the DP units."""
+
+    POWER_W = 85.0
+    AREA_MM2 = 10.9
+
+    def __init__(self, dp_config: DpUnitConfig | None = None, lookback: int = 50):
+        self._dp = DpUnit(dp_config)
+        self._lookback = lookback
+
+    @property
+    def dp_unit(self) -> DpUnit:
+        return self._dp
+
+    def map_read_cost(
+        self,
+        n_anchors: int,
+        aligned_bases: int,
+        band_width: int = 64,
+        parallel_units: int = 16,
+    ) -> ParcReadCost:
+        """Cost of chaining + banded alignment for one read."""
+        if aligned_bases < 0 or band_width < 1:
+            raise ValueError("invalid alignment size")
+        chaining = self._dp.chaining_cost(n_anchors, self._lookback, parallel_units)
+        alignment = self._dp.alignment_cost(aligned_bases * band_width, parallel_units)
+        return ParcReadCost(
+            chaining_latency_ns=chaining.latency_ns,
+            alignment_latency_ns=alignment.latency_ns,
+            energy_pj=chaining.energy_pj + alignment.energy_pj,
+        )

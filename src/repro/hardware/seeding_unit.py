@@ -1,0 +1,164 @@
+"""The in-memory seeding accelerator (paper Fig. 9, Sec. 4.4).
+
+Microarchitecture: an eDRAM staging buffer receives a basecalled chunk;
+the query-string generator (QSG) shifts substrings one base at a time;
+each query string is searched in ReRAM CAM arrays holding the reference
+minimizer *keys*; a CAM hit addresses ReRAM RAM arrays holding the
+corresponding reference *locations* (the hash-table values); the
+location lists return to the read-mapping controller.
+
+Functionally this must return exactly what the software index lookup
+returns -- ``tests/test_hardware_seeding.py`` asserts hit-for-hit
+equality against :func:`repro.mapping.seeding.collect_anchor_arrays`.
+Costs: one CAM search per query string plus one RAM read per returned
+location, with Table 2's unit provisioning (4096 seeding units, each
+with 832x128 CAMs, 8 x 16 KB RAMs and a 4 KB eDRAM; 28.2 W and
+76.68 mm^2 total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.cam import CamArray, CamConfig
+from repro.hardware.edram import EDRAM_ACCESS_PJ_PER_BYTE
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.minimizers import minimizer_arrays
+
+
+@dataclass(frozen=True)
+class SeedingUnitConfig:
+    """Provisioning of the seeding module (Table 2 row 'Seeding')."""
+
+    n_units: int = 4096
+    cam_rows: int = 832
+    cam_width_bits: int = 128
+    ram_read_latency_ns: float = 3.0
+    ram_read_energy_pj_per_location: float = 8.0
+    total_power_w: float = 28.2
+    total_area_mm2: float = 76.68
+
+
+@dataclass(frozen=True)
+class SeedingQueryStats:
+    """Cost accounting of seeding one chunk."""
+
+    n_query_strings: int
+    n_cam_searches: int
+    n_hits: int
+    n_locations: int
+    latency_ns: float
+    energy_pj: float
+
+
+class InMemorySeedingUnit:
+    """Functional + cost model of the seeding accelerator.
+
+    The unit is loaded from a software :class:`MinimizerIndex`: keys go
+    to (as many as needed) CAM arrays, location lists to the RAM model.
+    Queries then run through the CAM functional path, guaranteeing the
+    hardware returns the same hits as the software table.
+    """
+
+    def __init__(self, index: MinimizerIndex, config: SeedingUnitConfig | None = None):
+        self._index = index
+        self._config = config or SeedingUnitConfig()
+        cam_config = CamConfig(
+            rows=self._config.cam_rows, width_bits=self._config.cam_width_bits
+        )
+        keys = sorted(index.keys())
+        self._cams: list[CamArray] = []
+        self._cam_keys: list[list[int]] = []
+        for start in range(0, len(keys), cam_config.rows):
+            block = keys[start : start + cam_config.rows]
+            cam = CamArray(cam_config)
+            cam.program_all(block)
+            self._cams.append(cam)
+            self._cam_keys.append(block)
+        # Key -> (cam index, row) for RAM addressing.
+        self._directory = {
+            key: (cam_i, row)
+            for cam_i, block in enumerate(self._cam_keys)
+            for row, key in enumerate(block)
+        }
+
+    @property
+    def n_cam_arrays(self) -> int:
+        return len(self._cams)
+
+    @property
+    def config(self) -> SeedingUnitConfig:
+        return self._config
+
+    def lookup(self, key: int):
+        """Hardware-path lookup of one minimizer key.
+
+        Searches every CAM bank in parallel; a matchline hit addresses
+        the RAM for the location list.
+        """
+        key = int(key)
+        entry = self._directory.get(key)
+        # All banks search in parallel regardless of where the key is.
+        for cam in self._cams:
+            cam.search(key)
+        if entry is None:
+            return None
+        cam_i, row = entry
+        matched = self._cams[cam_i].search(key)
+        if row not in matched:  # pragma: no cover - defensive
+            raise RuntimeError("CAM functional model diverged from directory")
+        return self._index.lookup(key)
+
+    def seed_chunk(self, chunk_codes: np.ndarray) -> tuple[dict[int, np.ndarray], SeedingQueryStats]:
+        """Seed one basecalled chunk through the hardware path.
+
+        Returns the same (strand -> anchor rows) dict as the software
+        seeding (raw read coordinates) plus the cost statistics.
+        """
+        keys, positions, strands = minimizer_arrays(chunk_codes, self._index.config)
+        fwd_rows: list[tuple[int, int]] = []
+        rev_rows: list[tuple[int, int]] = []
+        n_hits = 0
+        n_locations = 0
+        searches = 0
+        for key, q_pos, q_strand in zip(keys, positions, strands):
+            searches += len(self._cams)
+            entry = self.lookup(int(key))
+            searches += len(self._cams)  # lookup() searches again
+            if entry is None:
+                continue
+            n_hits += 1
+            n_locations += entry.positions.size
+            for r_pos, r_strand in zip(entry.positions, entry.strands):
+                row = (int(r_pos), int(q_pos))
+                if int(r_strand) == int(q_strand):
+                    fwd_rows.append(row)
+                else:
+                    rev_rows.append(row)
+        grouped = {}
+        for strand, rows in ((1, fwd_rows), (-1, rev_rows)):
+            arr = np.array(rows, dtype=np.int64) if rows else np.empty((0, 2), dtype=np.int64)
+            if arr.size:
+                arr = arr[np.lexsort((arr[:, 1], arr[:, 0]))]
+            grouped[strand] = arr
+
+        cam_config = self._cams[0].config if self._cams else CamConfig()
+        # Banks search in parallel: latency counts per query string, not
+        # per bank; energy counts every bank activation.
+        latency = keys.size * cam_config.search_latency_ns + n_locations * self._config.ram_read_latency_ns
+        energy = (
+            searches * cam_config.search_energy_pj
+            + n_locations * self._config.ram_read_energy_pj_per_location
+            + chunk_codes.size * EDRAM_ACCESS_PJ_PER_BYTE
+        )
+        stats = SeedingQueryStats(
+            n_query_strings=int(keys.size),
+            n_cam_searches=searches,
+            n_hits=n_hits,
+            n_locations=n_locations,
+            latency_ns=float(latency),
+            energy_pj=float(energy),
+        )
+        return grouped, stats

@@ -1,0 +1,194 @@
+"""Colinear chaining of anchors (minimap2's chain DP; paper Fig. 1(c)).
+
+Chaining assigns a score to ordered subsets of anchors that are
+consistent with one alignment: both coordinates increasing, gaps
+bounded, and large diagonal drift penalised. The recurrence (Li 2018,
+Eq. 1-2) is
+
+.. code-block:: text
+
+    f(i) = max( w_i,  max_{j in lookback} f(j) + a(j, i) - g(j, i) )
+    a(j, i) = min(y_i - y_j, x_i - x_j, k)          # new matching bases
+    g(j, i) = 0.01 * k * |dd| + 0.5 * log2(|dd|)    # gap cost, dd = drift
+
+where ``dd = (y_i - y_j) - (x_i - x_j)``. This is the
+dynamic-programming kernel that PARC (and GenPIP's DP units) execute
+in-memory; the chain *score* is also what GenPIP's ER-CMR thresholds to
+predict unmappable reads early.
+
+The implementation is the standard O(n * h) heuristic with a bounded
+lookback window, vectorised over the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChainingConfig:
+    """Chain DP parameters (defaults follow minimap2's map-ont preset)."""
+
+    kmer_size: int = 13
+    max_gap: int = 5_000
+    lookback: int = 50
+    min_chain_score: float = 20.0
+    min_anchors: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kmer_size < 1 or self.lookback < 1:
+            raise ValueError("kmer_size and lookback must be positive")
+        if self.max_gap < 1:
+            raise ValueError("max_gap must be positive")
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One chain of anchors.
+
+    Attributes
+    ----------
+    score:
+        Chaining score (higher = more alignment-consistent coverage).
+    anchors:
+        ``int64[n, 2]`` of (ref_pos, read_pos), ascending.
+    strand:
+        +1 / -1 relative strand of the chained anchors.
+    """
+
+    score: float
+    anchors: np.ndarray
+    strand: int
+
+    @property
+    def n_anchors(self) -> int:
+        return int(self.anchors.shape[0])
+
+    @property
+    def ref_span(self) -> tuple[int, int]:
+        """Reference interval covered: (first anchor start, last anchor start)."""
+        return int(self.anchors[0, 0]), int(self.anchors[-1, 0])
+
+    @property
+    def read_span(self) -> tuple[int, int]:
+        return int(self.anchors[0, 1]), int(self.anchors[-1, 1])
+
+
+def chain_scores(anchors: np.ndarray, config: ChainingConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Run the chain DP over sorted anchors.
+
+    Parameters
+    ----------
+    anchors:
+        ``int64[n, 2]`` of (ref_pos, read_pos), sorted by (ref, read).
+    config:
+        DP parameters.
+
+    Returns
+    -------
+    (scores, parents):
+        Best chain score ending at each anchor, and the predecessor
+        index (-1 for chain starts).
+    """
+    n = anchors.shape[0]
+    k = config.kmer_size
+    scores = np.full(n, float(k))
+    parents = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return scores, parents
+    x = anchors[:, 0].astype(np.float64)
+    y = anchors[:, 1].astype(np.float64)
+    for i in range(1, n):
+        j0 = max(0, i - config.lookback)
+        dx = x[i] - x[j0:i]
+        dy = y[i] - y[j0:i]
+        valid = (dx > 0) & (dy > 0) & (dx < config.max_gap) & (dy < config.max_gap)
+        if not np.any(valid):
+            continue
+        overlap_gain = np.minimum(np.minimum(dx, dy), k)
+        dd = np.abs(dy - dx)
+        gap_cost = np.where(dd > 0, 0.01 * k * dd + 0.5 * np.log2(np.maximum(dd, 1)), 0.0)
+        candidate = scores[j0:i] + overlap_gain - gap_cost
+        candidate = np.where(valid, candidate, -np.inf)
+        best = int(np.argmax(candidate))
+        if candidate[best] > k:
+            scores[i] = candidate[best]
+            parents[i] = j0 + best
+    return scores, parents
+
+
+def _extract_chain(end: int, parents: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    indices = []
+    node = end
+    while node != -1:
+        indices.append(node)
+        node = int(parents[node])
+    indices.reverse()
+    return anchors[indices]
+
+
+def chain_anchors(
+    anchors: np.ndarray,
+    config: ChainingConfig,
+    strand: int = 1,
+    max_chains: int = 5,
+) -> list[Chain]:
+    """Find the best chains among sorted anchors of one strand.
+
+    Chains are extracted greedily by descending end-score; anchors used
+    by a reported chain are not reused by later ones (minimap2's primary
+    / secondary chain separation).
+    """
+    n = anchors.shape[0]
+    if n == 0:
+        return []
+    scores, parents = chain_scores(anchors, config)
+    order = np.argsort(scores)[::-1]
+    used = np.zeros(n, dtype=bool)
+    chains: list[Chain] = []
+    for end in order:
+        if len(chains) >= max_chains:
+            break
+        if used[end] or scores[end] < config.min_chain_score:
+            continue
+        chain_idx = []
+        node = int(end)
+        while node != -1 and not used[node]:
+            chain_idx.append(node)
+            node = int(parents[node])
+        if len(chain_idx) < config.min_anchors:
+            continue
+        chain_idx.reverse()
+        used[chain_idx] = True
+        chains.append(
+            Chain(score=float(scores[end]), anchors=anchors[chain_idx], strand=strand)
+        )
+    return chains
+
+
+def best_chain(
+    anchors_by_strand: dict[int, np.ndarray], config: ChainingConfig
+) -> tuple[Chain | None, Chain | None]:
+    """The primary and best-secondary chain across both strands.
+
+    The secondary is the best chain at a *different* locus (used for
+    MAPQ estimation).
+    """
+    all_chains: list[Chain] = []
+    for strand, anchors in anchors_by_strand.items():
+        all_chains.extend(chain_anchors(anchors, config, strand=strand))
+    if not all_chains:
+        return None, None
+    all_chains.sort(key=lambda c: c.score, reverse=True)
+    primary = all_chains[0]
+    secondary = None
+    for chain in all_chains[1:]:
+        # A different locus: no reference overlap with the primary.
+        lo, hi = primary.ref_span
+        c_lo, c_hi = chain.ref_span
+        if c_hi < lo or c_lo > hi or chain.strand != primary.strand:
+            secondary = chain
+            break
+    return primary, secondary

@@ -1,0 +1,100 @@
+"""The reference minimizer index (minimap2's "indexing" phase).
+
+The index is the key-value hash table of Fig. 1(a) in the paper:
+minimizer hashes are keys, their reference locations (and canonical
+strands) the values. It is built once per reference, offline -- GenPIP's
+in-memory seeding unit stores exactly this table in its ReRAM CAM/RAM
+arrays (Fig. 9), which :mod:`repro.hardware.seeding_unit` mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.genomics.reference import ReferenceGenome
+from repro.mapping.minimizers import MinimizerConfig, minimizer_arrays
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """All reference occurrences of one minimizer key."""
+
+    positions: np.ndarray  # int64 reference start positions
+    strands: np.ndarray  # int8 canonical strand at each position
+
+
+class MinimizerIndex:
+    """Hash table: minimizer key -> reference occurrences."""
+
+    def __init__(self, config: MinimizerConfig, table: dict[int, IndexEntry], reference: ReferenceGenome):
+        self._config = config
+        self._table = table
+        self._reference = reference
+
+    @classmethod
+    def build(
+        cls,
+        reference: ReferenceGenome,
+        config: MinimizerConfig | None = None,
+        max_occurrences: int = 64,
+    ) -> "MinimizerIndex":
+        """Index a reference genome.
+
+        Parameters
+        ----------
+        reference:
+            The genome to index.
+        config:
+            Minimizer scheme; must match the one used at query time.
+        max_occurrences:
+            Keys occurring more often than this are dropped (minimap2's
+            repetitive-minimizer filter) -- they carry little mapping
+            information and would blow up anchor lists.
+        """
+        config = config or MinimizerConfig()
+        keys, positions, strands = minimizer_arrays(reference.codes, config)
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        positions = positions[order]
+        strands = strands[order]
+        table: dict[int, IndexEntry] = {}
+        boundaries = np.nonzero(np.diff(keys))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [keys.size])) if keys.size else np.empty(0, np.int64)
+        for start, end in zip(starts, ends):
+            if end - start > max_occurrences:
+                continue
+            key = int(keys[start])
+            table[key] = IndexEntry(
+                positions=positions[start:end].copy(), strands=strands[start:end].copy()
+            )
+        return cls(config=config, table=table, reference=reference)
+
+    @property
+    def config(self) -> MinimizerConfig:
+        return self._config
+
+    @property
+    def reference(self) -> ReferenceGenome:
+        return self._reference
+
+    def __len__(self) -> int:
+        """Number of distinct minimizer keys."""
+        return len(self._table)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._table
+
+    def lookup(self, key: int) -> IndexEntry | None:
+        """Occurrences of a minimizer key, or None."""
+        return self._table.get(int(key))
+
+    def n_locations(self) -> int:
+        """Total stored (key, location) pairs."""
+        return sum(entry.positions.size for entry in self._table.values())
+
+    def keys(self):
+        """Iterate over stored minimizer keys."""
+        return self._table.keys()

@@ -1,0 +1,111 @@
+"""Seeding: query read minimizers against the index to collect anchors.
+
+An *anchor* is a (reference position, read position) pair where a read
+minimizer matches a reference minimizer. Matches on opposite canonical
+strands indicate the read aligns to the reverse strand; following
+minimap2, reverse-strand anchors flip the read coordinate so that
+chaining sees monotonically increasing coordinates on both axes for
+either orientation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.minimizers import minimizer_arrays
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A single minimizer match.
+
+    Attributes
+    ----------
+    ref_pos:
+        Reference start position of the matching k-mer.
+    read_pos:
+        Read start position (already flipped for reverse-strand
+        matches, i.e. measured on the read's reverse complement).
+    strand:
+        +1 for same-strand match, -1 for reverse.
+    """
+
+    ref_pos: int
+    read_pos: int
+    strand: int
+
+
+def collect_anchor_arrays(
+    index: MinimizerIndex,
+    read_codes: np.ndarray,
+    read_offset: int = 0,
+    read_length: int | None = None,
+) -> dict[int, np.ndarray]:
+    """Collect anchors as arrays grouped by strand.
+
+    Parameters
+    ----------
+    index:
+        The reference minimizer index.
+    read_codes:
+        2-bit codes of the (chunk of the) read to seed.
+    read_offset:
+        Offset of ``read_codes`` within the full read -- this is how the
+        chunk-based pipeline seeds chunk-by-chunk while keeping global
+        read coordinates.
+    read_length:
+        Full read length, used to flip coordinates of reverse-strand
+        anchors onto the reverse-complemented read (minimap2's
+        transform, making chains colinear-increasing). Pass ``None`` to
+        keep *raw* read coordinates for reverse anchors -- the
+        incremental chunk mapper does this because the final basecalled
+        read length is only known once all chunks arrived.
+
+    Returns
+    -------
+    dict mapping strand (+1/-1) to an ``int64[n, 2]`` array of
+    ``(ref_pos, read_pos)`` rows, sorted by (ref_pos, read_pos).
+    """
+    keys, positions, strands = minimizer_arrays(read_codes, index.config)
+    k = index.config.k
+
+    fwd_rows: list[tuple[int, int]] = []
+    rev_rows: list[tuple[int, int]] = []
+    for key, q_pos, q_strand in zip(keys, positions, strands):
+        entry = index.lookup(int(key))
+        if entry is None:
+            continue
+        global_q = read_offset + int(q_pos)
+        for r_pos, r_strand in zip(entry.positions, entry.strands):
+            if int(r_strand) == int(q_strand):
+                fwd_rows.append((int(r_pos), global_q))
+            else:
+                rev_rows.append((int(r_pos), global_q))
+    out: dict[int, np.ndarray] = {}
+    for strand, rows in ((1, fwd_rows), (-1, rev_rows)):
+        arr = (
+            np.array(rows, dtype=np.int64) if rows else np.empty((0, 2), dtype=np.int64)
+        )
+        if strand == -1 and read_length is not None and arr.size:
+            arr[:, 1] = read_length - k - arr[:, 1]
+        if arr.size:
+            order = np.lexsort((arr[:, 1], arr[:, 0]))
+            arr = arr[order]
+        out[strand] = arr
+    return out
+
+
+def collect_anchors(index: MinimizerIndex, read_codes: np.ndarray) -> list[Anchor]:
+    """Object-level anchor collection over a whole read (flipped coords)."""
+    grouped = collect_anchor_arrays(
+        index, read_codes, read_length=int(np.asarray(read_codes).size)
+    )
+    anchors = []
+    for strand, arr in grouped.items():
+        anchors.extend(
+            Anchor(ref_pos=int(r), read_pos=int(q), strand=strand) for r, q in arr
+        )
+    return anchors

@@ -1,0 +1,64 @@
+"""Nanopore sequencing substrate: pore model, raw signals, read simulation.
+
+The GenPIP paper evaluates on ONT R9 datasets (E. coli and human
+NA12878). Raw nanopore data is not available offline, so this subpackage
+*simulates* the sequencing device:
+
+* :mod:`repro.nanopore.pore_model` -- a synthetic k-mer -> picoampere
+  current model, analogous to ONT's published pore models.
+* :mod:`repro.nanopore.signal` -- raw-signal synthesis: per-base dwell
+  times, Gaussian noise, and slow drift.
+* :mod:`repro.nanopore.read_simulator` -- samples reads from a reference
+  genome with realistic length distributions, a correlated per-base
+  quality process (what Fig. 7 of the paper visualises), and read
+  classes (normal / low-quality / junk-unmapped).
+* :mod:`repro.nanopore.datasets` -- presets whose summary statistics
+  match Table 1 of the paper.
+"""
+
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
+from repro.nanopore.read_simulator import (
+    QualityProcessConfig,
+    ReadClass,
+    ReadSimulator,
+    SimulatedRead,
+    SimulatorConfig,
+)
+from repro.nanopore.datasets import (
+    Dataset,
+    DatasetProfile,
+    DatasetStats,
+    ECOLI_LIKE,
+    HUMAN_LIKE,
+    generate_dataset,
+)
+from repro.nanopore.signal_store import (
+    SignalRecord,
+    read_signals,
+    write_signals,
+)
+from repro.nanopore.signal_filter import SignalPrefilter, subsequence_dtw
+
+__all__ = [
+    "PoreModel",
+    "RawSignal",
+    "SignalConfig",
+    "synthesize_signal",
+    "QualityProcessConfig",
+    "ReadClass",
+    "ReadSimulator",
+    "SimulatedRead",
+    "SimulatorConfig",
+    "Dataset",
+    "DatasetProfile",
+    "DatasetStats",
+    "ECOLI_LIKE",
+    "HUMAN_LIKE",
+    "generate_dataset",
+    "SignalRecord",
+    "read_signals",
+    "write_signals",
+    "SignalPrefilter",
+    "subsequence_dtw",
+]

@@ -1,0 +1,156 @@
+"""Raw-signal synthesis: dwell times, noise, and drift.
+
+An ONT device samples the pore current at ~4 kHz while DNA translocates
+at ~450 bases/s, so each base occupies a geometric-ish number of samples
+("dwell"). The raw signal for a sequence is the pore-model level of the
+k-mer in the pore, held for the dwell of the central base, plus Gaussian
+measurement noise and a slow baseline drift.
+
+The signal also records the sample index at which each base starts
+(``base_starts``), which the chunked basecaller uses to cut signal
+chunks on base boundaries -- mirroring how real basecallers split a long
+read's signal into chunks before inference (GenPIP processes ~300-base
+chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nanopore.pore_model import PoreModel
+
+
+@dataclass(frozen=True)
+class SignalConfig:
+    """Parameters of the signal synthesis process.
+
+    Attributes
+    ----------
+    dwell_mean:
+        Mean samples per base (ONT: sampling_rate / bases_per_second,
+        ~8.9 for R9; smaller values keep simulation fast).
+    dwell_min:
+        Minimum samples per base (at least 1).
+    noise_std:
+        Standard deviation (pA) of white measurement noise *added on
+        top of* the pore model's per-k-mer spread.
+    drift_per_kilosample:
+        Linear baseline drift in pA per 1000 samples.
+    """
+
+    dwell_mean: float = 6.0
+    dwell_min: int = 2
+    noise_std: float = 1.0
+    drift_per_kilosample: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.dwell_mean < self.dwell_min:
+            raise ValueError("dwell_mean must be >= dwell_min")
+        if self.dwell_min < 1:
+            raise ValueError("dwell_min must be >= 1")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+@dataclass(frozen=True)
+class RawSignal:
+    """A synthesised raw nanopore signal.
+
+    Attributes
+    ----------
+    samples:
+        Current samples (pA), ``float32``.
+    base_starts:
+        For each *modelled* base (there are ``len(codes) - k + 1``
+        k-mer positions), the index of its first sample.
+    """
+
+    samples: np.ndarray
+    base_starts: np.ndarray
+
+    def __post_init__(self) -> None:
+        samples = np.ascontiguousarray(self.samples, dtype=np.float32)
+        starts = np.ascontiguousarray(self.base_starts, dtype=np.int64)
+        object.__setattr__(self, "samples", samples)
+        object.__setattr__(self, "base_starts", starts)
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    @property
+    def n_bases(self) -> int:
+        """Number of modelled base positions."""
+        return int(self.base_starts.size)
+
+    def slice_bases(self, first_base: int, last_base: int) -> np.ndarray:
+        """Samples covering modelled bases ``[first_base, last_base)``."""
+        if not 0 <= first_base <= last_base <= self.n_bases:
+            raise ValueError("base range out of bounds")
+        start = int(self.base_starts[first_base])
+        if last_base == self.n_bases:
+            end = int(self.samples.size)
+        else:
+            end = int(self.base_starts[last_base])
+        return self.samples[start:end]
+
+
+def synthesize_signal(
+    codes: np.ndarray,
+    pore_model: PoreModel,
+    config: SignalConfig,
+    rng: np.random.Generator,
+) -> RawSignal:
+    """Generate the raw signal for a 2-bit code sequence.
+
+    Dwells are drawn from a shifted geometric distribution with the
+    configured mean; each k-mer's level is corrupted by the pore model's
+    intrinsic spread plus the config's white noise, and a linear drift is
+    superimposed.
+    """
+    levels = pore_model.expected_levels(codes)
+    n = levels.size
+    if n == 0:
+        return RawSignal(samples=np.empty(0, dtype=np.float32), base_starts=np.empty(0, dtype=np.int64))
+
+    extra_mean = config.dwell_mean - config.dwell_min
+    if extra_mean > 0:
+        # Geometric on {0,1,...} with mean extra_mean: p = 1/(1+mean).
+        extra = rng.geometric(1.0 / (1.0 + extra_mean), size=n) - 1
+    else:
+        extra = np.zeros(n, dtype=np.int64)
+    dwells = config.dwell_min + extra
+    starts = np.concatenate(([0], np.cumsum(dwells)[:-1]))
+    total = int(dwells.sum())
+
+    per_sample_level = np.repeat(levels, dwells)
+    # Noise: intrinsic per-k-mer spread (repeated per sample) + white noise.
+    intrinsic = np.repeat(pore_model.spread[_packed_kmers(codes, pore_model.k)], dwells)
+    noise = rng.normal(0.0, 1.0, size=total) * np.sqrt(intrinsic**2 + config.noise_std**2)
+    drift = config.drift_per_kilosample * np.arange(total) / 1000.0
+    samples = (per_sample_level + noise + drift).astype(np.float32)
+    return RawSignal(samples=samples, base_starts=starts.astype(np.int64))
+
+
+def _packed_kmers(codes: np.ndarray, k: int) -> np.ndarray:
+    from repro.genomics.alphabet import kmer_codes
+
+    return kmer_codes(codes, k)
+
+
+def normalize_signal(samples: np.ndarray) -> np.ndarray:
+    """Median/MAD normalisation used before basecalling.
+
+    Real pipelines normalise each read's signal to remove per-pore gain
+    and offset; the Viterbi basecaller assumes pA units, so this maps a
+    signal back onto a nominal scale with median 0 and MAD 1.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return samples.astype(np.float32)
+    median = np.median(samples)
+    mad = np.median(np.abs(samples - median))
+    if mad == 0:
+        mad = 1.0
+    return ((samples - median) / mad).astype(np.float32)

@@ -1,0 +1,126 @@
+"""A binary raw-signal container (slow5-flavoured).
+
+ONT devices persist raw signals in FAST5/SLOW5 containers; the 3913 GB
+"raw signal data" of the paper's Fig. 1 is this artefact at rest, and
+the conventional pipeline's first data movement is shipping it to the
+basecalling machine. This module provides a compact binary store so the
+examples can materialise that payload and the movement volumes modelled
+in :mod:`repro.perf` correspond to real bytes.
+
+Format (little-endian):
+
+.. code-block:: text
+
+    header:  magic "RSIG" | u16 version | u32 record count
+    record:  u16 read-id length | read-id (utf-8)
+             f32 offset | f32 scale          # sample dequantisation
+             u32 n_samples | i16[n_samples]  # quantised current
+             u32 n_bases   | u32[n_bases]    # base start indices
+
+Samples are stored as 16-bit integers with a per-read affine
+(offset, scale) — the same quantisation real sequencers apply — so a
+round-trip is lossy only below the quantisation step, which tests bound.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nanopore.signal import RawSignal
+
+_MAGIC = b"RSIG"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SignalRecord:
+    """One read's raw signal with its identifier."""
+
+    read_id: str
+    signal: RawSignal
+
+
+def _quantise(samples: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Affine-quantise float samples to int16; returns (q, offset, scale)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return np.empty(0, dtype=np.int16), 0.0, 1.0
+    lo = float(samples.min())
+    hi = float(samples.max())
+    scale = (hi - lo) / 65_000.0 if hi > lo else 1.0
+    q = np.rint((samples - lo) / scale) - 32_500
+    return q.astype(np.int16), lo, scale
+
+
+def write_signals(path, records) -> int:
+    """Write signal records; returns the payload size in bytes."""
+    path = Path(path)
+    with open(path, "wb") as handle:
+        body = bytearray()
+        count = 0
+        for record in records:
+            read_id = record.read_id.encode("utf-8")
+            q, offset, scale = _quantise(record.signal.samples)
+            starts = np.asarray(record.signal.base_starts, dtype=np.uint32)
+            body += struct.pack("<H", len(read_id))
+            body += read_id
+            body += struct.pack("<ff", offset, scale)
+            body += struct.pack("<I", q.size)
+            body += q.tobytes()
+            body += struct.pack("<I", starts.size)
+            body += starts.tobytes()
+            count += 1
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HI", _VERSION, count))
+        handle.write(bytes(body))
+    return path.stat().st_size
+
+
+def read_signals(path) -> list[SignalRecord]:
+    """Read all signal records from a store."""
+    data = Path(path).read_bytes()
+    if data[:4] != _MAGIC:
+        raise ValueError("not a raw-signal store (bad magic)")
+    version, count = struct.unpack_from("<HI", data, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported signal-store version {version}")
+    records = []
+    cursor = 10
+    for _ in range(count):
+        (id_len,) = struct.unpack_from("<H", data, cursor)
+        cursor += 2
+        read_id = data[cursor : cursor + id_len].decode("utf-8")
+        cursor += id_len
+        offset, scale = struct.unpack_from("<ff", data, cursor)
+        cursor += 8
+        (n_samples,) = struct.unpack_from("<I", data, cursor)
+        cursor += 4
+        q = np.frombuffer(data, dtype=np.int16, count=n_samples, offset=cursor)
+        cursor += 2 * n_samples
+        (n_bases,) = struct.unpack_from("<I", data, cursor)
+        cursor += 4
+        starts = np.frombuffer(data, dtype=np.uint32, count=n_bases, offset=cursor)
+        cursor += 4 * n_bases
+        samples = ((q.astype(np.float64) + 32_500) * scale + offset).astype(np.float32)
+        records.append(
+            SignalRecord(
+                read_id=read_id,
+                signal=RawSignal(samples=samples, base_starts=starts.astype(np.int64)),
+            )
+        )
+    if cursor != len(data):
+        raise ValueError("trailing bytes in signal store")
+    return records
+
+
+def quantisation_step(samples: np.ndarray) -> float:
+    """The store's quantisation step for a sample array (error bound)."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return 0.0
+    span = float(samples.max() - samples.min())
+    return span / 65_000.0 if span > 0 else 0.0

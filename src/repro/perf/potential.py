@@ -1,0 +1,95 @@
+"""The Fig. 4 potential-benefit study (paper Sec. 2.4).
+
+Four systems on the E. coli dataset:
+
+* **System A** -- current practice: Bonito on a GPU machine, RQC +
+  minimap2 on a CPU server, with all data movement.
+* **System B** -- state-of-the-art accelerators: Helix (basecalling) +
+  PARC (mapping) as separate PIM devices, RQC on a CPU, still paying
+  all movement between devices.
+* **System C** -- System B with all data movement *ideally* removed.
+* **System D** -- System C with useless (low-quality + unmapped) reads
+  ideally removed before any processing.
+
+Paper result: B = 2.74x, C = 6.12x, D = 9x over A (C = 2.23x and
+D = 3.28x over B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costs import CostDatabase, DEFAULT_COSTS
+from repro.perf.workload import PipelineWorkload
+
+
+@dataclass(frozen=True)
+class PotentialStudyResult:
+    """Runtimes and speedups of Systems A-D."""
+
+    time_a_s: float
+    time_b_s: float
+    time_c_s: float
+    time_d_s: float
+
+    @property
+    def speedups(self) -> dict[str, float]:
+        """Speedup of each system normalised to System A (Fig. 4 bars)."""
+        return {
+            "A": 1.0,
+            "B": self.time_a_s / self.time_b_s,
+            "C": self.time_a_s / self.time_c_s,
+            "D": self.time_a_s / self.time_d_s,
+        }
+
+
+def potential_study(
+    workload: PipelineWorkload,
+    useless_fraction: float,
+    costs: CostDatabase | None = None,
+) -> PotentialStudyResult:
+    """Model Systems A-D on a conventional workload.
+
+    Parameters
+    ----------
+    workload:
+        Conventional (no-ER) workload of the dataset.
+    useless_fraction:
+        Fraction of the dataset's work attributable to useless reads
+        (low-quality + unmapped), measured from ground truth -- ~30.5%
+        for the paper's E. coli dataset (Sec. 2.3).
+    """
+    if not 0.0 <= useless_fraction < 1.0:
+        raise ValueError("useless_fraction must be in [0, 1)")
+    costs = costs or DEFAULT_COSTS
+    f_align = costs.map_align_fraction
+
+    raw_bytes = costs.raw_signal_bytes(workload.total_bases)
+    called_bytes = costs.called_bytes(workload.basecalled_bases)
+    t_move = costs.movement_time_s(raw_bytes + called_bytes)
+    t_qc = workload.qc_bases / costs.cpu_qc_bps
+    map_work = (
+        workload.mapped_bases_batch * (1.0 - f_align) + workload.aligned_bases * f_align
+    )
+
+    # System A: GPU basecalling, CPU mapping, full movement.
+    time_a = (
+        workload.basecalled_bases / costs.gpu_basecall_bps
+        + t_qc
+        + map_work / costs.cpu_map_bps
+        + t_move
+    )
+    # System B: Helix + PARC + CPU QC, full movement.
+    compute_b = (
+        workload.basecalled_bases / costs.helix_basecall_bps
+        + t_qc
+        + map_work / costs.parc_map_bps
+    )
+    time_b = compute_b + t_move
+    # System C: B without movement.
+    time_c = compute_b
+    # System D: C without useless reads (their share of every step).
+    time_d = compute_b * (1.0 - useless_fraction)
+    return PotentialStudyResult(
+        time_a_s=time_a, time_b_s=time_b, time_c_s=time_c, time_d_s=time_d
+    )

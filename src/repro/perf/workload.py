@@ -1,0 +1,115 @@
+"""Workload statistics distilled from functional pipeline runs.
+
+A :class:`PipelineWorkload` is the interface between the functional
+layer (what work the pipeline actually performed on a dataset, from
+:class:`~repro.core.genpip.GenPIPReport`) and the system performance
+models (how long that work takes on each machine).
+
+Two accounting modes matter:
+
+* **batch** systems (CPU/GPU/PIM without CP) run QC *before* mapping,
+  so QC-failed reads are never seeded -- their mapping work is
+  ``mapped_bases_batch``;
+* **CP** systems seed chunks as they are basecalled, before the read's
+  QC outcome is known, so QC-failing reads do consume seeding/chaining
+  (``seeded_bases_cp``) -- an inherent cost of overlap that ER-QSR then
+  eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.genpip import GenPIPReport
+from repro.core.pipeline import ReadStatus
+
+
+@dataclass(frozen=True)
+class PipelineWorkload:
+    """Work performed on one dataset under one pipeline configuration."""
+
+    n_reads: int
+    #: Sequenced bases (raw-signal volume scales with this).
+    total_bases: int
+    #: Bases actually basecalled (ER truncates rejected reads).
+    basecalled_bases: int
+    #: Bases through QC / CQS computation (== basecalled bases).
+    qc_bases: int
+    #: Mapping bases for batch systems: QC-passed reads only.
+    mapped_bases_batch: int
+    #: Mapping bases for CP systems: every seeded chunk.
+    seeded_bases_cp: int
+    #: Bases of reads that reached base-level alignment.
+    aligned_bases: int
+    #: Per-read chunk counts actually basecalled (flow-shop input).
+    chunks_per_read: tuple[int, ...]
+    #: Per-read chunk counts seeded (flow-shop input).
+    seeded_chunks_per_read: tuple[int, ...]
+    #: Whether each read reached alignment (flow-shop input).
+    aligned_per_read: tuple[bool, ...]
+    chunk_size: int
+
+    @classmethod
+    def from_report(cls, report: GenPIPReport) -> "PipelineWorkload":
+        """Distil a functional report into workload statistics."""
+        chunk_size = report.config.chunk_size
+        mapped_batch = 0
+        aligned = 0
+        # "Alignment executed" also holds for reads mapped without the
+        # base-level alignment pass (align=False fast runs): a mapped
+        # read would have been aligned on real hardware.
+        aligned_flags = tuple(
+            o.aligned or o.status is ReadStatus.MAPPED for o in report.outcomes
+        )
+        for outcome, was_aligned in zip(report.outcomes, aligned_flags):
+            if outcome.status not in (ReadStatus.REJECTED_QSR, ReadStatus.FAILED_QC):
+                # Batch systems map every QC-passed read; ER-CMR-rejected
+                # reads map only their merged prefix.
+                if outcome.status is ReadStatus.REJECTED_CMR:
+                    mapped_batch += outcome.n_chunks_seeded * chunk_size
+                else:
+                    mapped_batch += outcome.read_length
+            if was_aligned:
+                aligned += outcome.read_length
+        return cls(
+            n_reads=report.n_reads,
+            total_bases=report.total_bases,
+            basecalled_bases=report.bases_basecalled,
+            qc_bases=report.bases_basecalled,
+            mapped_bases_batch=mapped_batch,
+            seeded_bases_cp=sum(
+                min(o.n_chunks_seeded * chunk_size, o.read_length) for o in report.outcomes
+            ),
+            aligned_bases=aligned,
+            chunks_per_read=tuple(o.n_chunks_basecalled for o in report.outcomes),
+            seeded_chunks_per_read=tuple(o.n_chunks_seeded for o in report.outcomes),
+            aligned_per_read=aligned_flags,
+            chunk_size=chunk_size,
+        )
+
+    @property
+    def mean_read_bases(self) -> float:
+        return self.total_bases / max(self.n_reads, 1)
+
+    def scaled(self, factor: float) -> "PipelineWorkload":
+        """Scale aggregate volumes (per-read traces are left as sampled).
+
+        Used to extrapolate a laptop-scale sample to the full dataset
+        size: times/energies scale linearly in the aggregates while the
+        flow-shop traces keep their measured shape.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return PipelineWorkload(
+            n_reads=int(self.n_reads * factor),
+            total_bases=int(self.total_bases * factor),
+            basecalled_bases=int(self.basecalled_bases * factor),
+            qc_bases=int(self.qc_bases * factor),
+            mapped_bases_batch=int(self.mapped_bases_batch * factor),
+            seeded_bases_cp=int(self.seeded_bases_cp * factor),
+            aligned_bases=int(self.aligned_bases * factor),
+            chunks_per_read=self.chunks_per_read,
+            seeded_chunks_per_read=self.seeded_chunks_per_read,
+            aligned_per_read=self.aligned_per_read,
+            chunk_size=self.chunk_size,
+        )

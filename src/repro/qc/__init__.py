@@ -1,0 +1,12 @@
+"""Read quality control (RQC) -- paper Sec. 2.1, step 2.
+
+RQC computes the average quality score (AQS) of a basecalled read and
+filters reads below a threshold (``theta_qs = 7`` following
+LongQC/pycoQC practice and the paper) before read mapping. In the
+conventional pipeline this runs *after* full basecalling -- the waste
+GenPIP's ER-QSR eliminates.
+"""
+
+from repro.qc.read_quality import QCConfig, QCResult, apply_qc, passes_qc
+
+__all__ = ["QCConfig", "QCResult", "apply_qc", "passes_qc"]

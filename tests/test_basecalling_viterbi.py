@@ -1,0 +1,133 @@
+"""Tests for the HMM Viterbi basecaller (the real signal-space decoder)."""
+
+import numpy as np
+import pytest
+
+from repro.basecalling import ViterbiBasecaller, ViterbiConfig
+from repro.genomics.alphabet import decode, encode
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal import SignalConfig, synthesize_signal
+
+
+def _quiet_model(pore_model, spread=0.3):
+    return PoreModel(
+        k=pore_model.k,
+        levels=pore_model.levels,
+        spread=np.full_like(pore_model.spread, spread),
+    )
+
+
+def _identity(a: str, b: str) -> float:
+    import difflib
+
+    return difflib.SequenceMatcher(None, a, b, autojunk=False).ratio()
+
+
+@pytest.fixture(scope="module")
+def clean_setup():
+    pore = PoreModel.synthetic(k=5, seed=7)
+    quiet = _quiet_model(pore)
+    caller = ViterbiBasecaller(quiet, ViterbiConfig(stay_prob=0.8, extra_noise_std=0.3))
+    signal_config = SignalConfig(dwell_mean=5.0, dwell_min=3, noise_std=0.0, drift_per_kilosample=0.0)
+    return quiet, caller, signal_config
+
+
+class TestCleanSignal:
+    def test_exact_recovery(self, clean_setup):
+        quiet, caller, signal_config = clean_setup
+        seq = decode(np.random.default_rng(0).integers(0, 4, 150).astype(np.uint8))
+        signal = synthesize_signal(encode(seq), quiet, signal_config, np.random.default_rng(1))
+        called = caller.basecall_signal(signal)
+        assert called.bases == seq
+
+    def test_high_quality_on_clean_signal(self, clean_setup):
+        quiet, caller, signal_config = clean_setup
+        seq = decode(np.random.default_rng(2).integers(0, 4, 150).astype(np.uint8))
+        signal = synthesize_signal(encode(seq), quiet, signal_config, np.random.default_rng(3))
+        called = caller.basecall_signal(signal)
+        assert called.mean_quality > 15.0
+
+    def test_empty_signal(self, clean_setup):
+        _, caller, _ = clean_setup
+        called = caller.basecall(np.empty(0))
+        assert called.bases == ""
+        assert called.qualities.size == 0
+
+    def test_deterministic(self, clean_setup):
+        quiet, caller, signal_config = clean_setup
+        seq = decode(np.random.default_rng(4).integers(0, 4, 100).astype(np.uint8))
+        signal = synthesize_signal(encode(seq), quiet, signal_config, np.random.default_rng(5))
+        a = caller.basecall_signal(signal)
+        b = caller.basecall_signal(signal)
+        assert a.bases == b.bases
+        np.testing.assert_allclose(a.qualities, b.qualities)
+
+
+class TestNoiseBehaviour:
+    @pytest.fixture(scope="class")
+    def results_by_noise(self):
+        pore = PoreModel.synthetic(k=5, seed=7)
+        seq = decode(np.random.default_rng(6).integers(0, 4, 200).astype(np.uint8))
+        out = {}
+        for noise in (1.0, 4.0, 8.0):
+            config = SignalConfig(dwell_mean=5.0, dwell_min=2, noise_std=noise, drift_per_kilosample=0.0)
+            signal = synthesize_signal(encode(seq), pore, config, np.random.default_rng(7))
+            caller = ViterbiBasecaller(pore, ViterbiConfig(stay_prob=0.8, extra_noise_std=noise))
+            out[noise] = (seq, caller.basecall_signal(signal))
+        return out
+
+    def test_identity_degrades_with_noise(self, results_by_noise):
+        identities = {
+            noise: _identity(seq, called.bases) for noise, (seq, called) in results_by_noise.items()
+        }
+        assert identities[1.0] > 0.95
+        assert identities[1.0] >= identities[8.0]
+
+    def test_quality_decreases_with_noise(self, results_by_noise):
+        qualities = [called.mean_quality for _, called in results_by_noise.values()]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_called_length_reasonable(self, results_by_noise):
+        for _, (seq, called) in results_by_noise.items():
+            assert abs(len(called.bases) - len(seq)) < 0.2 * len(seq)
+
+
+class TestChunkedDecoding:
+    def test_chunks_cover_read(self, clean_setup):
+        quiet, caller, signal_config = clean_setup
+        seq = decode(np.random.default_rng(8).integers(0, 4, 400).astype(np.uint8))
+        signal = synthesize_signal(encode(seq), quiet, signal_config, np.random.default_rng(9))
+        chunks = caller.basecall_signal_chunks(signal, chunk_size=150)
+        assert [c.chunk_index for c in chunks] == list(range(len(chunks)))
+        assert sum(c.n_true_bases for c in chunks) == signal.n_bases
+        total = sum(len(c) for c in chunks)
+        assert abs(total - len(seq)) < 0.1 * len(seq)
+
+    def test_chunk_content_matches_truth(self, clean_setup):
+        quiet, caller, signal_config = clean_setup
+        seq = decode(np.random.default_rng(10).integers(0, 4, 300).astype(np.uint8))
+        signal = synthesize_signal(encode(seq), quiet, signal_config, np.random.default_rng(11))
+        chunks = caller.basecall_signal_chunks(signal, chunk_size=100)
+        # First chunk decodes the first ~100 bases nearly exactly.
+        assert _identity(seq[:100], chunks[0].bases) > 0.9
+
+
+class TestConfig:
+    def test_stay_prob_bounds(self):
+        with pytest.raises(ValueError):
+            ViterbiConfig(stay_prob=0.0)
+        with pytest.raises(ValueError):
+            ViterbiConfig(stay_prob=1.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiConfig(extra_noise_std=-1.0)
+
+    def test_decode_states_shape(self, clean_setup):
+        quiet, caller, signal_config = clean_setup
+        seq = decode(np.random.default_rng(12).integers(0, 4, 50).astype(np.uint8))
+        signal = synthesize_signal(encode(seq), quiet, signal_config, np.random.default_rng(13))
+        path = caller.decode_states(signal.samples)
+        assert path.shape == (len(signal),)
+        assert path.min() >= 0
+        assert path.max() < 4**quiet.k

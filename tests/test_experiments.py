@@ -1,0 +1,237 @@
+"""Tests for the experiment suite: every table/figure runs and lands in band.
+
+Experiments share one small-scale context (module-scoped) so the suite
+stays fast; the bands are the paper-shape assertions (who wins, by
+roughly what factor, which direction trends point).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_figure4,
+    run_figure7,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_table1,
+    run_table2,
+    run_useless_reads,
+)
+from repro.experiments.context import ExperimentContext, get_context
+
+# Small scales: ~90 E. coli-like reads, ~90 human-like reads.
+SCALE = {"ecoli-like": 0.0015, "human-like": 0.0002}
+SEED = 7
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _prime_contexts():
+    # Ensure both contexts exist at the test scale so every experiment
+    # below reuses them (get_context memoises on (profile, scale, seed)).
+    for name, scale in SCALE.items():
+        get_context(name, scale=scale, seed=SEED)
+
+
+def _scale_for(name):
+    return SCALE[name]
+
+
+class TestContext:
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError):
+            ExperimentContext(profile_name="mouse")
+
+    def test_report_caching(self):
+        context = get_context("ecoli-like", scale=SCALE["ecoli-like"], seed=SEED)
+        a = context.report("conventional", 300)
+        b = context.report("conventional", 300)
+        assert a is b
+
+    def test_variant_validation(self):
+        context = get_context("ecoli-like", scale=SCALE["ecoli-like"], seed=SEED)
+        with pytest.raises(ValueError):
+            context.report("no_such_variant")
+
+    def test_workloads_kinds(self):
+        context = get_context("ecoli-like", scale=SCALE["ecoli-like"], seed=SEED)
+        workloads = context.workloads(300)
+        assert set(workloads) == {"conventional", "qsr_only", "full_er"}
+
+
+class TestTable1:
+    def test_statistics_in_band(self):
+        result = run_table1(scale=SCALE["ecoli-like"], seed=SEED)
+        for dataset, stat, measured, paper in result.rows():
+            if "length" in stat:
+                assert measured == pytest.approx(paper, rel=0.35), (dataset, stat)
+            else:  # quality statistics
+                assert measured == pytest.approx(paper, abs=2.0), (dataset, stat)
+
+    def test_render(self):
+        result = run_table1(scale=SCALE["ecoli-like"], seed=SEED)
+        assert "ecoli-like" in result.render()
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(scale=SCALE["ecoli-like"], seed=SEED)
+
+    def test_ordering(self, result):
+        s = result.speedups
+        assert s["A"] == 1.0
+        assert s["A"] < s["B"] < s["C"] < s["D"]
+
+    def test_bands(self, result):
+        s = result.speedups
+        assert s["B"] == pytest.approx(2.74, rel=0.4)
+        assert s["C"] == pytest.approx(6.12, rel=0.4)
+        assert s["D"] == pytest.approx(9.0, rel=0.4)
+
+    def test_useless_fraction(self, result):
+        assert result.useless_fraction == pytest.approx(0.305, abs=0.12)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure7(scale=SCALE["ecoli-like"], seed=SEED)
+
+    def test_reads_separated(self, result):
+        assert result.low_chunk_scores.mean() < 7 < result.high_chunk_scores.mean()
+
+    def test_neighbour_correlation_positive(self, result):
+        assert result.neighbour_correlation(result.low_chunk_scores) > 0.1
+        assert result.neighbour_correlation(result.high_chunk_scores) > 0.1
+
+    def test_single_chunk_not_representative(self, result):
+        """Fig. 7's observation: low-quality reads contain chunks above
+        the threshold, so one chunk cannot classify a read."""
+        assert result.low_chunk_scores.max() > 5.0
+        assert result.high_chunk_scores.min() < 11.0
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure10(
+            chunk_sizes=(300, 400), scale=SCALE, seed=SEED,
+            datasets=("ecoli-like",),
+        )
+
+    def test_grid_shape(self, result):
+        assert set(result.speedups) == {("ecoli-like", 300), ("ecoli-like", 400)}
+
+    def test_ordering_everywhere(self, result):
+        for cell in result.speedups.values():
+            assert cell["GenPIP"] > cell["PIM"] > cell["GPU"] > cell["CPU"]
+            assert cell["GenPIP"] >= cell["GenPIP-CP-QSR"] >= cell["GenPIP-CP"]
+
+    def test_headline_band(self, result):
+        gmean = result.gmean()
+        assert 25 < gmean["GenPIP"] < 75  # paper 41.6
+        assert gmean["GenPIP"] / gmean["PIM"] == pytest.approx(1.39, rel=0.45)
+
+    def test_chunk_size_robustness(self, result):
+        """Fig. 10's fourth observation: results stable across chunk sizes."""
+        a = result.speedups[("ecoli-like", 300)]["GenPIP"]
+        b = result.speedups[("ecoli-like", 400)]["GenPIP"]
+        assert abs(a - b) / a < 0.2
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure11(
+            chunk_sizes=(300,), scale=SCALE, seed=SEED, datasets=("ecoli-like",)
+        )
+
+    def test_ordering(self, result):
+        gmean = result.gmean()
+        assert gmean["GenPIP"] > gmean["PIM"] > gmean["GPU"] > 1.0
+
+    def test_headline_band(self, result):
+        gmean = result.gmean()
+        assert 15 < gmean["GenPIP"] < 60  # paper 32.8
+        assert 1.2 < gmean["GPU"] < 2.2  # paper ~1.58
+
+
+class TestFigure12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure12(
+            n_qs_values=(2, 4, 6),
+            scale=SCALE,
+            seed=SEED,
+            datasets=("ecoli-like", "human-like"),
+        )
+
+    def test_rejection_in_band(self, result):
+        for name, points in result.sweeps.items():
+            for point in points:
+                assert 0.02 < point.rejection_ratio < 0.40, (name, point)
+
+    def test_fn_bounded(self, result):
+        for points in result.sweeps.values():
+            for point in points:
+                assert point.false_negative_ratio < 0.5
+
+    def test_human_fn_improves_with_samples(self, result):
+        """Paper: more samples help the human dataset's FN ratio."""
+        points = result.sweeps["human-like"]
+        assert points[-1].false_negative_ratio <= points[0].false_negative_ratio + 0.05
+
+
+class TestFigure13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure13(
+            n_cm_values=(1, 3, 5),
+            scale=SCALE,
+            seed=SEED,
+            datasets=("ecoli-like", "human-like"),
+        )
+
+    def test_rejection_decreases_with_merging(self, result):
+        for name, points in result.sweeps.items():
+            assert points[0].rejection_ratio >= points[-1].rejection_ratio, name
+
+    def test_fn_decreases_with_merging(self, result):
+        for name, points in result.sweeps.items():
+            assert points[0].false_negative_ratio >= points[-1].false_negative_ratio, name
+
+    def test_chosen_points_have_low_fn(self, result):
+        """At the paper's chosen N_cm, FN is near zero (Sec. 6.3.2)."""
+        for name in ("ecoli-like", "human-like"):
+            chosen = result.chosen_point(name)
+            assert chosen.false_negative_ratio < 0.1, name
+
+    def test_rejection_catches_junk(self, result):
+        """Rejection at the chosen point at least covers junk reads."""
+        for name in ("ecoli-like", "human-like"):
+            context = get_context(name, scale=SCALE[name], seed=SEED)
+            junk = context.dataset.stats().junk_fraction
+            chosen = result.chosen_point(name)
+            assert chosen.rejection_ratio >= 0.5 * junk
+
+
+class TestTable2:
+    def test_totals(self):
+        result = run_table2()
+        rows = {name: (power, area) for name, power, _, area, _ in result.rows()}
+        assert rows["TOTAL"][0] == pytest.approx(147.2, rel=0.01)
+        assert rows["TOTAL"][1] == pytest.approx(163.8, rel=0.01)
+
+    def test_render_mentions_modules(self):
+        text = run_table2().render()
+        assert "read-mapping" in text
+        assert "controller" in text
+
+
+class TestUselessReads:
+    def test_fractions_in_band(self):
+        result = run_useless_reads(scale=SCALE["ecoli-like"], seed=SEED)
+        assert result.low_quality_fraction == pytest.approx(0.205, abs=0.10)
+        assert result.unmapped_fraction == pytest.approx(0.10, abs=0.07)
+        assert result.useless_fraction == pytest.approx(0.305, abs=0.12)

@@ -1,0 +1,37 @@
+"""Tests for the accuracy-preservation experiment."""
+
+import pytest
+
+from repro.experiments.accuracy import run_accuracy
+
+SCALE = 0.0015
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_accuracy(scale=SCALE, seed=SEED)
+
+
+class TestAccuracy:
+    def test_high_retention(self, result):
+        """Most baseline-mapped reads survive GenPIP's early rejection."""
+        assert result.retention > 0.85
+
+    def test_locus_agreement(self, result):
+        """Retained reads map to the same locus as the baseline."""
+        assert result.locus_agreement > 0.98
+
+    def test_lost_reads_are_marginal(self, result):
+        """Reads lost to ER hover near the quality threshold (the
+        paper's justification for accepting QSR false negatives)."""
+        if result.lost_to_er:
+            assert result.lost_mean_quality < 9.0
+
+    def test_counters_consistent(self, result):
+        retained = result.retained_same_locus + result.retained_other_locus
+        assert retained + result.lost_to_er == result.baseline_mapped
+        assert result.baseline_mapped <= result.n_reads
+
+    def test_render(self, result):
+        assert "retention" in result.render()

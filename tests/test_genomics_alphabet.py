@@ -1,0 +1,135 @@
+"""Unit and property tests for the DNA alphabet module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics import alphabet
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=200)
+
+
+class TestEncodeDecode:
+    def test_encode_known_values(self):
+        np.testing.assert_array_equal(alphabet.encode("ACGT"), [0, 1, 2, 3])
+
+    def test_encode_lowercase(self):
+        np.testing.assert_array_equal(alphabet.encode("acgt"), [0, 1, 2, 3])
+
+    def test_encode_empty(self):
+        assert alphabet.encode("").size == 0
+
+    def test_encode_rejects_invalid(self):
+        with pytest.raises(ValueError, match="invalid DNA"):
+            alphabet.encode("ACGN")
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            alphabet.decode(np.array([0, 4], dtype=np.uint8))
+
+    @given(dna)
+    def test_roundtrip(self, seq):
+        assert alphabet.decode(alphabet.encode(seq)) == seq
+
+
+class TestValidation:
+    def test_valid(self):
+        assert alphabet.is_valid_dna("ACGTacgt")
+
+    def test_invalid(self):
+        assert not alphabet.is_valid_dna("ACGN")
+
+    def test_empty_is_valid(self):
+        assert alphabet.is_valid_dna("")
+
+    def test_non_ascii(self):
+        assert not alphabet.is_valid_dna("ACGé")
+
+
+class TestReverseComplement:
+    def test_string(self):
+        assert alphabet.reverse_complement("AACC") == "GGTT"
+
+    def test_palindrome(self):
+        assert alphabet.reverse_complement("ACGT") == "ACGT"
+
+    def test_array_matches_string(self):
+        seq = "ACGGTTAC"
+        via_array = alphabet.decode(alphabet.reverse_complement(alphabet.encode(seq)))
+        assert via_array == alphabet.reverse_complement(seq)
+
+    @given(dna)
+    def test_involution(self, seq):
+        assert alphabet.reverse_complement(alphabet.reverse_complement(seq)) == seq
+
+    @given(dna)
+    def test_preserves_length(self, seq):
+        assert len(alphabet.reverse_complement(seq)) == len(seq)
+
+
+class TestKmerPacking:
+    def test_known_values(self):
+        assert alphabet.kmer_to_int("AAA") == 0
+        assert alphabet.kmer_to_int("AAC") == 1
+        assert alphabet.kmer_to_int("TTT") == 63
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=15))
+    def test_roundtrip(self, kmer):
+        assert alphabet.int_to_kmer(alphabet.kmer_to_int(kmer), len(kmer)) == kmer
+
+    def test_int_to_kmer_range_check(self):
+        with pytest.raises(ValueError):
+            alphabet.int_to_kmer(64, 3)
+
+    def test_kmer_codes_matches_scalar(self):
+        seq = "ACGTTGCAACGT"
+        codes = alphabet.encode(seq)
+        packed = alphabet.kmer_codes(codes, 4)
+        expected = [alphabet.kmer_to_int(seq[i : i + 4]) for i in range(len(seq) - 3)]
+        np.testing.assert_array_equal(packed, expected)
+
+    def test_kmer_codes_short_input(self):
+        assert alphabet.kmer_codes(alphabet.encode("AC"), 5).size == 0
+
+    def test_kmer_codes_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            alphabet.kmer_codes(alphabet.encode("ACGT"), 0)
+        with pytest.raises(ValueError):
+            alphabet.kmer_codes(alphabet.encode("ACGT"), 32)
+
+    @given(dna_nonempty, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50)
+    def test_kmer_codes_length(self, seq, k):
+        packed = alphabet.kmer_codes(alphabet.encode(seq), k)
+        assert packed.size == max(0, len(seq) - k + 1)
+
+
+class TestRandomBases:
+    def test_length_and_alphabet(self):
+        seq = alphabet.random_bases(500, np.random.default_rng(0))
+        assert len(seq) == 500
+        assert alphabet.is_valid_dna(seq)
+
+    def test_gc_content_respected(self):
+        rng = np.random.default_rng(0)
+        seq = alphabet.random_bases(20_000, rng, gc_content=0.8)
+        gc = (seq.count("G") + seq.count("C")) / len(seq)
+        assert 0.75 < gc < 0.85
+
+    def test_rejects_bad_gc(self):
+        with pytest.raises(ValueError):
+            alphabet.random_bases(10, np.random.default_rng(0), gc_content=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = alphabet.random_bases(100, np.random.default_rng(42))
+        b = alphabet.random_bases(100, np.random.default_rng(42))
+        assert a == b
+
+
+class TestComplementCodes:
+    def test_pairs(self):
+        np.testing.assert_array_equal(
+            alphabet.complement_codes(np.array([0, 1, 2, 3], dtype=np.uint8)), [3, 2, 1, 0]
+        )

@@ -1,0 +1,103 @@
+"""Round-trip tests for FASTA/FASTQ I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.io_fasta import FastaRecord, read_fasta, write_fasta
+from repro.genomics.io_fastq import FastqRecord, read_fastq, write_fastq
+
+names = st.text(alphabet="abcdefgh0123_", min_size=1, max_size=12)
+dna = st.text(alphabet="ACGT", min_size=1, max_size=300)
+
+
+class TestFasta:
+    def test_roundtrip_single(self, tmp_path):
+        path = tmp_path / "one.fa"
+        write_fasta(path, [FastaRecord("r1", "ACGT" * 30, "a test")])
+        records = list(read_fasta(path))
+        assert len(records) == 1
+        assert records[0].name == "r1"
+        assert records[0].description == "a test"
+        assert records[0].sequence == "ACGT" * 30
+
+    def test_line_wrapping(self, tmp_path):
+        path = tmp_path / "wrap.fa"
+        write_fasta(path, [FastaRecord("r", "A" * 205)], line_width=50)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">r"
+        assert all(len(line) <= 50 for line in lines[1:])
+        assert "".join(lines[1:]) == "A" * 205
+
+    def test_rejects_bad_line_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fa", [], line_width=0)
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            list(read_fasta(path))
+
+    @given(items=st.lists(st.tuples(names, dna), min_size=1, max_size=5, unique_by=lambda t: t[0]))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_many(self, items, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fa") / "multi.fa"
+        write_fasta(path, [FastaRecord(n, s) for n, s in items])
+        back = [(r.name, r.sequence) for r in read_fasta(path)]
+        assert back == items
+
+
+class TestFastq:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "r.fq"
+        q = np.array([10.0, 20.0, 30.0, 7.0])
+        write_fastq(path, [FastqRecord("read1", "ACGT", q)])
+        records = list(read_fastq(path))
+        assert records[0].name == "read1"
+        assert records[0].sequence == "ACGT"
+        np.testing.assert_allclose(records[0].qualities, q)
+
+    def test_mean_quality(self):
+        rec = FastqRecord("r", "AC", np.array([6.0, 8.0]))
+        assert rec.mean_quality == pytest.approx(7.0)
+
+    def test_mean_quality_empty(self):
+        assert FastqRecord("r", "", np.array([])).mean_quality == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", np.array([1.0]))
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.fq"
+        path.write_text("read1\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError):
+            list(read_fastq(path))
+
+    def test_malformed_separator(self, tmp_path):
+        path = tmp_path / "bad2.fq"
+        path.write_text("@read1\nACGT\nIIII\nIIII\n")
+        with pytest.raises(ValueError):
+            list(read_fastq(path))
+
+    def test_quality_length_mismatch_in_file(self, tmp_path):
+        path = tmp_path / "bad3.fq"
+        path.write_text("@read1\nACGT\n+\nII\n")
+        with pytest.raises(ValueError):
+            list(read_fastq(path))
+
+    @given(items=st.lists(st.tuples(names, dna), min_size=1, max_size=4, unique_by=lambda t: t[0]))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_many(self, items, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fq") / "multi.fq"
+        rng = np.random.default_rng(0)
+        records = [
+            FastqRecord(n, s, rng.integers(1, 40, size=len(s)).astype(float)) for n, s in items
+        ]
+        write_fastq(path, records)
+        back = list(read_fastq(path))
+        assert [(r.name, r.sequence) for r in back] == items
+        for orig, readback in zip(records, back):
+            np.testing.assert_allclose(readback.qualities, orig.qualities)

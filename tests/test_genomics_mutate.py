@@ -1,0 +1,107 @@
+"""Tests for the sequencing-error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.alphabet import encode
+from repro.genomics.mutate import ErrorProfile, apply_errors, identity_from_quality
+
+
+class TestErrorProfile:
+    def test_default_normalises(self):
+        sub, ins, dele = ErrorProfile().split(0.12)
+        assert sub + ins + dele == pytest.approx(0.12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ErrorProfile(substitution=-0.1)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            ErrorProfile(0.0, 0.0, 0.0)
+
+    def test_split_ratios(self):
+        profile = ErrorProfile(substitution=1.0, insertion=0.0, deletion=1.0)
+        sub, ins, dele = profile.split(0.2)
+        assert sub == pytest.approx(0.1)
+        assert ins == 0.0
+        assert dele == pytest.approx(0.1)
+
+
+class TestApplyErrors:
+    def test_zero_error_is_identity(self):
+        codes = encode("ACGT" * 100)
+        result = apply_errors(codes, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(result.codes, codes)
+        assert result.n_errors == 0
+
+    def test_full_deletion(self):
+        codes = encode("ACGT" * 10)
+        profile = ErrorProfile(substitution=0.0, insertion=0.0, deletion=1.0)
+        result = apply_errors(codes, 1.0, np.random.default_rng(0), profile)
+        assert result.codes.size == 0
+        assert result.n_deletions == codes.size
+
+    def test_substitutions_always_change_base(self):
+        codes = encode("A" * 2000)
+        profile = ErrorProfile(substitution=1.0, insertion=0.0, deletion=0.0)
+        result = apply_errors(codes, 1.0, np.random.default_rng(1), profile)
+        assert result.codes.size == codes.size
+        assert not np.any(result.codes == 0)  # every A substituted away
+
+    def test_insertions_grow_sequence(self):
+        codes = encode("ACGT" * 500)
+        profile = ErrorProfile(substitution=0.0, insertion=1.0, deletion=0.0)
+        result = apply_errors(codes, 0.5, np.random.default_rng(2), profile)
+        assert result.codes.size == codes.size + result.n_insertions
+        assert result.n_insertions > 0
+
+    def test_error_rate_statistics(self):
+        codes = np.random.default_rng(3).integers(0, 4, size=50_000).astype(np.uint8)
+        result = apply_errors(codes, 0.1, np.random.default_rng(4))
+        rate = result.n_errors / codes.size
+        assert 0.08 < rate < 0.12
+
+    def test_per_base_probability_vector(self):
+        n = 30_000
+        prob = np.zeros(n)
+        prob[: n // 2] = 0.3  # only the first half is error-prone
+        codes = np.random.default_rng(5).integers(0, 4, size=n).astype(np.uint8)
+        result = apply_errors(codes, prob, np.random.default_rng(6))
+        # All errors come from the first half; source_index proves it.
+        changed = result.source_index[
+            result.codes != codes[np.clip(result.source_index, 0, n - 1)]
+        ]
+        if changed.size:
+            assert changed.max() < n // 2 + 1
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            apply_errors(encode("ACGT"), 1.5, np.random.default_rng(0))
+
+    def test_source_index_is_monotonic(self):
+        codes = encode("ACGT" * 200)
+        result = apply_errors(codes, 0.2, np.random.default_rng(7))
+        assert np.all(np.diff(result.source_index) >= 0)
+
+    @given(st.floats(min_value=0.0, max_value=0.4), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_consistent(self, p, seed):
+        codes = np.random.default_rng(seed).integers(0, 4, size=500).astype(np.uint8)
+        result = apply_errors(codes, p, np.random.default_rng(seed + 1))
+        assert result.codes.size == codes.size - result.n_deletions + result.n_insertions
+        assert result.source_index.size == result.codes.size
+
+
+class TestIdentityFromQuality:
+    def test_high_quality_high_identity(self):
+        assert identity_from_quality([30.0] * 10) == pytest.approx(0.999)
+
+    def test_q10_is_90_percent(self):
+        assert identity_from_quality([10.0]) == pytest.approx(0.9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            identity_from_quality([])

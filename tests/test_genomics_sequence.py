@@ -1,0 +1,119 @@
+"""Tests for the Sequence value type and reference genomes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genomics import Sequence
+from repro.genomics.alphabet import decode, reverse_complement
+from repro.genomics.reference import ReferenceGenome
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=120)
+
+
+class TestSequence:
+    def test_upper_cases(self):
+        assert Sequence("acgt").bases == "ACGT"
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            Sequence("ACGN")
+
+    def test_len_and_str(self):
+        s = Sequence("ACGTA")
+        assert len(s) == 5
+        assert str(s) == "ACGTA"
+
+    def test_slicing_returns_sequence(self):
+        s = Sequence("ACGTA", name="x")
+        assert isinstance(s[1:3], Sequence)
+        assert s[1:3].bases == "CG"
+        assert s[1:3].name == "x"
+
+    def test_codes_roundtrip(self):
+        s = Sequence("ACGGT")
+        assert decode(s.codes()) == "ACGGT"
+
+    @given(dna)
+    def test_reverse_complement_matches_alphabet(self, seq):
+        assert Sequence(seq).reverse_complement().bases == reverse_complement(seq)
+
+    def test_gc_content(self):
+        assert Sequence("GGCC").gc_content() == 1.0
+        assert Sequence("AATT").gc_content() == 0.0
+        assert Sequence("").gc_content() == 0.0
+
+    def test_kmers(self):
+        assert list(Sequence("ACGT").kmers(2)) == ["AC", "CG", "GT"]
+
+    def test_kmers_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            list(Sequence("ACGT").kmers(0))
+
+    def test_equality_ignores_name(self):
+        assert Sequence("ACG", name="a") == Sequence("ACG", name="b")
+
+
+class TestReferenceGenome:
+    def test_random_is_deterministic(self):
+        a = ReferenceGenome.random(5_000, seed=3)
+        b = ReferenceGenome.random(5_000, seed=3)
+        np.testing.assert_array_equal(a.codes, b.codes)
+
+    def test_random_differs_across_seeds(self):
+        a = ReferenceGenome.random(5_000, seed=3)
+        b = ReferenceGenome.random(5_000, seed=4)
+        assert not np.array_equal(a.codes, b.codes)
+
+    def test_length(self):
+        assert len(ReferenceGenome.random(1234, seed=0)) == 1234
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome.random(0, seed=0)
+
+    def test_fetch_forward(self):
+        ref = ReferenceGenome.from_string("ACGTACGT")
+        np.testing.assert_array_equal(ref.fetch(2, 6), [2, 3, 0, 1])
+
+    def test_fetch_reverse_is_revcomp(self):
+        ref = ReferenceGenome.from_string("ACGTACGT")
+        fwd = ref.fetch_bases(1, 5)
+        rev = ref.fetch_bases(1, 5, strand=-1)
+        assert rev == reverse_complement(fwd)
+
+    def test_fetch_bounds_checked(self):
+        ref = ReferenceGenome.from_string("ACGT")
+        with pytest.raises(ValueError):
+            ref.fetch(0, 5)
+        with pytest.raises(ValueError):
+            ref.fetch(-1, 2)
+
+    def test_fetch_bad_strand(self):
+        ref = ReferenceGenome.from_string("ACGT")
+        with pytest.raises(ValueError):
+            ref.fetch(0, 2, strand=0)
+
+    def test_codes_are_immutable(self):
+        ref = ReferenceGenome.random(100, seed=0)
+        with pytest.raises(ValueError):
+            ref.codes[0] = 1
+
+    def test_repeats_planted(self):
+        # With a high repeat fraction, some 100-mers must occur twice.
+        ref = ReferenceGenome.random(30_000, seed=5, repeat_fraction=0.3, repeat_unit=300)
+        text = ref.bases
+        probe = text[:100]
+        plain = ReferenceGenome.random(30_000, seed=5, repeat_fraction=0.0)
+        # The repeat-planted genome has strictly fewer distinct 64-mers.
+        def distinct_kmers(s, k=64, step=17):
+            return len({s[i : i + k] for i in range(0, len(s) - k, step)})
+
+        assert distinct_kmers(text) <= distinct_kmers(plain.bases)
+
+    def test_gc_content_parameter(self):
+        ref = ReferenceGenome.random(30_000, seed=1, gc_content=0.7)
+        bases = ref.bases
+        gc = (bases.count("G") + bases.count("C")) / len(bases)
+        assert 0.65 < gc < 0.75

@@ -1,0 +1,245 @@
+"""Tests for affine-gap alignment, CIGARs, and edit distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.alphabet import encode
+from repro.genomics.mutate import apply_errors
+from repro.genomics.reference import ReferenceGenome
+from repro.mapping.alignment import (
+    AlignmentConfig,
+    align_banded,
+    align_chain,
+    cigar_to_string,
+)
+from repro.mapping.edit_distance import edit_distance, identity
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=60)
+CFG = AlignmentConfig()
+
+
+def _dp_edit_distance(a: str, b: str) -> int:
+    """Reference O(nm) Levenshtein for the oracle tests."""
+    n, m = len(a), len(b)
+    prev = list(range(m + 1))
+    for i in range(1, n + 1):
+        cur = [i] + [0] * m
+        for j in range(1, m + 1):
+            cur[j] = min(
+                prev[j - 1] + (a[i - 1] != b[j - 1]),
+                prev[j] + 1,
+                cur[j - 1] + 1,
+            )
+        prev = cur
+    return prev[m]
+
+
+class TestAlignBanded:
+    def test_identical(self):
+        result = align_banded(encode("ACGTACGT"), encode("ACGTACGT"), CFG)
+        assert cigar_to_string(result.cigar) == "8="
+        assert result.score == pytest.approx(16.0)
+        assert result.identity == 1.0
+
+    def test_single_mismatch(self):
+        result = align_banded(encode("ACGTACGT"), encode("ACGAACGT"), CFG)
+        assert result.n_mismatches == 1
+        assert result.n_matches == 7
+        assert result.score == pytest.approx(7 * 2 - 4)
+
+    def test_single_insertion(self):
+        result = align_banded(encode("ACGTACGT"), encode("ACGTTACGT"), CFG)
+        assert result.n_insertions == 1
+        assert result.score == pytest.approx(8 * 2 - 4 - 2)
+
+    def test_single_deletion(self):
+        result = align_banded(encode("ACGTACGT"), encode("ACGACGT"), CFG)
+        assert result.n_deletions == 1
+
+    def test_affine_prefers_one_long_gap(self):
+        # Affine gaps: one 3-base gap beats three scattered 1-base gaps.
+        result = align_banded(encode("AAACCCTTT"), encode("AAATTT"), CFG)
+        ops = [op for op, _ in result.cigar]
+        assert ops.count("D") == 1
+        assert dict(result.cigar).get("D") == 3
+
+    def test_empty_inputs(self):
+        assert align_banded(encode(""), encode(""), CFG).cigar == ()
+        result = align_banded(encode("ACG"), encode(""), CFG)
+        assert cigar_to_string(result.cigar) == "3D"
+        result = align_banded(encode(""), encode("ACG"), CFG)
+        assert cigar_to_string(result.cigar) == "3I"
+
+    def test_cigar_consumes_both_sequences(self):
+        a = encode("ACGTACGTACGTAAAA")
+        b = encode("ACGTACGGTACGTAA")
+        result = align_banded(a, b, CFG)
+        assert result.ref_consumed == a.size
+        assert result.read_consumed == b.size
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_cigar_consumption_property(self, a, b):
+        result = align_banded(encode(a), encode(b), CFG)
+        assert result.ref_consumed == len(a)
+        assert result.read_consumed == len(b)
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_score_symmetry(self, a, b):
+        # Swapping inputs preserves the optimal score (op composition
+        # may differ between equally-scoring alignments).
+        fwd = align_banded(encode(a), encode(b), CFG)
+        rev = align_banded(encode(b), encode(a), CFG)
+        assert fwd.score == pytest.approx(rev.score)
+        assert rev.ref_consumed == len(b)
+        assert rev.read_consumed == len(a)
+
+    @given(dna)
+    @settings(max_examples=40, deadline=None)
+    def test_self_alignment_perfect(self, a):
+        result = align_banded(encode(a), encode(a), CFG)
+        assert result.n_matches == len(a)
+        assert result.n_mismatches == result.n_insertions == result.n_deletions == 0
+
+    def test_wide_band_equals_unbanded(self):
+        rng = np.random.default_rng(10)
+        a = rng.integers(0, 4, size=120).astype(np.uint8)
+        b = apply_errors(a, 0.1, rng).codes
+        unbanded = align_banded(a, b, CFG)
+        banded = align_banded(a, b, CFG, band=80)
+        assert banded.score == pytest.approx(unbanded.score)
+
+    def test_narrow_band_lower_or_equal_score(self):
+        rng = np.random.default_rng(11)
+        a = rng.integers(0, 4, size=150).astype(np.uint8)
+        b = apply_errors(a, 0.15, rng).codes
+        unbanded = align_banded(a, b, CFG)
+        banded = align_banded(a, b, CFG, band=3)
+        assert banded.score <= unbanded.score + 1e-9
+
+    def test_score_matches_cigar_recount(self):
+        rng = np.random.default_rng(12)
+        a = rng.integers(0, 4, size=90).astype(np.uint8)
+        b = apply_errors(a, 0.12, rng).codes
+        result = align_banded(a, b, CFG)
+        recount = 0.0
+        for op, length in result.cigar:
+            if op == "=":
+                recount += CFG.match * length
+            elif op == "X":
+                recount += CFG.mismatch * length
+            elif op in ("I", "D"):
+                recount += CFG.gap_open + CFG.gap_extend * length
+        assert result.score == pytest.approx(recount)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AlignmentConfig(match=-1.0)
+        with pytest.raises(ValueError):
+            AlignmentConfig(mismatch=1.0)
+
+
+class TestAlignChain:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ref = ReferenceGenome.random(50_000, seed=13)
+        return ref
+
+    def _chain_for(self, ref, start, read_codes, k=13, spacing=40):
+        """Fabricate exact anchors between read and ref every `spacing` bases."""
+        anchors = []
+        for offset in range(0, read_codes.size - k, spacing):
+            anchors.append((start + offset, offset))
+        return np.array(anchors, dtype=np.int64)
+
+    def test_exact_read(self, setup):
+        ref = setup
+        read = ref.fetch(10_000, 12_000)
+        anchors = self._chain_for(ref, 10_000, read)
+        result, ref_start, ref_end = align_chain(ref.codes, read, anchors, 13, CFG)
+        assert result.n_mismatches == 0
+        assert result.n_matches == read.size
+        assert ref_start == 10_000
+        assert ref_end == 12_000
+
+    def test_noisy_read_identity(self, setup):
+        ref = setup
+        rng = np.random.default_rng(14)
+        true = ref.fetch(20_000, 24_000)
+        noisy = apply_errors(true, 0.1, rng)
+        # Anchor only where source positions are exact (no errors nearby):
+        # easier to just use true positions of sampled exact 13-mers.
+        anchors = []
+        src = noisy.source_index
+        for offset in range(0, noisy.codes.size - 13, 60):
+            window_src = src[offset : offset + 13]
+            if window_src[-1] - window_src[0] == 12 and np.array_equal(
+                noisy.codes[offset : offset + 13],
+                true[window_src[0] : window_src[0] + 13],
+            ):
+                anchors.append((20_000 + int(window_src[0]), offset))
+        anchors = np.array(anchors, dtype=np.int64)
+        assert anchors.shape[0] > 10
+        result, _, _ = align_chain(ref.codes, noisy.codes, anchors, 13, CFG)
+        assert result.identity > 0.82
+        assert result.read_consumed == noisy.codes.size
+
+    def test_empty_chain_rejected(self, setup):
+        with pytest.raises(ValueError):
+            align_chain(setup.codes, encode("ACGT"), np.empty((0, 2), dtype=np.int64), 13, CFG)
+
+    def test_long_tail_soft_clipped(self, setup):
+        ref = setup
+        matched = ref.fetch(30_000, 31_000)
+        junk = np.random.default_rng(15).integers(0, 4, size=2_000).astype(np.uint8)
+        read = np.concatenate([matched, junk])
+        anchors = self._chain_for(ref, 30_000, matched)
+        config = AlignmentConfig(max_end_extension=100)
+        result, _, _ = align_chain(ref.codes, read, anchors, 13, config)
+        assert result.n_clipped >= 2_000 - 100
+        assert result.read_consumed == read.size
+
+
+class TestEditDistance:
+    def test_known_values(self):
+        assert edit_distance("ACGT", "ACGT") == 0
+        assert edit_distance("ACGT", "ACGA") == 1
+        assert edit_distance("ACGT", "ACG") == 1
+        assert edit_distance("", "ACG") == 3
+        assert edit_distance("ACG", "") == 3
+
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_reference_dp(self, a, b):
+        assert edit_distance(a, b) == _dp_edit_distance(a, b)
+
+    def test_long_sequences_use_row_dp(self):
+        rng = np.random.default_rng(16)
+        a = rng.integers(0, 4, size=300).astype(np.uint8)
+        b = apply_errors(a, 0.1, rng).codes
+        d = edit_distance(a, b)
+        assert 0 < d < 100
+
+    def test_long_vs_short_mixed_paths(self):
+        # One side > 64 triggers the Myers pattern/text swap.
+        a = "ACGT" * 10  # 40
+        b = "ACGT" * 30  # 120
+        assert edit_distance(a, b) == 80
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(dna, dna, dna)
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    def test_identity_helper(self):
+        assert identity("ACGT", "ACGT") == 1.0
+        assert identity("", "") == 1.0
+        assert identity("ACGT", "") == 0.0

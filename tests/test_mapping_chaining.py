@@ -1,0 +1,190 @@
+"""Tests for seeding and the chaining DP."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import alphabet
+from repro.genomics.mutate import apply_errors
+from repro.genomics.reference import ReferenceGenome
+from repro.mapping.chaining import Chain, ChainingConfig, best_chain, chain_anchors, chain_scores
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.minimizers import MinimizerConfig
+from repro.mapping.seeding import collect_anchor_arrays, collect_anchors
+
+CFG = ChainingConfig(kmer_size=13)
+
+
+@pytest.fixture(scope="module")
+def ref_index():
+    ref = ReferenceGenome.random(120_000, seed=6)
+    return MinimizerIndex.build(ref, MinimizerConfig(k=13, w=10))
+
+
+class TestSeeding:
+    def test_exact_read_anchors_on_diagonal(self, ref_index):
+        ref = ref_index.reference
+        read = ref.fetch(30_000, 33_000)
+        grouped = collect_anchor_arrays(ref_index, read)
+        fwd = grouped[1]
+        assert fwd.shape[0] > 50
+        # Exact substring: ref_pos - read_pos == 30_000 for true anchors
+        # (planted repeats legitimately add a minority of off-diagonal hits).
+        diagonal = fwd[:, 0] - fwd[:, 1]
+        assert (diagonal == 30_000).mean() > 0.6
+        values, counts = np.unique(diagonal, return_counts=True)
+        assert values[np.argmax(counts)] == 30_000
+
+    def test_reverse_read_anchors(self, ref_index):
+        ref = ref_index.reference
+        read = ref.fetch(40_000, 43_000, strand=-1)
+        grouped = collect_anchor_arrays(ref_index, read, read_length=read.size)
+        rev = grouped[-1]
+        assert rev.shape[0] > 50
+        diagonal = rev[:, 0] - rev[:, 1]
+        # After coordinate flip all true anchors share one diagonal.
+        values, counts = np.unique(diagonal, return_counts=True)
+        assert counts.max() / rev.shape[0] > 0.9
+
+    def test_offset_coordinates(self, ref_index):
+        """Chunk seeding with read_offset lands on global coordinates."""
+        ref = ref_index.reference
+        read = ref.fetch(50_000, 53_000)
+        whole = collect_anchor_arrays(ref_index, read)[1]
+        part = collect_anchor_arrays(
+            ref_index, read[1_000:2_000], read_offset=1_000, read_length=3_000
+        )[1]
+        whole_set = {tuple(row) for row in whole.tolist()}
+        part_set = {tuple(row) for row in part.tolist()}
+        # Chunk anchors away from boundaries must appear in whole-read anchors.
+        interior = {t for t in part_set if 1_020 <= t[1] <= 1_980}
+        assert interior <= whole_set
+
+    def test_junk_read_few_anchors(self, ref_index):
+        junk = np.random.default_rng(7).integers(0, 4, size=3_000).astype(np.uint8)
+        anchors = collect_anchors(ref_index, junk)
+        # Random 13-mers rarely hit the index.
+        assert len(anchors) < 20
+
+    def test_object_api(self, ref_index):
+        ref = ref_index.reference
+        anchors = collect_anchors(ref_index, ref.fetch(10_000, 11_000))
+        assert all(a.strand in (1, -1) for a in anchors)
+
+
+class TestChainScores:
+    def test_empty(self):
+        scores, parents = chain_scores(np.empty((0, 2), dtype=np.int64), CFG)
+        assert scores.size == 0
+
+    def test_single_anchor(self):
+        scores, parents = chain_scores(np.array([[100, 10]], dtype=np.int64), CFG)
+        assert scores[0] == CFG.kmer_size
+        assert parents[0] == -1
+
+    def test_perfect_colinear_chain(self):
+        # Anchors every 20 bases on one diagonal chain end-to-end.
+        n = 50
+        anchors = np.stack(
+            [1_000 + 20 * np.arange(n), 100 + 20 * np.arange(n)], axis=1
+        ).astype(np.int64)
+        scores, parents = chain_scores(anchors, CFG)
+        # Each link adds min(20, 20, k) = k with no gap cost.
+        assert scores[-1] == pytest.approx(CFG.kmer_size * n)
+        # Parents form one chain.
+        chain_len = 1
+        node = n - 1
+        while parents[node] != -1:
+            node = parents[node]
+            chain_len += 1
+        assert chain_len == n
+
+    def test_diagonal_drift_penalised(self):
+        straight = np.array([[0, 0], [100, 100]], dtype=np.int64)
+        drifted = np.array([[0, 0], [100, 160]], dtype=np.int64)
+        s_straight, _ = chain_scores(straight, CFG)
+        s_drifted, _ = chain_scores(drifted, CFG)
+        assert s_straight[1] > s_drifted[1]
+
+    def test_max_gap_breaks_chain(self):
+        anchors = np.array([[0, 0], [10_000, 10_000]], dtype=np.int64)
+        scores, parents = chain_scores(anchors, ChainingConfig(kmer_size=13, max_gap=5_000))
+        assert parents[1] == -1
+
+    def test_monotonicity_required(self):
+        # Second anchor goes backwards on the read axis: cannot chain.
+        anchors = np.array([[0, 50], [100, 10]], dtype=np.int64)
+        scores, parents = chain_scores(anchors, CFG)
+        assert parents[1] == -1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChainingConfig(kmer_size=0)
+        with pytest.raises(ValueError):
+            ChainingConfig(max_gap=0)
+
+
+class TestChainExtraction:
+    def test_extracts_primary(self):
+        n = 30
+        anchors = np.stack(
+            [1_000 + 25 * np.arange(n), 25 * np.arange(n)], axis=1
+        ).astype(np.int64)
+        chains = chain_anchors(anchors, CFG)
+        assert len(chains) == 1
+        assert chains[0].n_anchors == n
+        assert chains[0].ref_span == (1_000, 1_000 + 25 * (n - 1))
+
+    def test_min_score_threshold(self):
+        anchors = np.array([[0, 0], [20, 20]], dtype=np.int64)
+        chains = chain_anchors(anchors, ChainingConfig(kmer_size=13, min_chain_score=1e9))
+        assert chains == []
+
+    def test_two_loci_two_chains(self):
+        n = 25
+        locus_a = np.stack([1_000 + 20 * np.arange(n), 20 * np.arange(n)], axis=1)
+        locus_b = np.stack([50_000 + 20 * np.arange(n), 20 * np.arange(n)], axis=1)
+        anchors = np.concatenate([locus_a, locus_b]).astype(np.int64)
+        order = np.lexsort((anchors[:, 1], anchors[:, 0]))
+        chains = chain_anchors(anchors[order], CFG, max_chains=5)
+        assert len(chains) == 2
+        spans = sorted(c.ref_span[0] for c in chains)
+        assert spans[0] < 2_000 and spans[1] > 49_000
+
+    def test_best_chain_picks_secondary_at_other_locus(self):
+        n = 25
+        locus_a = np.stack([1_000 + 20 * np.arange(n), 20 * np.arange(n)], axis=1)
+        locus_b = np.stack([50_000 + 20 * np.arange(n // 2), 20 * np.arange(n // 2)], axis=1)
+        anchors = np.concatenate([locus_a, locus_b]).astype(np.int64)
+        order = np.lexsort((anchors[:, 1], anchors[:, 0]))
+        primary, secondary = best_chain({1: anchors[order], -1: np.empty((0, 2), np.int64)}, CFG)
+        assert primary is not None and secondary is not None
+        assert primary.score > secondary.score
+        assert primary.ref_span[0] < 2_000
+        assert secondary.ref_span[0] > 49_000
+
+    def test_best_chain_none_when_empty(self):
+        primary, secondary = best_chain(
+            {1: np.empty((0, 2), np.int64), -1: np.empty((0, 2), np.int64)}, CFG
+        )
+        assert primary is None and secondary is None
+
+
+class TestEndToEndChaining:
+    def test_noisy_read_chains_to_true_locus(self, ref_index):
+        ref = ref_index.reference
+        rng = np.random.default_rng(8)
+        true = ref.fetch(70_000, 76_000)
+        noisy = apply_errors(true, 0.12, rng).codes
+        grouped = collect_anchor_arrays(ref_index, noisy)
+        primary, _ = best_chain(grouped, CFG)
+        assert primary is not None
+        assert primary.strand == 1
+        lo, hi = primary.ref_span
+        assert abs(lo - 70_000) < 500
+        assert abs(hi - 76_000) < 500
+
+    def test_junk_read_has_no_chain(self, ref_index):
+        junk = np.random.default_rng(9).integers(0, 4, size=6_000).astype(np.uint8)
+        grouped = collect_anchor_arrays(ref_index, junk)
+        primary, _ = best_chain(grouped, CFG)
+        assert primary is None or primary.score < 60

@@ -1,0 +1,136 @@
+"""Tests for minimizer extraction and the reference index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics.alphabet import encode, reverse_complement
+from repro.genomics.reference import ReferenceGenome
+from repro.mapping.minimizers import (
+    MinimizerConfig,
+    _mix64,
+    _revcomp_packed,
+    extract_minimizers,
+    minimizer_arrays,
+)
+from repro.mapping.index import MinimizerIndex
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=400)
+CFG = MinimizerConfig(k=13, w=10)
+
+
+class TestHash:
+    def test_mix64_deterministic(self):
+        x = np.array([1, 2, 3], dtype=np.uint64)
+        np.testing.assert_array_equal(_mix64(x), _mix64(x))
+
+    def test_mix64_injective_sample(self):
+        x = np.arange(100_000, dtype=np.uint64)
+        assert np.unique(_mix64(x)).size == x.size
+
+    def test_revcomp_packed_matches_string(self):
+        from repro.genomics.alphabet import kmer_to_int
+
+        for kmer in ("ACGTACGTACGTA", "AAAAAAAAAAAAA", "GGGGGCCCCCTTT"):
+            packed = np.array([kmer_to_int(kmer)], dtype=np.uint64)
+            expected = kmer_to_int(reverse_complement(kmer))
+            assert int(_revcomp_packed(packed, len(kmer))[0]) == expected
+
+    @given(st.text(alphabet="ACGT", min_size=13, max_size=13))
+    @settings(max_examples=100)
+    def test_revcomp_packed_property(self, kmer):
+        from repro.genomics.alphabet import kmer_to_int
+
+        packed = np.array([kmer_to_int(kmer)], dtype=np.uint64)
+        assert int(_revcomp_packed(packed, 13)[0]) == kmer_to_int(reverse_complement(kmer))
+
+
+class TestMinimizerExtraction:
+    def test_short_sequence_no_kmers(self):
+        keys, positions, strands = minimizer_arrays(encode("ACGT"), CFG)
+        assert keys.size == positions.size == strands.size == 0
+
+    def test_sequence_shorter_than_window(self):
+        seq = encode("ACGTACGTACGTACGTAC")  # 18 bases, 6 k-mers < w
+        keys, positions, _ = minimizer_arrays(seq, CFG)
+        assert keys.size == 1  # one global minimum
+
+    def test_positions_sorted_unique(self):
+        seq = ReferenceGenome.random(5_000, seed=1).codes
+        _, positions, _ = minimizer_arrays(seq, CFG)
+        assert np.all(np.diff(positions) > 0)
+
+    def test_window_coverage_invariant(self):
+        """Every w-window of k-mers contains at least one minimizer."""
+        seq = ReferenceGenome.random(3_000, seed=2).codes
+        _, positions, _ = minimizer_arrays(seq, CFG)
+        covered = np.zeros(seq.size - CFG.k + 1, dtype=bool)
+        covered[positions] = True
+        n_windows = seq.size - CFG.k + 1 - CFG.w + 1
+        for w_start in range(n_windows):
+            assert covered[w_start : w_start + CFG.w].any()
+
+    def test_density_near_expected(self):
+        """Minimizer density approximates 2/(w+1)."""
+        seq = ReferenceGenome.random(50_000, seed=3).codes
+        _, positions, _ = minimizer_arrays(seq, CFG)
+        density = positions.size / seq.size
+        expected = 2.0 / (CFG.w + 1)
+        assert expected * 0.8 < density < expected * 1.2
+
+    def test_strand_symmetry(self):
+        """A sequence and its revcomp share the same minimizer keys."""
+        seq = ReferenceGenome.random(2_000, seed=4).codes
+        keys_fwd, _, _ = minimizer_arrays(seq, CFG)
+        keys_rev, _, _ = minimizer_arrays(reverse_complement(seq), CFG)
+        assert set(keys_fwd.tolist()) == set(keys_rev.tolist())
+
+    @given(dna)
+    @settings(max_examples=40, deadline=None)
+    def test_extract_consistent_with_arrays(self, seq):
+        codes = encode(seq)
+        objs = extract_minimizers(codes, CFG)
+        keys, positions, strands = minimizer_arrays(codes, CFG)
+        assert [m.position for m in objs] == positions.tolist()
+        assert [m.key for m in objs] == keys.tolist()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MinimizerConfig(k=3)
+        with pytest.raises(ValueError):
+            MinimizerConfig(w=0)
+
+
+class TestMinimizerIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return MinimizerIndex.build(ReferenceGenome.random(60_000, seed=5), CFG)
+
+    def test_lookup_roundtrip(self, index):
+        """Every indexed key's positions really carry that minimizer."""
+        ref = index.reference
+        keys, positions, _ = minimizer_arrays(ref.codes, CFG)
+        for key, pos in list(zip(keys.tolist(), positions.tolist()))[:200]:
+            entry = index.lookup(key)
+            if entry is not None:  # may have been dropped as repetitive
+                assert pos in entry.positions.tolist()
+
+    def test_missing_key(self, index):
+        assert index.lookup(0xDEADBEEF12345) is None
+        assert 0xDEADBEEF12345 not in index
+
+    def test_len_and_locations(self, index):
+        assert len(index) > 1000
+        assert index.n_locations() >= len(index)
+
+    def test_max_occurrences_filter(self):
+        # A pure repeat genome: its few minimizer keys recur thousands of
+        # times and must be dropped by the occurrence filter.
+        repeat = ReferenceGenome.from_string("ACGGT" * 4_000)
+        index = MinimizerIndex.build(repeat, CFG, max_occurrences=16)
+        assert index.n_locations() == 0
+
+    def test_contains(self, index):
+        some_key = next(iter(index.keys()))
+        assert some_key in index

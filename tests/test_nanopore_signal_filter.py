@@ -1,0 +1,144 @@
+"""Tests for the basecalling-free signal pre-filter (sDTW)."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.reference import ReferenceGenome
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal import SignalConfig, synthesize_signal
+from repro.nanopore.signal_filter import (
+    SignalPrefilter,
+    subsequence_dtw,
+    znormalise,
+)
+
+
+@pytest.fixture(scope="module")
+def pore():
+    return PoreModel.synthetic(k=5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return ReferenceGenome.random(60_000, seed=31)
+
+
+class TestZNormalise:
+    def test_zero_mean_unit_std(self):
+        z = znormalise(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.std() == pytest.approx(1.0)
+
+    def test_constant_input(self):
+        np.testing.assert_array_equal(znormalise(np.full(5, 3.0)), np.zeros(5))
+
+    def test_empty(self):
+        assert znormalise(np.empty(0)).size == 0
+
+    def test_gain_offset_invariance(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0])
+        np.testing.assert_allclose(znormalise(x), znormalise(3.0 * x + 10.0), atol=1e-12)
+
+
+class TestSubsequenceDTW:
+    def test_exact_subsequence_is_cheap(self):
+        # An iid reference keeps slice statistics close to global ones,
+        # so the z-normalised exact subsequence costs nearly nothing.
+        rng = np.random.default_rng(0)
+        reference = rng.normal(size=400)
+        query = reference[100:200]
+        assert subsequence_dtw(query, reference) < 0.01
+
+    def test_mismatched_query_costs_more(self):
+        rng = np.random.default_rng(0)
+        reference = rng.normal(size=300)
+        matched = reference[30:130]
+        junk = rng.normal(size=100)
+        assert subsequence_dtw(junk, reference) > 3 * subsequence_dtw(matched, reference)
+
+    def test_warping_tolerated(self):
+        # Stretch the query 2x: DTW should still find a cheap match.
+        rng = np.random.default_rng(1)
+        reference = rng.normal(size=300)
+        stretched = np.repeat(reference[40:120], 2)
+        assert subsequence_dtw(stretched, reference) < 0.05
+
+    def test_empty_query(self):
+        assert subsequence_dtw(np.empty(0), np.ones(10)) == 0.0
+
+    def test_empty_reference(self):
+        assert subsequence_dtw(np.ones(5), np.empty(0)) == float("inf")
+
+    def test_band_is_a_restriction(self):
+        # Banding only removes paths, so cost can never decrease.
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=200)
+        query = reference[50:120]
+        unbanded = subsequence_dtw(query, reference)
+        banded = subsequence_dtw(query, reference, band=20)
+        assert banded >= unbanded - 1e-12
+
+    def test_cost_normalised_by_length(self):
+        rng = np.random.default_rng(3)
+        reference = rng.normal(size=300)
+        short = subsequence_dtw(rng.normal(size=40), reference)
+        long = subsequence_dtw(rng.normal(size=120), reference)
+        # Per-sample normalisation keeps costs on one scale.
+        assert 0.05 < short < 10.0
+        assert 0.05 < long < 10.0
+
+
+class TestSignalPrefilter:
+    @pytest.fixture(scope="class")
+    def setup(self, pore, reference):
+        # Templates covering three known segments.
+        starts = [5_000, 20_000, 40_000]
+        prefilter = SignalPrefilter.from_reference_segments(
+            pore, reference.codes, starts, segment_bases=250
+        )
+        config = SignalConfig(dwell_mean=4.0, dwell_min=2, noise_std=1.5)
+        return prefilter, config, starts
+
+    def test_template_count(self, setup, pore, reference):
+        prefilter, _, starts = setup
+        assert prefilter.n_templates == len(starts)
+
+    def test_genomic_prefix_accepted(self, setup, pore, reference):
+        prefilter, config, starts = setup
+        signal = synthesize_signal(
+            reference.fetch(starts[1], starts[1] + 400), pore, config, np.random.default_rng(2)
+        )
+        decision = prefilter.classify_signal(signal, prefix_bases=150)
+        assert decision.accept
+        assert decision.best_cost < decision.threshold
+
+    def test_junk_prefix_rejected(self, setup, pore):
+        prefilter, config, _ = setup
+        junk_codes = np.random.default_rng(3).integers(0, 4, 400).astype(np.uint8)
+        signal = synthesize_signal(junk_codes, pore, config, np.random.default_rng(4))
+        decision = prefilter.classify_signal(signal, prefix_bases=150)
+        assert not decision.accept
+
+    def test_junk_rejection_rate(self, setup, pore):
+        """Most random-signal reads are rejected without basecalling."""
+        prefilter, config, _ = setup
+        rejected = 0
+        for seed in range(10):
+            junk = np.random.default_rng(100 + seed).integers(0, 4, 350).astype(np.uint8)
+            signal = synthesize_signal(junk, pore, config, np.random.default_rng(200 + seed))
+            if not prefilter.classify_signal(signal, prefix_bases=120).accept:
+                rejected += 1
+        assert rejected >= 8
+
+    def test_empty_signal_rejected(self, setup):
+        prefilter, _, _ = setup
+        from repro.nanopore.signal import RawSignal
+
+        empty = RawSignal(samples=np.empty(0, np.float32), base_starts=np.empty(0, np.int64))
+        assert not prefilter.classify_signal(empty).accept
+
+    def test_validation(self, pore):
+        with pytest.raises(ValueError):
+            SignalPrefilter(pore, templates=[])
+        with pytest.raises(ValueError):
+            SignalPrefilter(pore, templates=[np.ones(10)], threshold=0.0)

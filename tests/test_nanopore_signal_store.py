@@ -1,0 +1,107 @@
+"""Tests for the binary raw-signal store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
+from repro.nanopore.signal_store import (
+    SignalRecord,
+    quantisation_step,
+    read_signals,
+    write_signals,
+)
+
+
+def _random_signal(n_bases: int, seed: int) -> RawSignal:
+    pore = PoreModel.synthetic(k=5)
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 4, size=n_bases).astype(np.uint8)
+    return synthesize_signal(codes, pore, SignalConfig(), rng)
+
+
+class TestRoundTrip:
+    def test_single_record(self, tmp_path):
+        signal = _random_signal(200, 1)
+        path = tmp_path / "one.rsig"
+        size = write_signals(path, [SignalRecord("read-1", signal)])
+        assert size > signal.samples.size  # int16 payload + metadata
+        back = read_signals(path)
+        assert len(back) == 1
+        assert back[0].read_id == "read-1"
+        np.testing.assert_array_equal(back[0].signal.base_starts, signal.base_starts)
+        step = quantisation_step(signal.samples)
+        np.testing.assert_allclose(
+            back[0].signal.samples, signal.samples, atol=step + 1e-6
+        )
+
+    def test_many_records(self, tmp_path):
+        records = [SignalRecord(f"r{i}", _random_signal(100 + i, i)) for i in range(6)]
+        path = tmp_path / "many.rsig"
+        write_signals(path, records)
+        back = read_signals(path)
+        assert [r.read_id for r in back] == [r.read_id for r in records]
+        for original, restored in zip(records, back):
+            assert restored.signal.n_bases == original.signal.n_bases
+
+    def test_empty_store(self, tmp_path):
+        path = tmp_path / "empty.rsig"
+        write_signals(path, [])
+        assert read_signals(path) == []
+
+    def test_empty_signal_record(self, tmp_path):
+        empty = RawSignal(samples=np.empty(0, np.float32), base_starts=np.empty(0, np.int64))
+        path = tmp_path / "zero.rsig"
+        write_signals(path, [SignalRecord("empty", empty)])
+        back = read_signals(path)
+        assert back[0].signal.samples.size == 0
+
+    @given(
+        n_bases=st.integers(min_value=6, max_value=400),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, n_bases, seed, tmp_path_factory):
+        signal = _random_signal(n_bases, seed)
+        path = tmp_path_factory.mktemp("rsig") / "prop.rsig"
+        write_signals(path, [SignalRecord("p", signal)])
+        restored = read_signals(path)[0].signal
+        step = quantisation_step(signal.samples)
+        assert np.abs(restored.samples - signal.samples).max() <= step + 1e-6
+
+
+class TestFormatValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rsig"
+        path.write_bytes(b"NOPE" + b"\x00" * 10)
+        with pytest.raises(ValueError, match="magic"):
+            read_signals(path)
+
+    def test_bad_version(self, tmp_path):
+        import struct
+
+        path = tmp_path / "v9.rsig"
+        path.write_bytes(b"RSIG" + struct.pack("<HI", 9, 0))
+        with pytest.raises(ValueError, match="version"):
+            read_signals(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path = tmp_path / "trail.rsig"
+        write_signals(path, [])
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(ValueError, match="trailing"):
+            read_signals(path)
+
+
+class TestVolumeAccounting:
+    def test_bytes_per_base_in_modelled_range(self, tmp_path):
+        """The store's footprint matches the movement model's
+        raw-signal volume assumption (~order 10 bytes/base)."""
+        signal = _random_signal(2_000, 3)
+        path = tmp_path / "vol.rsig"
+        size = write_signals(path, [SignalRecord("v", signal)])
+        bytes_per_base = size / signal.n_bases
+        # 2 B/sample x ~6 samples/base + 4 B/base of index = ~16 B/base.
+        assert 8.0 < bytes_per_base < 25.0
