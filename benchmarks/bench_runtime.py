@@ -1,0 +1,75 @@
+"""Throughput of the sharded runtime: serial vs. multi-worker reads/sec.
+
+Runs the full-ER pipeline over the ecoli-like bench context through
+:class:`~repro.runtime.engine.DatasetEngine` at 1, 2, and 4 workers.
+The interesting trajectory numbers are ``reads_per_sec`` (in each
+bench's ``extra_info``) and the worker-scaling summary printed by
+``test_worker_scaling_summary``: on a multi-core box the 4-worker run
+should clear >= 1.5x serial throughput, since reads are independent and
+the only serial work left is dataset pickling and the ordered merge.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import GenPIP
+from repro.experiments.context import get_context
+from repro.runtime import DatasetEngine
+
+pytestmark = pytest.mark.bench
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def runtime_context(bench_scale, bench_seed):
+    context = get_context("ecoli-like", scale=bench_scale, seed=bench_seed)
+    context.index  # force index construction outside the timed region
+    return context
+
+
+@pytest.fixture(scope="module")
+def runtime_system(runtime_context):
+    return GenPIP(runtime_context.index, runtime_context.base_config(), align=False)
+
+
+def _run(system, dataset, workers):
+    engine = DatasetEngine(system.pipeline, workers=workers)
+    report = engine.run(dataset)
+    return report, engine.last_stats
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_runtime_throughput(benchmark, runtime_system, runtime_context, workers):
+    dataset = runtime_context.dataset
+    report, stats = benchmark.pedantic(
+        _run, args=(runtime_system, dataset, workers), rounds=3, iterations=1
+    )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["mode"] = stats.mode
+    benchmark.extra_info["reads"] = stats.n_reads
+    benchmark.extra_info["reads_per_sec"] = round(stats.reads_per_sec, 2)
+    assert report.n_reads == len(dataset)
+
+
+def test_worker_scaling_summary(runtime_system, runtime_context, capsys):
+    """One timed pass per worker count; prints the speedup table."""
+    dataset = runtime_context.dataset
+    throughput = {}
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        report, stats = _run(runtime_system, dataset, workers)
+        elapsed = time.perf_counter() - started
+        throughput[workers] = len(dataset) / elapsed
+        assert report.n_reads == len(dataset)
+    with capsys.disabled():
+        print("\nruntime worker scaling (ecoli-like bench context):")
+        for workers, rps in throughput.items():
+            print(
+                f"  workers={workers}: {rps:8.1f} reads/s "
+                f"(speedup x{rps / throughput[1]:.2f})"
+            )
+    assert all(rps > 0 for rps in throughput.values())

@@ -92,6 +92,16 @@ def main() -> None:
         f"basecalling work saved {report.basecall_savings:.0%}"
     )
 
+    # 5. Dataset-scale runs: shard reads across worker processes.
+    #    Reads are independent, so any worker count yields a report
+    #    identical to the serial run (same outcomes, order, counters) --
+    #    pass workers= to exploit every core on real datasets, or drive
+    #    runs from scripts/CI with `python -m repro.runtime`.
+    parallel_report = genpip.run(dataset, workers=2, batch_size=8)
+    assert parallel_report.outcomes == report.outcomes
+    print(f"\nparallel run (workers=2): identical report, "
+          f"{parallel_report.n_reads} reads, {parallel_report.mapped_ratio:.0%} mapped")
+
 
 if __name__ == "__main__":
     main()

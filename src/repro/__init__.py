@@ -13,6 +13,11 @@ Top-level entry points:
 >>> dataset = generate_dataset(ECOLI_LIKE, scale=0.001, seed=0)
 >>> index = MinimizerIndex.build(dataset.reference)
 >>> report = GenPIP(index, GenPIPConfig()).run(dataset)
+
+Dataset-scale runs shard reads across worker processes (identical
+report for any worker count; see :mod:`repro.runtime`):
+
+>>> report = GenPIP(index, GenPIPConfig()).run(dataset, workers=4)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

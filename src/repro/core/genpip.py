@@ -8,11 +8,18 @@ model (:mod:`repro.perf`) and the experiments consume: how many chunks
 were actually basecalled / seeded, how many reads each ER stage
 rejected, and -- with ground truth from the simulator -- the rejection
 and false-negative ratios of Figs. 12/13.
+
+Aggregate counters are accumulated incrementally in
+:class:`ReportCounters` (one pass at construction, exact integer sums),
+so shard-level reports produced by the parallel runtime
+(:mod:`repro.runtime`) combine via :meth:`GenPIPReport.merge` without
+re-walking every outcome.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -22,6 +29,59 @@ from repro.core.pipeline import GenPIPPipeline, ReadOutcome, ReadStatus
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import MapperConfig
 from repro.nanopore.datasets import Dataset
+
+
+@dataclass
+class ReportCounters:
+    """Exact integer aggregates over a set of read outcomes.
+
+    All fields are integer sums, so combining shard counters is
+    associative and lossless: a merged report's counters are identical
+    to the counters a sequential run would have produced.
+    """
+
+    n_reads: int = 0
+    total_chunks: int = 0
+    chunks_basecalled: int = 0
+    bases_basecalled: int = 0
+    total_bases: int = 0
+    chunks_seeded: int = 0
+    reads_aligned: int = 0
+    status_counts: dict[ReadStatus, int] = field(default_factory=dict)
+
+    def add(self, outcome: ReadOutcome) -> None:
+        """Fold one outcome into the running totals."""
+        self.n_reads += 1
+        self.total_chunks += outcome.n_chunks_total
+        self.chunks_basecalled += outcome.n_chunks_basecalled
+        self.bases_basecalled += outcome.n_bases_basecalled
+        self.total_bases += outcome.read_length
+        self.chunks_seeded += outcome.n_chunks_seeded
+        self.reads_aligned += int(outcome.aligned)
+        self.status_counts[outcome.status] = self.status_counts.get(outcome.status, 0) + 1
+
+    def combine(self, other: "ReportCounters") -> "ReportCounters":
+        """Elementwise sum with another counter set (shard merge)."""
+        status_counts = dict(self.status_counts)
+        for status, count in other.status_counts.items():
+            status_counts[status] = status_counts.get(status, 0) + count
+        return ReportCounters(
+            n_reads=self.n_reads + other.n_reads,
+            total_chunks=self.total_chunks + other.total_chunks,
+            chunks_basecalled=self.chunks_basecalled + other.chunks_basecalled,
+            bases_basecalled=self.bases_basecalled + other.bases_basecalled,
+            total_bases=self.total_bases + other.total_bases,
+            chunks_seeded=self.chunks_seeded + other.chunks_seeded,
+            reads_aligned=self.reads_aligned + other.reads_aligned,
+            status_counts=status_counts,
+        )
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Iterable[ReadOutcome]) -> "ReportCounters":
+        counters = cls()
+        for outcome in outcomes:
+            counters.add(outcome)
+        return counters
 
 
 @dataclass(frozen=True)
@@ -34,20 +94,54 @@ class GenPIPReport:
         Per-read terminal records, in dataset order.
     config:
         The pipeline configuration that produced them.
+    counters:
+        Incremental integer aggregates; computed from ``outcomes`` when
+        not supplied (shard merges supply pre-summed counters).
     """
 
     outcomes: list[ReadOutcome]
     config: GenPIPConfig
+    counters: ReportCounters | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.counters is None:
+            object.__setattr__(self, "counters", ReportCounters.from_outcomes(self.outcomes))
 
     def __len__(self) -> int:
         return len(self.outcomes)
 
     def count(self, status: ReadStatus) -> int:
-        return sum(o.status is status for o in self.outcomes)
+        return self.counters.status_counts.get(status, 0)
+
+    @classmethod
+    def merge(
+        cls,
+        reports: Sequence["GenPIPReport"],
+        config: GenPIPConfig | None = None,
+    ) -> "GenPIPReport":
+        """Concatenate shard reports in the given (shard) order.
+
+        Outcome order is the concatenation order, and counters are the
+        exact sums of the shard counters -- no outcome is re-walked. An
+        empty ``reports`` needs an explicit ``config``.
+        """
+        reports = list(reports)
+        if config is None:
+            if not reports:
+                raise ValueError("merging zero reports requires an explicit config")
+            config = reports[0].config
+        if any(report.config != config for report in reports):
+            raise ValueError("cannot merge reports produced by different configs")
+        outcomes: list[ReadOutcome] = []
+        counters = ReportCounters()
+        for report in reports:
+            outcomes.extend(report.outcomes)
+            counters = counters.combine(report.counters)
+        return cls(outcomes=outcomes, config=config, counters=counters)
 
     @property
     def n_reads(self) -> int:
-        return len(self.outcomes)
+        return self.counters.n_reads
 
     @property
     def qsr_rejection_ratio(self) -> float:
@@ -65,27 +159,27 @@ class GenPIPReport:
 
     @property
     def total_chunks(self) -> int:
-        return sum(o.n_chunks_total for o in self.outcomes)
+        return self.counters.total_chunks
 
     @property
     def chunks_basecalled(self) -> int:
-        return sum(o.n_chunks_basecalled for o in self.outcomes)
+        return self.counters.chunks_basecalled
 
     @property
     def bases_basecalled(self) -> int:
-        return sum(o.n_bases_basecalled for o in self.outcomes)
+        return self.counters.bases_basecalled
 
     @property
     def total_bases(self) -> int:
-        return sum(o.read_length for o in self.outcomes)
+        return self.counters.total_bases
 
     @property
     def chunks_seeded(self) -> int:
-        return sum(o.n_chunks_seeded for o in self.outcomes)
+        return self.counters.chunks_seeded
 
     @property
     def reads_aligned(self) -> int:
-        return sum(o.aligned for o in self.outcomes)
+        return self.counters.reads_aligned
 
     @property
     def basecall_savings(self) -> float:
@@ -141,7 +235,28 @@ class GenPIP:
         """Run one read through the pipeline."""
         return self._pipeline.process_read(read)
 
-    def run(self, dataset: Dataset) -> GenPIPReport:
-        """Process every read of a dataset."""
-        outcomes = [self._pipeline.process_read(read) for read in dataset.reads]
-        return GenPIPReport(outcomes=outcomes, config=self._config)
+    def run(
+        self,
+        dataset: Dataset,
+        *,
+        workers: int | None = None,
+        batch_size: int | None = None,
+    ) -> GenPIPReport:
+        """Process every read of a dataset.
+
+        Parameters
+        ----------
+        workers:
+            Worker processes to shard the reads across. ``None`` defers
+            to the ``GENPIP_WORKERS`` environment variable (default 1);
+            ``0``/``1`` run serially in-process. Reads are independent,
+            so any worker count produces a report identical to the
+            serial run (outcomes, order, and counters).
+        batch_size:
+            Reads per work unit handed to a worker (amortises IPC);
+            ``None`` picks a size from the dataset and worker count.
+        """
+        from repro.runtime.engine import DatasetEngine
+
+        engine = DatasetEngine(self._pipeline, workers=workers, batch_size=batch_size)
+        return engine.run(dataset)

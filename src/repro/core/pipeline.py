@@ -117,6 +117,27 @@ class GenPIPPipeline:
     def index(self) -> MinimizerIndex:
         return self._index
 
+    @property
+    def basecaller(self) -> SurrogateBasecaller:
+        return self._basecaller
+
+    @property
+    def mapper_config(self) -> MapperConfig:
+        return self._mapper_config
+
+    @property
+    def align(self) -> bool:
+        return self._align
+
+    def process_batch(self, reads: "list[SimulatedRead]") -> "list[ReadOutcome]":
+        """Process a batch of reads in order (one runtime work unit).
+
+        Reads are independent -- the pipeline keeps no cross-read state
+        -- so batching exists purely to amortise scheduling and IPC in
+        :mod:`repro.runtime`.
+        """
+        return [self.process_read(read) for read in reads]
+
     def process_read(self, read: SimulatedRead) -> ReadOutcome:
         """Run one read through CP (+ ER if enabled)."""
         cfg = self._config

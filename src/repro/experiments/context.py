@@ -29,13 +29,33 @@ DATASET_PARAMS = {"ecoli-like": ECOLI_PARAMS, "human-like": HUMAN_PARAMS}
 VARIANTS = ("conventional", "qsr_only", "full_er")
 
 
+def variant_config(config: GenPIPConfig, variant: str) -> GenPIPConfig:
+    """Apply an evaluation variant's ER switches to a base config."""
+    if variant == "conventional":
+        return config.conventional()
+    if variant == "qsr_only":
+        from dataclasses import replace
+
+        return replace(config, enable_cmr=False)
+    if variant == "full_er":
+        return config
+    raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+
+
 @dataclass
 class ExperimentContext:
-    """Lazily-built dataset, index, and cached pipeline runs."""
+    """Lazily-built dataset, index, and cached pipeline runs.
+
+    ``workers`` shards pipeline runs across processes via
+    :mod:`repro.runtime`; the parallel-equivalence invariant guarantees
+    cached reports are identical regardless of the setting, so it is
+    deliberately *not* part of the report cache key.
+    """
 
     profile_name: str = "ecoli-like"
     scale: float | None = None
     seed: int = 42
+    workers: int | None = None
 
     _dataset: Dataset | None = field(default=None, repr=False)
     _index: MinimizerIndex | None = field(default=None, repr=False)
@@ -66,16 +86,7 @@ class ExperimentContext:
         return DATASET_PARAMS[self.profile_name].with_chunk_size(chunk_size)
 
     def _variant_config(self, variant: str, chunk_size: int) -> GenPIPConfig:
-        config = self.base_config(chunk_size)
-        if variant == "conventional":
-            return config.conventional()
-        if variant == "qsr_only":
-            from dataclasses import replace
-
-            return replace(config, enable_cmr=False)
-        if variant == "full_er":
-            return config
-        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+        return variant_config(self.base_config(chunk_size), variant)
 
     def report(
         self, variant: str = "full_er", chunk_size: int = 300, align: bool = False
@@ -91,7 +102,7 @@ class ExperimentContext:
         if key not in self._reports:
             config = self._variant_config(variant, chunk_size)
             system = GenPIP(self.index, config, align=align)
-            self._reports[key] = system.run(self.dataset)
+            self._reports[key] = system.run(self.dataset, workers=self.workers)
         return self._reports[key]
 
     def workloads(self, chunk_size: int = 300) -> dict[str, PipelineWorkload]:
@@ -112,16 +123,26 @@ def resolve_scale(scale, profile_name: str) -> float | None:
     return scale.get(profile_name)
 
 
+_WORKERS_UNSET = object()
+
+
 def get_context(
-    profile_name: str = "ecoli-like", scale=None, seed: int = 42
+    profile_name: str = "ecoli-like", scale=None, seed: int = 42, workers=_WORKERS_UNSET
 ) -> ExperimentContext:
     """Process-wide memoised context (shared by experiments and benches).
 
     ``scale`` may be a float, ``None`` (preset default), or a dict
-    mapping profile names to scales.
+    mapping profile names to scales. ``workers`` (when passed,
+    including an explicit ``None`` to reset to serial) sets the shared
+    context's runtime parallelism for future *uncached* pipeline runs;
+    it is not part of the cache key because any worker count produces
+    identical reports.
     """
     scale = resolve_scale(scale, profile_name)
     key = (profile_name, scale, seed)
     if key not in _CONTEXTS:
         _CONTEXTS[key] = ExperimentContext(profile_name=profile_name, scale=scale, seed=seed)
-    return _CONTEXTS[key]
+    context = _CONTEXTS[key]
+    if workers is not _WORKERS_UNSET:
+        context.workers = workers
+    return context

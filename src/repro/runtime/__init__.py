@@ -1,0 +1,46 @@
+"""Dataset-scale execution runtime: sharded, parallel pipeline runs.
+
+GenPIP's reads are independent, so dataset throughput is an execution
+problem, not an algorithmic one. This package supplies the execution
+layer:
+
+* :mod:`repro.runtime.spec` -- :class:`PipelineSpec`, the picklable
+  per-worker pipeline factory;
+* :mod:`repro.runtime.sharding` -- read batching into ordered
+  :class:`WorkUnit`\\ s;
+* :mod:`repro.runtime.merge` -- :class:`ShardCollector`, the
+  order-preserving streaming merge of shard results;
+* :mod:`repro.runtime.engine` -- :class:`DatasetEngine`, the
+  process-pool executor with a zero-dependency serial fallback;
+* :mod:`repro.runtime.cli` -- the ``python -m repro.runtime`` entry
+  point for scriptable (CI) runs.
+
+The load-bearing invariant, asserted by ``tests/test_runtime.py``: for
+any worker count and batch size, the merged report is identical to the
+sequential run's -- same outcomes, same order, same counters.
+"""
+
+from repro.runtime.engine import DatasetEngine, RuntimeStats, run_dataset
+from repro.runtime.merge import ShardCollector, ShardResult
+from repro.runtime.sharding import (
+    WORKERS_ENV_VAR,
+    WorkUnit,
+    plan_work,
+    resolve_batch_size,
+    resolve_workers,
+)
+from repro.runtime.spec import PipelineSpec
+
+__all__ = [
+    "DatasetEngine",
+    "PipelineSpec",
+    "RuntimeStats",
+    "ShardCollector",
+    "ShardResult",
+    "WORKERS_ENV_VAR",
+    "WorkUnit",
+    "plan_work",
+    "resolve_batch_size",
+    "resolve_workers",
+    "run_dataset",
+]

@@ -1,0 +1,205 @@
+"""``python -m repro.runtime``: scriptable dataset-scale GenPIP runs.
+
+Generates a preset dataset, builds the index, executes the pipeline
+through the sharded :class:`~repro.runtime.engine.DatasetEngine`, and
+writes a deterministic JSON report. The JSON intentionally contains no
+timing or worker information -- a serial run and an ``N``-worker run of
+the same dataset must serialize to byte-identical files, which is
+exactly what the CI smoke job diffs.
+
+Examples
+--------
+Serial run, report to stdout::
+
+    python -m repro.runtime --profile ecoli-like --scale 0.001 --json -
+
+Two workers, batches of 8, report to a file::
+
+    python -m repro.runtime --profile ecoli-like --scale 0.001 \\
+        --workers 2 --batch-size 8 --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.genpip import GenPIP, GenPIPReport
+from repro.core.pipeline import ReadOutcome
+from repro.experiments.context import DATASET_PARAMS, VARIANTS, variant_config
+from repro.mapping.index import MinimizerIndex
+from repro.nanopore.datasets import PRESETS, generate_dataset, small_profile
+from repro.runtime.engine import DatasetEngine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Run the GenPIP pipeline over a generated dataset preset.",
+    )
+    data = parser.add_argument_group("dataset")
+    data.add_argument(
+        "--profile", choices=sorted(PRESETS), default="ecoli-like",
+        help="dataset preset (Table 1 recipe)",
+    )
+    data.add_argument(
+        "--scale", type=float, default=0.001,
+        help="fraction of the real dataset's read count to generate",
+    )
+    data.add_argument("--seed", type=int, default=42, help="simulation seed")
+    data.add_argument(
+        "--max-read-length", type=int, default=None, metavar="BASES",
+        help="cap read lengths via the small-profile transform (fast smoke runs)",
+    )
+    pipe = parser.add_argument_group("pipeline")
+    pipe.add_argument(
+        "--variant", choices=VARIANTS, default="full_er",
+        help="early-rejection variant of the evaluation",
+    )
+    pipe.add_argument("--chunk-size", type=int, default=300, help="bases per chunk")
+    pipe.add_argument(
+        "--align", action="store_true",
+        help="run base-level alignment (slower; off by default like the sweeps)",
+    )
+    run = parser.add_argument_group("runtime")
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: GENPIP_WORKERS env or serial)",
+    )
+    run.add_argument(
+        "--batch-size", type=int, default=None, metavar="READS",
+        help="reads per work unit (default: auto)",
+    )
+    out = parser.add_argument_group("output")
+    out.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write the JSON report to PATH ('-' for stdout)",
+    )
+    out.add_argument("--quiet", action="store_true", help="suppress the stderr summary")
+    return parser
+
+
+def _mapping_record(outcome: ReadOutcome) -> dict | None:
+    mapping = outcome.mapping
+    if mapping is None:
+        return None
+    return {
+        "mapped": mapping.mapped,
+        "ref_start": mapping.ref_start,
+        "ref_end": mapping.ref_end,
+        "strand": mapping.strand,
+        "chain_score": mapping.chain_score,
+        "mapq": mapping.mapq,
+        "identity": mapping.identity,
+    }
+
+
+def _read_record(outcome: ReadOutcome) -> dict:
+    return {
+        "read_id": outcome.read_id,
+        "status": outcome.status.value,
+        "read_length": outcome.read_length,
+        "n_chunks_total": outcome.n_chunks_total,
+        "n_chunks_basecalled": outcome.n_chunks_basecalled,
+        "n_bases_basecalled": outcome.n_bases_basecalled,
+        "n_chunks_seeded": outcome.n_chunks_seeded,
+        "n_chain_invocations": outcome.n_chain_invocations,
+        "aligned": outcome.aligned,
+        "mean_quality": outcome.mean_quality,
+        "mapping": _mapping_record(outcome),
+    }
+
+
+def report_to_json(report: GenPIPReport, run_args: dict) -> str:
+    """Serialize a report deterministically (sorted keys, no timing)."""
+    counters = report.counters
+    document = {
+        "run": run_args,
+        "summary": {
+            "n_reads": report.n_reads,
+            "total_bases": report.total_bases,
+            "total_chunks": report.total_chunks,
+            "chunks_basecalled": report.chunks_basecalled,
+            "bases_basecalled": report.bases_basecalled,
+            "chunks_seeded": report.chunks_seeded,
+            "reads_aligned": report.reads_aligned,
+            "basecall_savings": report.basecall_savings,
+            "mapped_ratio": report.mapped_ratio,
+            "qsr_rejection_ratio": report.qsr_rejection_ratio,
+            "cmr_rejection_ratio": report.cmr_rejection_ratio,
+            "mean_identity": report.mean_identity(),
+            "status_counts": {
+                status.value: count for status, count in counters.status_counts.items()
+            },
+        },
+        "reads": [_read_record(outcome) for outcome in report.outcomes],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    if args.workers is not None and args.workers < 0:
+        parser.error("--workers must be non-negative")
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error("--batch-size must be at least 1")
+    if args.chunk_size < 50:
+        parser.error("--chunk-size must be at least 50 bases")
+
+    profile = PRESETS[args.profile]
+    if args.max_read_length is not None:
+        profile = small_profile(profile, max_read_length=args.max_read_length)
+    dataset = generate_dataset(profile, scale=args.scale, seed=args.seed)
+    index = MinimizerIndex.build(dataset.reference)
+    config = variant_config(
+        DATASET_PARAMS[args.profile].with_chunk_size(args.chunk_size), args.variant
+    )
+
+    system = GenPIP(index, config, align=args.align)
+    engine = DatasetEngine(system.pipeline, workers=args.workers, batch_size=args.batch_size)
+    report = engine.run(dataset)
+
+    # The run block records only result-determining parameters, so the
+    # smoke diff across worker counts stays byte-identical.
+    run_args = {
+        "profile": profile.name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "max_read_length": args.max_read_length,
+        "variant": args.variant,
+        "chunk_size": args.chunk_size,
+        "align": args.align,
+    }
+    if args.json_path:
+        payload = report_to_json(report, run_args)
+        if args.json_path == "-":
+            sys.stdout.write(payload)
+        else:
+            try:
+                with open(args.json_path, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+            except OSError as exc:
+                print(f"error: cannot write {args.json_path}: {exc}", file=sys.stderr)
+                return 1
+
+    if not args.quiet:
+        stats = engine.last_stats
+        print(
+            f"{profile.name}: {report.n_reads} reads, {report.total_bases:,} bases | "
+            f"mapped {report.mapped_ratio:.1%}, QSR {report.qsr_rejection_ratio:.1%}, "
+            f"CMR {report.cmr_rejection_ratio:.1%}, "
+            f"basecall savings {report.basecall_savings:.1%} | "
+            f"{stats.mode} x{stats.workers} (batch {stats.batch_size}): "
+            f"{stats.elapsed_s:.2f}s, {stats.reads_per_sec:.1f} reads/s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""The dataset execution engine: serial or process-pool sharded runs.
+
+:class:`DatasetEngine` turns a dataset into a stream of
+:class:`~repro.runtime.sharding.WorkUnit`\\ s, executes them on a
+``concurrent.futures.ProcessPoolExecutor`` (or serially in-process),
+and merges shard results back into one
+:class:`~repro.core.genpip.GenPIPReport`.
+
+The engine's contract mirrors the paper's "no accuracy loss from
+pipeline restructuring" claim at the software level: because reads are
+independent and work units preserve dataset order through shard ids, a
+run with *any* worker count and *any* batch size yields a report
+identical to the sequential run -- same outcomes, same order, same
+counters. ``tests/test_runtime.py`` asserts this exactly.
+
+Worker processes are primed once with a
+:class:`~repro.runtime.spec.PipelineSpec` (pool initializer), so the
+minimizer index crosses the process boundary once per worker rather
+than once per task. When a pool cannot be created at all (restricted
+sandboxes, missing ``_multiprocessing``), the engine degrades to the
+zero-dependency serial path with a warning instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.genpip import GenPIPReport
+from repro.core.pipeline import GenPIPPipeline
+from repro.nanopore.read_simulator import SimulatedRead
+from repro.runtime.merge import ShardCollector, ShardResult
+from repro.runtime.sharding import WorkUnit, plan_work, resolve_batch_size, resolve_workers
+from repro.runtime.spec import PipelineSpec
+
+#: Per-process pipeline, built once by :func:`_init_worker`.
+_WORKER_PIPELINE: GenPIPPipeline | None = None
+
+
+def _init_worker(spec: PipelineSpec) -> None:
+    """Pool initializer: rebuild the pipeline inside the worker."""
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = spec.build()
+
+
+def _process_unit(unit: WorkUnit) -> ShardResult:
+    """Run one work unit on the per-worker pipeline."""
+    pipeline = _WORKER_PIPELINE
+    if pipeline is None:  # pragma: no cover - initializer contract violation
+        raise RuntimeError("worker used before _init_worker primed the pipeline")
+    return ShardResult.from_outcomes(unit.shard_id, pipeline.process_batch(list(unit.reads)))
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Bookkeeping of one engine run (never part of the report itself,
+    so serialized reports stay bit-identical across worker counts)."""
+
+    mode: str  # "serial" | "process-pool"
+    workers: int
+    batch_size: int
+    n_shards: int
+    n_reads: int
+    elapsed_s: float
+
+    @property
+    def reads_per_sec(self) -> float:
+        return self.n_reads / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+class DatasetEngine:
+    """Sharded dataset executor around one pipeline configuration.
+
+    Parameters
+    ----------
+    pipeline:
+        A built :class:`GenPIPPipeline` or a :class:`PipelineSpec`.
+        Serial runs reuse the built pipeline directly; pooled runs ship
+        the spec to each worker.
+    workers:
+        Pool size; ``None`` defers to ``GENPIP_WORKERS`` (default
+        serial), ``0``/``1`` run serially in-process.
+    batch_size:
+        Reads per work unit; ``None`` auto-sizes from the dataset.
+    progress:
+        Optional callback ``(reads_done, reads_total)`` invoked as the
+        ordered prefix of results grows.
+    """
+
+    def __init__(
+        self,
+        pipeline: GenPIPPipeline | PipelineSpec,
+        *,
+        workers: int | None = None,
+        batch_size: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ):
+        if isinstance(pipeline, PipelineSpec):
+            self._spec = pipeline
+            self._pipeline: GenPIPPipeline | None = None
+        else:
+            self._spec = PipelineSpec.from_pipeline(pipeline)
+            self._pipeline = pipeline
+        self._workers = resolve_workers(workers)
+        self._batch_size = batch_size
+        self._progress = progress
+        self._progress_seen = 0
+        self._last_stats: RuntimeStats | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def last_stats(self) -> RuntimeStats | None:
+        """Stats of the most recent :meth:`run` (None before any run)."""
+        return self._last_stats
+
+    def run(self, dataset) -> GenPIPReport:
+        """Process a dataset (or any sequence of reads) to a report."""
+        reads: Sequence[SimulatedRead] = getattr(dataset, "reads", dataset)
+        batch_size = resolve_batch_size(len(reads), self._workers, self._batch_size)
+        units = plan_work(reads, batch_size)
+        self._progress_seen = 0
+        started = time.perf_counter()
+        if self._workers <= 1:
+            collector, mode = self._run_serial(units), "serial"
+        else:
+            collector, mode = self._run_pool(units)
+        report = collector.report(self._spec.config)
+        self._last_stats = RuntimeStats(
+            mode=mode,
+            workers=self._workers,
+            batch_size=batch_size,
+            n_shards=len(units),
+            n_reads=len(reads),
+            elapsed_s=time.perf_counter() - started,
+        )
+        return report
+
+    def _serial_pipeline(self) -> GenPIPPipeline:
+        if self._pipeline is None:
+            self._pipeline = self._spec.build()
+        return self._pipeline
+
+    def _run_serial(self, units: list[WorkUnit]) -> ShardCollector:
+        """Zero-dependency fallback: same plan/merge path, one process."""
+        pipeline = self._serial_pipeline()
+        collector = ShardCollector(len(units))
+        total = sum(len(unit) for unit in units)
+        for unit in units:
+            outcomes = pipeline.process_batch(list(unit.reads))
+            collector.add(ShardResult.from_outcomes(unit.shard_id, outcomes))
+            self._report_progress(collector, total)
+        return collector
+
+    def _run_pool(self, units: list[WorkUnit]) -> tuple[ShardCollector, str]:
+        total = sum(len(unit) for unit in units)
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self._workers, max(len(units), 1)),
+                initializer=_init_worker,
+                initargs=(self._spec,),
+            )
+        except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return self._run_serial(units), "serial"
+        collector = ShardCollector(len(units))
+        try:
+            with executor:
+                pending = {executor.submit(_process_unit, unit) for unit in units}
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        collector.add(future.result())
+                    self._report_progress(collector, total)
+        except BrokenProcessPool as exc:
+            # Worker startup can fail lazily (first submit) in sandboxes
+            # that allow pool *creation* but not process *spawning*.
+            warnings.warn(
+                f"process pool broke ({exc!r}); rerunning serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return self._run_serial(units), "serial"
+        return collector, "process-pool"
+
+    def _report_progress(self, collector: ShardCollector, total: int) -> None:
+        # High-water gate: a broken-pool fallback restarts from a fresh
+        # collector, and progress must never appear to move backwards.
+        if self._progress is not None and collector.n_ready > self._progress_seen:
+            self._progress_seen = collector.n_ready
+            self._progress(collector.n_ready, total)
+
+
+def run_dataset(
+    pipeline: GenPIPPipeline | PipelineSpec,
+    dataset,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> GenPIPReport:
+    """One-shot convenience wrapper around :class:`DatasetEngine`."""
+    engine = DatasetEngine(pipeline, workers=workers, batch_size=batch_size, progress=progress)
+    return engine.run(dataset)

@@ -1,0 +1,85 @@
+"""Order-preserving merge of out-of-order shard results.
+
+Workers finish in whatever order the scheduler dictates;
+:class:`ShardCollector` re-sequences their :class:`ShardResult`\\ s so
+the caller can stream the *completed prefix* of the dataset (e.g. for
+progress reporting) while later shards are still in flight, and finally
+assemble a :class:`~repro.core.genpip.GenPIPReport` whose outcome order
+and counters are identical to a sequential run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import GenPIPConfig
+from repro.core.genpip import GenPIPReport, ReportCounters
+from repro.core.pipeline import ReadOutcome
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One work unit's outcomes plus its pre-summed counters.
+
+    Counters are computed *in the worker*, so the parent merges shard
+    aggregates by integer addition instead of re-walking outcomes.
+    """
+
+    shard_id: int
+    outcomes: tuple[ReadOutcome, ...]
+    counters: ReportCounters
+
+    @classmethod
+    def from_outcomes(cls, shard_id: int, outcomes: list[ReadOutcome]) -> "ShardResult":
+        return cls(
+            shard_id=shard_id,
+            outcomes=tuple(outcomes),
+            counters=ReportCounters.from_outcomes(outcomes),
+        )
+
+
+class ShardCollector:
+    """Accumulates shard results by id and exposes the ordered prefix."""
+
+    def __init__(self, n_shards: int):
+        self._n_shards = n_shards
+        self._pending: dict[int, ShardResult] = {}
+        self._outcomes: list[ReadOutcome] = []
+        self._counters = ReportCounters()
+        self._next_shard = 0
+        self._drained = 0
+
+    def add(self, result: ShardResult) -> None:
+        """Accept one shard result (any order, each id exactly once)."""
+        if not 0 <= result.shard_id < self._n_shards:
+            raise ValueError(f"shard id {result.shard_id} outside plan of {self._n_shards}")
+        if result.shard_id < self._next_shard or result.shard_id in self._pending:
+            raise ValueError(f"shard id {result.shard_id} delivered twice")
+        self._pending[result.shard_id] = result
+        while self._next_shard in self._pending:
+            ready = self._pending.pop(self._next_shard)
+            self._outcomes.extend(ready.outcomes)
+            self._counters = self._counters.combine(ready.counters)
+            self._next_shard += 1
+
+    @property
+    def complete(self) -> bool:
+        return self._next_shard == self._n_shards and not self._pending
+
+    @property
+    def n_ready(self) -> int:
+        """Reads in the contiguous completed prefix."""
+        return len(self._outcomes)
+
+    def drain(self) -> list[ReadOutcome]:
+        """Outcomes newly added to the ordered prefix since last drain."""
+        fresh = self._outcomes[self._drained :]
+        self._drained = len(self._outcomes)
+        return fresh
+
+    def report(self, config: GenPIPConfig) -> GenPIPReport:
+        """The merged dataset report (requires all shards delivered)."""
+        if not self.complete:
+            missing = self._n_shards - self._next_shard
+            raise RuntimeError(f"cannot build report: {missing} shard(s) outstanding")
+        return GenPIPReport(outcomes=self._outcomes, config=config, counters=self._counters)

@@ -1,0 +1,97 @@
+"""Work-unit planning: split a dataset's reads into ordered shards.
+
+Reads are embarrassingly parallel in GenPIP (no cross-read state), so
+the only planning questions are *how many* reads per work unit (enough
+to amortise pickling/IPC, few enough to load-balance a pool) and *how*
+to stitch results back into dataset order. Each :class:`WorkUnit`
+carries its shard id; the merge side keys on it, so work units can
+complete in any order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.nanopore.read_simulator import SimulatedRead
+
+#: Environment variable consulted when ``workers=None`` is requested.
+WORKERS_ENV_VAR = "GENPIP_WORKERS"
+
+#: Work units a pool worker should see on average; > 1 so that slow
+#: shards (long reads) don't serialise the tail of the run.
+_UNITS_PER_WORKER = 8
+
+#: Bounds on automatically chosen batch sizes.
+_MIN_BATCH = 1
+_MAX_BATCH = 256
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A contiguous run of reads, tagged with its position in the plan."""
+
+    shard_id: int
+    start: int
+    reads: tuple[SimulatedRead, ...]
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request to an effective pool size.
+
+    ``None`` defers to the ``GENPIP_WORKERS`` environment variable
+    (absent/invalid -> 1, i.e. serial); ``0`` and ``1`` both mean
+    serial in-process execution.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "")
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+        if workers < 0:  # invalid env values degrade to serial, like non-numeric ones
+            workers = 1
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    return max(workers, 1)
+
+
+def resolve_batch_size(n_reads: int, workers: int, batch_size: int | None) -> int:
+    """Pick the reads-per-unit granularity for a run.
+
+    Explicit requests are honoured (minimum 1). The automatic choice
+    targets ``_UNITS_PER_WORKER`` units per worker so the pool stays
+    load-balanced, clamped to keep per-task pickling overhead sane.
+    """
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return batch_size
+    if n_reads <= 0:
+        return _MIN_BATCH
+    auto = -(-n_reads // max(workers * _UNITS_PER_WORKER, 1))  # ceil div
+    return max(_MIN_BATCH, min(auto, _MAX_BATCH))
+
+
+def plan_work(reads: Sequence[SimulatedRead], batch_size: int) -> list[WorkUnit]:
+    """Split ``reads`` into consecutive :class:`WorkUnit`\\ s.
+
+    Shard ids increase with dataset position, so concatenating shard
+    results by id reproduces dataset order exactly.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    units = []
+    for shard_id, start in enumerate(range(0, len(reads), batch_size)):
+        units.append(
+            WorkUnit(
+                shard_id=shard_id,
+                start=start,
+                reads=tuple(reads[start : start + batch_size]),
+            )
+        )
+    return units

@@ -1,0 +1,55 @@
+"""Picklable pipeline factory for worker processes.
+
+A :class:`GenPIPPipeline` is cheap to *build* but expensive to *ship*:
+what dominates its pickled size is the minimizer index, which every
+worker needs anyway. :class:`PipelineSpec` captures exactly the
+constructor arguments of the pipeline, travels to each worker once (via
+the pool initializer), and rebuilds an identical pipeline there -- so
+per-task messages carry only reads and outcomes, never engine state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.basecalling.surrogate import SurrogateBasecaller
+from repro.core.config import GenPIPConfig
+from repro.core.pipeline import GenPIPPipeline
+from repro.mapping.index import MinimizerIndex
+from repro.mapping.mapper import MapperConfig
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Everything needed to reconstruct a :class:`GenPIPPipeline`.
+
+    All fields are plain dataclasses / numpy containers, so the spec is
+    picklable under both ``fork`` and ``spawn`` start methods.
+    """
+
+    index: MinimizerIndex
+    config: GenPIPConfig
+    basecaller: SurrogateBasecaller
+    mapper_config: MapperConfig
+    align: bool = True
+
+    @classmethod
+    def from_pipeline(cls, pipeline: GenPIPPipeline) -> "PipelineSpec":
+        """Capture an existing pipeline's construction arguments."""
+        return cls(
+            index=pipeline.index,
+            config=pipeline.config,
+            basecaller=pipeline.basecaller,
+            mapper_config=pipeline.mapper_config,
+            align=pipeline.align,
+        )
+
+    def build(self) -> GenPIPPipeline:
+        """Reconstruct the pipeline (called once per worker process)."""
+        return GenPIPPipeline(
+            self.index,
+            self.basecaller,
+            self.config,
+            self.mapper_config,
+            align=self.align,
+        )

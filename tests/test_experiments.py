@@ -20,6 +20,8 @@ from repro.experiments import (
 )
 from repro.experiments.context import ExperimentContext, get_context
 
+pytestmark = pytest.mark.slow
+
 # Small scales: ~90 E. coli-like reads, ~90 human-like reads.
 SCALE = {"ecoli-like": 0.0015, "human-like": 0.0002}
 SEED = 7

@@ -4,6 +4,8 @@ import pytest
 
 from repro.experiments.accuracy import run_accuracy
 
+pytestmark = pytest.mark.slow
+
 SCALE = 0.0015
 SEED = 7
 

@@ -1,0 +1,275 @@
+"""Tests for the sharded dataset runtime (:mod:`repro.runtime`).
+
+The centrepiece is the parallel-equivalence invariant: a run with any
+worker count and batch size must yield a report identical to the
+sequential run -- same outcomes, same order, same counters. This is
+the software-level analogue of the paper's claim that restructuring
+the pipeline loses no accuracy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import GenPIP, GenPIPConfig
+from repro.core.genpip import GenPIPReport, ReportCounters
+from repro.core.pipeline import ReadStatus
+from repro.mapping.index import MinimizerIndex
+from repro.nanopore.datasets import ECOLI_LIKE, generate_dataset, small_profile
+from repro.runtime import (
+    DatasetEngine,
+    PipelineSpec,
+    ShardCollector,
+    ShardResult,
+    plan_work,
+    resolve_batch_size,
+    resolve_workers,
+    run_dataset,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    """~30 short reads: enough shards to exercise every merge path."""
+    return generate_dataset(small_profile(ECOLI_LIKE, max_read_length=3_000), scale=0.0005, seed=13)
+
+
+@pytest.fixture(scope="module")
+def tiny_index(tiny_dataset):
+    return MinimizerIndex.build(tiny_dataset.reference)
+
+
+@pytest.fixture(scope="module")
+def tiny_system(tiny_index):
+    return GenPIP(tiny_index, GenPIPConfig(), align=False)
+
+
+@pytest.fixture(scope="module")
+def serial_report(tiny_system, tiny_dataset):
+    return tiny_system.run(tiny_dataset)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("batch_size", [1, 7])
+    def test_report_identical_to_sequential(
+        self, tiny_system, tiny_dataset, serial_report, workers, batch_size
+    ):
+        report = tiny_system.run(tiny_dataset, workers=workers, batch_size=batch_size)
+        assert report.outcomes == serial_report.outcomes
+        assert report.counters == serial_report.counters
+        assert report.n_reads == serial_report.n_reads
+        assert report.total_chunks == serial_report.total_chunks
+        assert report.chunks_basecalled == serial_report.chunks_basecalled
+        assert report.bases_basecalled == serial_report.bases_basecalled
+        assert report.chunks_seeded == serial_report.chunks_seeded
+        assert report.reads_aligned == serial_report.reads_aligned
+        assert report.mapped_ratio == serial_report.mapped_ratio
+        assert report.qsr_rejection_ratio == serial_report.qsr_rejection_ratio
+        assert report.cmr_rejection_ratio == serial_report.cmr_rejection_ratio
+        assert report.basecall_savings == serial_report.basecall_savings
+        assert report.mean_identity() == serial_report.mean_identity()
+
+    def test_equivalence_with_alignment(self, tiny_index, tiny_dataset):
+        system = GenPIP(tiny_index, GenPIPConfig(), align=True)
+        serial = system.run(tiny_dataset)
+        parallel = system.run(tiny_dataset, workers=2, batch_size=5)
+        assert parallel.outcomes == serial.outcomes
+        assert parallel.mean_identity() == serial.mean_identity()
+
+    def test_engine_from_spec_matches_pipeline(self, tiny_system, tiny_dataset, serial_report):
+        spec = PipelineSpec.from_pipeline(tiny_system.pipeline)
+        report = run_dataset(spec, tiny_dataset, workers=2, batch_size=4)
+        assert report.outcomes == serial_report.outcomes
+
+    def test_stats_reflect_run_shape(self, tiny_system, tiny_dataset):
+        engine = DatasetEngine(tiny_system.pipeline, workers=2, batch_size=7)
+        engine.run(tiny_dataset)
+        stats = engine.last_stats
+        assert stats.mode in ("process-pool", "serial")
+        assert stats.workers == 2
+        assert stats.batch_size == 7
+        assert stats.n_reads == len(tiny_dataset)
+        assert stats.n_shards == len(plan_work(tiny_dataset.reads, 7))
+        assert stats.reads_per_sec > 0
+
+    def test_progress_reaches_total(self, tiny_system, tiny_dataset):
+        seen = []
+        engine = DatasetEngine(
+            tiny_system.pipeline, workers=2, batch_size=5, progress=lambda done, total: seen.append((done, total))
+        )
+        engine.run(tiny_dataset)
+        assert seen[-1] == (len(tiny_dataset), len(tiny_dataset))
+        # The ordered prefix only ever grows.
+        assert all(a[0] <= b[0] for a, b in zip(seen, seen[1:]))
+
+
+class TestReportMerge:
+    def _shards(self, report, sizes):
+        reports, at = [], 0
+        for size in sizes:
+            chunk = report.outcomes[at : at + size]
+            reports.append(GenPIPReport(outcomes=list(chunk), config=report.config))
+            at += size
+        assert at == len(report.outcomes)
+        return reports
+
+    def test_merge_round_trip(self, serial_report):
+        n = len(serial_report)
+        shards = self._shards(serial_report, [n // 3, n // 3, n - 2 * (n // 3)])
+        merged = GenPIPReport.merge(shards)
+        assert merged.outcomes == serial_report.outcomes
+        assert merged.counters == serial_report.counters
+        assert merged.config == serial_report.config
+
+    def test_merge_single_shard(self, serial_report):
+        merged = GenPIPReport.merge([serial_report])
+        assert merged.outcomes == serial_report.outcomes
+        assert merged.counters == serial_report.counters
+
+    def test_merge_empty_requires_config(self):
+        with pytest.raises(ValueError):
+            GenPIPReport.merge([])
+        merged = GenPIPReport.merge([], config=GenPIPConfig())
+        assert merged.n_reads == 0
+        assert merged.outcomes == []
+        assert merged.count(ReadStatus.MAPPED) == 0
+
+    def test_merge_rejects_mismatched_configs(self, serial_report):
+        other = GenPIPReport(
+            outcomes=list(serial_report.outcomes),
+            config=serial_report.config.conventional(),
+        )
+        with pytest.raises(ValueError):
+            GenPIPReport.merge([serial_report, other])
+
+    def test_merge_with_empty_shard(self, serial_report):
+        empty = GenPIPReport(outcomes=[], config=serial_report.config)
+        merged = GenPIPReport.merge([empty, serial_report, empty])
+        assert merged.outcomes == serial_report.outcomes
+        assert merged.counters == serial_report.counters
+
+    def test_counters_match_recomputation(self, serial_report):
+        recomputed = ReportCounters.from_outcomes(serial_report.outcomes)
+        assert serial_report.counters == recomputed
+
+
+class TestShardCollector:
+    def _results(self, serial_report, batch_size):
+        units = plan_work(serial_report.outcomes, batch_size)
+        return [
+            ShardResult.from_outcomes(unit.shard_id, list(unit.reads)) for unit in units
+        ]
+
+    def test_out_of_order_delivery(self, serial_report):
+        results = self._results(serial_report, 4)
+        collector = ShardCollector(len(results))
+        for result in reversed(results):
+            collector.add(result)
+        assert collector.complete
+        merged = collector.report(serial_report.config)
+        assert merged.outcomes == serial_report.outcomes
+        assert merged.counters == serial_report.counters
+
+    def test_drain_streams_ordered_prefix(self, serial_report):
+        results = self._results(serial_report, 5)
+        collector = ShardCollector(len(results))
+        collector.add(results[1])
+        assert collector.drain() == []  # shard 0 still missing
+        collector.add(results[0])
+        prefix = collector.drain()
+        assert prefix == list(results[0].outcomes) + list(results[1].outcomes)
+        for result in results[2:]:
+            collector.add(result)
+        assert collector.drain() == [o for r in results[2:] for o in r.outcomes]
+
+    def test_duplicate_and_out_of_range_shards_rejected(self, serial_report):
+        results = self._results(serial_report, 10)
+        collector = ShardCollector(len(results))
+        collector.add(results[0])
+        with pytest.raises(ValueError):
+            collector.add(results[0])
+        with pytest.raises(ValueError):
+            collector.add(
+                ShardResult.from_outcomes(len(results) + 3, list(results[0].outcomes))
+            )
+
+    def test_incomplete_report_refused(self, serial_report):
+        results = self._results(serial_report, 6)
+        collector = ShardCollector(len(results))
+        collector.add(results[0])
+        with pytest.raises(RuntimeError):
+            collector.report(serial_report.config)
+
+
+class TestSharding:
+    def test_plan_covers_all_reads_in_order(self, tiny_dataset):
+        units = plan_work(tiny_dataset.reads, 7)
+        flattened = [read for unit in units for read in unit.reads]
+        assert flattened == list(tiny_dataset.reads)
+        assert [unit.shard_id for unit in units] == list(range(len(units)))
+        assert all(len(unit) <= 7 for unit in units)
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.delenv("GENPIP_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("GENPIP_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("GENPIP_WORKERS", "not-a-number")
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("GENPIP_WORKERS", "-1")
+        assert resolve_workers(None) == 1  # invalid env degrades, never raises
+        assert resolve_workers(0) == 1
+        assert resolve_workers(4) == 4
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_resolve_batch_size(self):
+        assert resolve_batch_size(100, 4, 7) == 7
+        assert resolve_batch_size(0, 4, None) == 1
+        auto = resolve_batch_size(1000, 2, None)
+        assert 1 <= auto <= 256
+        with pytest.raises(ValueError):
+            resolve_batch_size(10, 2, 0)
+        with pytest.raises(ValueError):
+            plan_work([], 0)
+
+
+class TestCLI:
+    def _run_cli(self, tmp_path, name, extra):
+        out = tmp_path / name
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        args = [
+            sys.executable, "-m", "repro.runtime",
+            "--profile", "ecoli-like", "--scale", "0.0003", "--seed", "7",
+            "--max-read-length", "3000", "--quiet", "--json", str(out),
+        ] + extra
+        completed = subprocess.run(
+            args, cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300
+        )
+        assert completed.returncode == 0, completed.stderr
+        return out.read_text()
+
+    def test_cli_serial_and_parallel_reports_identical(self, tmp_path):
+        serial = self._run_cli(tmp_path, "serial.json", ["--workers", "1"])
+        parallel = self._run_cli(
+            tmp_path, "parallel.json", ["--workers", "2", "--batch-size", "3"]
+        )
+        assert serial == parallel
+        document = json.loads(serial)
+        assert document["summary"]["n_reads"] == len(document["reads"])
+        assert document["summary"]["n_reads"] > 0
+        assert document["run"]["variant"] == "full_er"
+        statuses = {read["status"] for read in document["reads"]}
+        assert statuses <= {status.value for status in ReadStatus}
