@@ -7,7 +7,11 @@ This walks the whole public API surface once:
 3. decode one chunk of *raw signal* with the Viterbi basecaller (the
    real signal-space engine);
 4. run the GenPIP chunk-based pipeline with early rejection over the
-   dataset and print per-read outcomes.
+   dataset and print per-read outcomes;
+5. shard the same run across worker processes (identical report);
+6. rebuild the system through the fluent builder and swap in the
+   Viterbi backend by registry name -- same CP/ER control flow, real
+   signal-space decoding.
 
 Run with: ``python examples/quickstart.py``
 """
@@ -101,6 +105,36 @@ def main() -> None:
     assert parallel_report.outcomes == report.outcomes
     print(f"\nparallel run (workers=2): identical report, "
           f"{parallel_report.n_reads} reads, {parallel_report.mapped_ratio:.0%} mapped")
+
+    # 6. Pluggable engines: the pipeline is typed against structural
+    #    protocols (repro.core.backends), and every backend in the
+    #    registry -- "surrogate", "viterbi", "dnn" -- runs the identical
+    #    CP/ER control flow. The builder assembles a system fluently;
+    #    backends and presets are picked by name, so the same choice
+    #    works here, in `python -m repro.runtime --basecaller viterbi`,
+    #    and inside worker processes (the spec ships name + config, not
+    #    the engine).
+    from repro.basecalling import ViterbiBackendConfig
+    from repro.core import basecaller_names, preset_names
+
+    print(f"\nregistered backends: {', '.join(basecaller_names())}; "
+          f"presets: {', '.join(preset_names())}")
+    viterbi_system = (
+        GenPIP.build()
+        .index(index)
+        .preset("ecoli")
+        .basecaller("viterbi", ViterbiBackendConfig(pore_k=3))
+        .align(False)
+        .build()
+    )
+    shortest = sorted(reads, key=len)[:4]
+    viterbi_report = viterbi_system.run(shortest, workers=2)
+    print("Viterbi backend over the 4 shortest reads:")
+    for outcome in viterbi_report.outcomes:
+        print(
+            f"  {outcome.read_id}: {outcome.status.value:<13} "
+            f"basecalled {outcome.n_chunks_basecalled}/{outcome.n_chunks_total} chunks"
+        )
 
 
 if __name__ == "__main__":

@@ -18,6 +18,31 @@ Dataset-scale runs shard reads across worker processes (identical
 report for any worker count; see :mod:`repro.runtime`):
 
 >>> report = GenPIP(index, GenPIPConfig()).run(dataset, workers=4)
+
+Engines are pluggable behind structural protocols: build a system
+fluently from the backend/preset registry (see :mod:`repro.core`):
+
+>>> system = GenPIP.build().index(index).basecaller("viterbi").preset("ecoli").build()
 """
 
-__version__ = "1.1.0"
+__all__ = [
+    "Basecaller",
+    "QSRPolicyProtocol",
+    "CMRPolicyProtocol",
+    "__version__",
+]
+
+__version__ = "1.2.0"
+
+#: Protocol names re-exported lazily (PEP 562) so that ``import repro``
+#: stays a version-string-only import; the full engine stack loads on
+#: first attribute access.
+_PROTOCOL_EXPORTS = frozenset({"Basecaller", "QSRPolicyProtocol", "CMRPolicyProtocol"})
+
+
+def __getattr__(name: str):
+    if name in _PROTOCOL_EXPORTS:
+        from repro.core import backends
+
+        return getattr(backends, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,12 +22,27 @@ All engines emit :class:`~repro.basecalling.types.BasecalledChunk`
 objects whose ``sum_quality`` is exactly the paper's SQS (Eq. 2) and
 assemble into :class:`~repro.basecalling.types.BasecalledRead` whose
 ``mean_quality`` is the paper's AQS (Eqs. 1/3).
+
+:mod:`repro.basecalling.engines` adapts the Viterbi decoder and the DNN
+to the chunk-basecaller protocol (:mod:`repro.core.backends`) over
+deterministically synthesized per-read signal, so all three engines are
+interchangeable inside the CP/ER pipeline and selectable by name
+(``"surrogate"``, ``"viterbi"``, ``"dnn"``) via
+:mod:`repro.core.registry`.
 """
 
 from repro.basecalling.types import BasecalledChunk, BasecalledRead
 from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig
 from repro.basecalling.viterbi import ViterbiBasecaller, ViterbiConfig
 from repro.basecalling.chunked import chunk_bounds, reassemble_chunks
+from repro.basecalling.engines import (
+    DNNBackendConfig,
+    DNNChunkBasecaller,
+    SignalSpaceBasecaller,
+    ViterbiBackendConfig,
+    ViterbiChunkBasecaller,
+    synthesize_read_signal,
+)
 
 __all__ = [
     "BasecalledChunk",
@@ -38,4 +53,10 @@ __all__ = [
     "ViterbiConfig",
     "chunk_bounds",
     "reassemble_chunks",
+    "DNNBackendConfig",
+    "DNNChunkBasecaller",
+    "SignalSpaceBasecaller",
+    "ViterbiBackendConfig",
+    "ViterbiChunkBasecaller",
+    "synthesize_read_signal",
 ]

@@ -1,0 +1,293 @@
+"""Signal-space chunk-basecaller backends for the CP pipeline.
+
+The core pipeline consumes the structural
+:class:`~repro.core.backends.Basecaller` protocol; this module adapts
+the repo's two *signal-space* decoders -- the k-mer HMM Viterbi decoder
+and the Bonito-like CTC network -- to that chunk-level contract, so they
+run the identical CP/ER control flow as the dataset-scale surrogate.
+
+:class:`SimulatedRead` carries ground truth and a quality track but no
+raw signal; each backend synthesizes the read's signal on demand,
+deterministically in ``read.seed`` (one rng stream per read, so the
+signal -- and therefore every chunk decode -- is independent of
+processing order, the invariant the chunk pipeline relies on). The
+synthesis is *quality-conditioned*: measurement noise grows where the
+read's quality track is low, so low-quality reads genuinely decode
+worse and quality-based early rejection remains meaningful in signal
+space.
+
+Chunks are cut on the shared :func:`~repro.basecalling.chunked.chunk_bounds`
+grid (true-base coordinates) and decoded independently, losing k-mer
+context at boundaries -- the same trade-off real chunked basecallers
+make. ``n_true_bases`` keeps the surrogate's accounting so SQS/AQS and
+the performance model treat all engines uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.basecalling.chunked import chunk_bounds, reassemble_chunks
+from repro.basecalling.dnn.model import BonitoLikeModel
+from repro.basecalling.types import BasecalledChunk, BasecalledRead
+from repro.basecalling.viterbi import ViterbiBasecaller, ViterbiConfig
+from repro.genomics.quality import phred_to_error_prob
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.read_simulator import SimulatedRead
+from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
+
+#: Second word of the per-read rng seed sequence, so the signal stream
+#: never collides with the surrogate's (read.seed, chunk_size, index)
+#: error-injection streams.
+_SIGNAL_STREAM = 0x516E41
+
+#: Reads whose synthesized signal is kept hot; the pipeline touches one
+#: read at a time, so a handful covers every access pattern.
+_SIGNAL_CACHE_READS = 4
+
+
+def synthesize_read_signal(
+    read: SimulatedRead,
+    pore_model: PoreModel,
+    signal_config: SignalConfig,
+    quality_noise: float = 0.0,
+) -> RawSignal:
+    """Deterministic raw signal for a simulated read.
+
+    Seeded purely by ``read.seed``, so the result is independent of
+    processing order. ``quality_noise`` scales extra per-base
+    measurement noise by the quality-implied error probability
+    (``sigma_i = quality_noise * sqrt(10^(-q_i/10))``): a q=5 stretch
+    gains ~0.56x that sigma, a q=30 stretch ~0.03x.
+    """
+    rng = np.random.default_rng([read.seed & 0x7FFFFFFF, _SIGNAL_STREAM])
+    signal = synthesize_signal(read.true_codes, pore_model, signal_config, rng)
+    if quality_noise <= 0.0 or signal.n_bases == 0:
+        return signal
+    dwells = np.diff(np.append(signal.base_starts, signal.samples.size))
+    sigma = quality_noise * np.sqrt(phred_to_error_prob(read.qualities[: signal.n_bases]))
+    extra = rng.normal(0.0, 1.0, size=signal.samples.size) * np.repeat(sigma, dwells)
+    return RawSignal(
+        samples=(signal.samples + extra).astype(np.float32),
+        base_starts=signal.base_starts,
+    )
+
+
+class SignalSpaceBasecaller:
+    """Shared chunk plumbing for engines that decode synthesized signal.
+
+    Subclasses implement :meth:`_decode` (samples -> bases, qualities);
+    this base supplies the :class:`~repro.core.backends.Basecaller`
+    surface: the shared chunk grid, per-read signal synthesis with a
+    small cache, and chunk reassembly. The cache is dropped on pickling
+    so instances stay cheap to ship to worker processes.
+    """
+
+    def __init__(
+        self,
+        pore_model: PoreModel,
+        signal_config: SignalConfig,
+        quality_noise: float,
+    ):
+        self._pore_model = pore_model
+        self._signal_config = signal_config
+        self._quality_noise = quality_noise
+        self._signal_cache: OrderedDict[tuple[str, int], RawSignal] = OrderedDict()
+
+    @property
+    def pore_model(self) -> PoreModel:
+        return self._pore_model
+
+    @property
+    def signal_config(self) -> SignalConfig:
+        return self._signal_config
+
+    def read_signal(self, read: SimulatedRead) -> RawSignal:
+        """The read's synthesized signal (cached per read).
+
+        The key includes the length so manually constructed reads that
+        reuse an id + seed with different content don't alias a stale
+        entry (content itself is not hashed -- that would cost O(read)
+        per chunk call)."""
+        key = (read.read_id, read.seed, len(read))
+        cached = self._signal_cache.get(key)
+        if cached is not None:
+            self._signal_cache.move_to_end(key)
+            return cached
+        signal = synthesize_read_signal(
+            read, self._pore_model, self._signal_config, self._quality_noise
+        )
+        self._signal_cache[key] = signal
+        while len(self._signal_cache) > _SIGNAL_CACHE_READS:
+            self._signal_cache.popitem(last=False)
+        return signal
+
+    def n_chunks(self, read: SimulatedRead, chunk_size: int) -> int:
+        """Number of chunks the read splits into (shared grid)."""
+        return len(chunk_bounds(len(read), chunk_size))
+
+    def basecall_chunk(
+        self, read: SimulatedRead, index: int, chunk_size: int
+    ) -> BasecalledChunk:
+        """Decode one chunk's signal slice.
+
+        The signal models ``len(read) - k + 1`` k-mer positions, so the
+        final chunk's bound is clamped to the modelled range (its last
+        ``k - 1`` true bases have no dedicated samples; the decoder's
+        trailing k-mer emission covers them approximately).
+        """
+        bounds = chunk_bounds(len(read), chunk_size)
+        if not 0 <= index < len(bounds):
+            raise ValueError(
+                f"chunk index {index} out of range (read has {len(bounds)} chunks)"
+            )
+        start, end = bounds[index]
+        signal = self.read_signal(read)
+        lo = min(start, signal.n_bases)
+        hi = min(end, signal.n_bases)
+        if lo < hi:
+            samples = signal.slice_bases(lo, hi)
+        else:
+            # The chunk lies entirely past the modelled range (final
+            # chunk covering only the last k-1 true bases, or a read
+            # shorter than k): no samples, empty decode.
+            samples = signal.samples[:0]
+        bases, qualities = self._decode(samples, read.read_id)
+        return BasecalledChunk(
+            chunk_index=index,
+            bases=bases,
+            qualities=qualities,
+            n_true_bases=end - start,
+        )
+
+    def basecall_read(self, read: SimulatedRead, chunk_size: int) -> BasecalledRead:
+        """Basecall every chunk of the read and reassemble."""
+        chunks = [
+            self.basecall_chunk(read, i, chunk_size)
+            for i in range(self.n_chunks(read, chunk_size))
+        ]
+        return reassemble_chunks(read.read_id, chunks)
+
+    def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
+        raise NotImplementedError
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_signal_cache"] = OrderedDict()
+        return state
+
+
+@dataclass(frozen=True)
+class ViterbiBackendConfig:
+    """Construction recipe for :class:`ViterbiChunkBasecaller`.
+
+    A plain picklable dataclass, so a registry name + this config can
+    round-trip to worker processes and rebuild an identical engine.
+
+    Attributes
+    ----------
+    pore_k, pore_seed:
+        Shape of the deterministic synthetic pore model. ``k`` sets the
+        Viterbi state space (``4**k``); tests drop to ``k=3`` for speed.
+    decoder:
+        Viterbi decoding parameters.
+    signal:
+        Signal synthesis parameters.
+    quality_noise:
+        Scale of the quality-conditioned extra measurement noise (pA);
+        0 disables conditioning.
+    """
+
+    pore_k: int = 5
+    pore_seed: int = 7
+    decoder: ViterbiConfig = field(default_factory=ViterbiConfig)
+    signal: SignalConfig = field(default_factory=SignalConfig)
+    quality_noise: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.quality_noise < 0:
+            raise ValueError("quality_noise must be non-negative")
+
+
+class ViterbiChunkBasecaller(SignalSpaceBasecaller):
+    """The k-mer HMM Viterbi decoder behind the chunk-basecaller contract."""
+
+    def __init__(self, config: ViterbiBackendConfig | None = None):
+        config = config or ViterbiBackendConfig()
+        pore = PoreModel.synthetic(k=config.pore_k, seed=config.pore_seed)
+        super().__init__(pore, config.signal, config.quality_noise)
+        self._config = config
+        self._decoder = ViterbiBasecaller(pore, config.decoder)
+
+    @property
+    def config(self) -> ViterbiBackendConfig:
+        return self._config
+
+    @property
+    def decoder(self) -> ViterbiBasecaller:
+        return self._decoder
+
+    def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
+        called = self._decoder.basecall(samples, read_id=read_id)
+        return called.bases, called.qualities
+
+
+@dataclass(frozen=True)
+class DNNBackendConfig:
+    """Construction recipe for :class:`DNNChunkBasecaller`.
+
+    Attributes
+    ----------
+    model_seed, hidden:
+        Deterministic weight seed and GRU width of the Bonito-like
+        network (untrained: the engine exercises the real compute graph
+        and control flow, not trained accuracy).
+    pore_k, pore_seed, signal, quality_noise:
+        Signal synthesis, as for :class:`ViterbiBackendConfig`.
+    """
+
+    model_seed: int = 0
+    hidden: int = 96
+    pore_k: int = 5
+    pore_seed: int = 7
+    signal: SignalConfig = field(default_factory=SignalConfig)
+    quality_noise: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.hidden < 1:
+            raise ValueError("hidden must be positive")
+        if self.quality_noise < 0:
+            raise ValueError("quality_noise must be non-negative")
+
+
+class DNNChunkBasecaller(SignalSpaceBasecaller):
+    """The Bonito-like CTC network behind the chunk-basecaller contract.
+
+    The network ships with deterministic random weights (training is out
+    of scope offline), so its calls do not recover the input sequence --
+    reads flow through the identical CP/ER control flow and typically
+    end rejected or unmapped. That makes this engine a *workload and
+    integration* backend: it proves the pipeline is basecaller-agnostic
+    and feeds the Helix MVM cost model with real shapes.
+    """
+
+    def __init__(self, config: DNNBackendConfig | None = None):
+        config = config or DNNBackendConfig()
+        pore = PoreModel.synthetic(k=config.pore_k, seed=config.pore_seed)
+        super().__init__(pore, config.signal, config.quality_noise)
+        self._config = config
+        self._model = BonitoLikeModel(seed=config.model_seed, hidden=config.hidden)
+
+    @property
+    def config(self) -> DNNBackendConfig:
+        return self._config
+
+    @property
+    def model(self) -> BonitoLikeModel:
+        return self._model
+
+    def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
+        return self._model.basecall(samples)

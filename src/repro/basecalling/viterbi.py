@@ -25,8 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.special import logsumexp
-
 from repro.basecalling.types import BasecalledChunk, BasecalledRead
 from repro.genomics import alphabet
 from repro.nanopore.pore_model import PoreModel

@@ -15,9 +15,26 @@ level (the hardware cost models live in :mod:`repro.hardware` /
 * :mod:`repro.core.genpip` -- the :class:`GenPIP` system facade and the
   dataset-level report consumed by the performance model and the
   experiments.
+* :mod:`repro.core.backends` -- the structural engine protocols
+  (:class:`Basecaller`, :class:`QSRPolicyProtocol`,
+  :class:`CMRPolicyProtocol`) the pipeline is typed against.
+* :mod:`repro.core.registry` -- named basecaller backends
+  (``"surrogate"``, ``"viterbi"``, ``"dnn"``) and pipeline presets
+  (``"ecoli"``, ``"human"``), plus the picklable
+  :class:`BasecallerRef` that ships an engine choice to workers.
+* :mod:`repro.core.builder` -- :class:`PipelineBuilder`, the fluent
+  ``GenPIP.build()...`` construction API.
 """
 
-from repro.core.config import ECOLI_PARAMS, HUMAN_PARAMS, GenPIPConfig
+from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.builder import PipelineBuilder
+from repro.core.config import (
+    ECOLI_PARAMS,
+    HUMAN_PARAMS,
+    VARIANTS,
+    GenPIPConfig,
+    variant_config,
+)
 from repro.core.early_rejection import (
     CMRPolicy,
     QSRPolicy,
@@ -31,6 +48,16 @@ from repro.core.pipeline import (
 )
 from repro.core.genpip import GenPIP, GenPIPReport
 from repro.core.controller import AQSCalculator, ControllerTrace
+from repro.core.registry import (
+    BackendRegistration,
+    BasecallerRef,
+    basecaller_names,
+    create_basecaller,
+    preset_config,
+    preset_names,
+    register_basecaller,
+    register_preset,
+)
 
 __all__ = [
     "AQSCalculator",
@@ -38,6 +65,11 @@ __all__ = [
     "GenPIPConfig",
     "ECOLI_PARAMS",
     "HUMAN_PARAMS",
+    "VARIANTS",
+    "variant_config",
+    "Basecaller",
+    "QSRPolicyProtocol",
+    "CMRPolicyProtocol",
     "QSRPolicy",
     "CMRPolicy",
     "qsr_sample_indices",
@@ -47,4 +79,13 @@ __all__ = [
     "ReadStatus",
     "GenPIP",
     "GenPIPReport",
+    "PipelineBuilder",
+    "BackendRegistration",
+    "BasecallerRef",
+    "basecaller_names",
+    "create_basecaller",
+    "preset_config",
+    "preset_names",
+    "register_basecaller",
+    "register_preset",
 ]

@@ -71,3 +71,17 @@ ECOLI_PARAMS = GenPIPConfig(n_qs=2, n_cm=5)
 
 #: Sec. 6.3 sensitivity-chosen parameters for the human dataset.
 HUMAN_PARAMS = GenPIPConfig(n_qs=5, n_cm=3)
+
+#: ER variants of the evaluation (Sec. 5 system variants).
+VARIANTS = ("conventional", "qsr_only", "full_er")
+
+
+def variant_config(config: GenPIPConfig, variant: str) -> GenPIPConfig:
+    """Apply an evaluation variant's ER switches to a base config."""
+    if variant == "conventional":
+        return config.conventional()
+    if variant == "qsr_only":
+        return replace(config, enable_cmr=False)
+    if variant == "full_er":
+        return config
+    raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")

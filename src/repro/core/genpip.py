@@ -19,16 +19,20 @@ re-walking every outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from repro.basecalling.surrogate import SurrogateBasecaller
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.builder import PipelineBuilder
+
+from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
 from repro.core.config import GenPIPConfig
 from repro.core.pipeline import GenPIPPipeline, ReadOutcome, ReadStatus
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import MapperConfig
 from repro.nanopore.datasets import Dataset
+from repro.nanopore.read_simulator import SimulatedRead
 
 
 @dataclass
@@ -206,22 +210,48 @@ class GenPIP:
         Prebuilt reference minimizer index (the offline indexing phase).
     config:
         Pipeline parameters; defaults to the paper's E. coli preset.
-    basecaller / mapper_config:
-        Engine overrides for experiments.
+    basecaller / mapper_config / qsr_policy / cmr_policy:
+        Engine overrides, typed against the :mod:`repro.core.backends`
+        protocols; any registered backend (``"surrogate"``,
+        ``"viterbi"``, ``"dnn"``) or conforming object plugs in.
+
+    For fluent construction -- registry-name backends, presets, ER
+    variants -- use :meth:`GenPIP.build`.
     """
 
     def __init__(
         self,
         index: MinimizerIndex,
         config: GenPIPConfig | None = None,
-        basecaller: SurrogateBasecaller | None = None,
+        basecaller: Basecaller | None = None,
         mapper_config: MapperConfig | None = None,
         align: bool = True,
+        qsr_policy: QSRPolicyProtocol | None = None,
+        cmr_policy: CMRPolicyProtocol | None = None,
     ):
         self._config = config or GenPIPConfig()
         self._pipeline = GenPIPPipeline(
-            index, basecaller, self._config, mapper_config, align=align
+            index,
+            basecaller,
+            self._config,
+            mapper_config,
+            align=align,
+            qsr_policy=qsr_policy,
+            cmr_policy=cmr_policy,
         )
+
+    @classmethod
+    def build(cls) -> "PipelineBuilder":
+        """Start a fluent builder chain::
+
+            GenPIP.build().index(ix).basecaller("viterbi").preset("ecoli").build()
+
+        The default chain (no overrides) constructs through the same
+        path as ``GenPIP(ix)`` and yields byte-identical reports.
+        """
+        from repro.core.builder import PipelineBuilder
+
+        return PipelineBuilder()
 
     @property
     def pipeline(self) -> GenPIPPipeline:
@@ -231,7 +261,7 @@ class GenPIP:
     def config(self) -> GenPIPConfig:
         return self._config
 
-    def process_read(self, read) -> ReadOutcome:
+    def process_read(self, read: SimulatedRead) -> ReadOutcome:
         """Run one read through the pipeline."""
         return self._pipeline.process_read(read)
 

@@ -24,13 +24,14 @@ Timing is *not* modelled here: this module decides what work happens;
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.basecalling.chunked import reassemble_chunks
 from repro.basecalling.surrogate import SurrogateBasecaller
 from repro.basecalling.types import BasecalledChunk, BasecalledRead
+from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
 from repro.core.config import GenPIPConfig
 from repro.core.early_rejection import CMRDecision, CMRPolicy, QSRDecision, QSRPolicy
 from repro.genomics import alphabet
@@ -87,23 +88,36 @@ class ReadOutcome:
 
 
 class GenPIPPipeline:
-    """Chunk-based pipeline with optional early rejection."""
+    """Chunk-based pipeline with optional early rejection.
+
+    The engines are injected behind structural protocols
+    (:mod:`repro.core.backends`): any chunk-deterministic
+    :class:`~repro.core.backends.Basecaller` and any pair of rejection
+    policies run the identical control flow. Defaults are the surrogate
+    basecaller and the paper's QSR/CMR policies derived from ``config``.
+    """
 
     def __init__(
         self,
         index: MinimizerIndex,
-        basecaller: SurrogateBasecaller | None = None,
+        basecaller: Basecaller | None = None,
         config: GenPIPConfig | None = None,
         mapper_config: MapperConfig | None = None,
         align: bool = True,
+        qsr_policy: QSRPolicyProtocol | None = None,
+        cmr_policy: CMRPolicyProtocol | None = None,
     ):
         self._index = index
-        self._basecaller = basecaller or SurrogateBasecaller()
+        self._basecaller: Basecaller = basecaller or SurrogateBasecaller()
         self._config = config or GenPIPConfig()
         self._mapper_config = mapper_config or MapperConfig()
         self._align = align
-        self._qsr = QSRPolicy(self._config.theta_qs, self._config.n_qs)
-        self._cmr = CMRPolicy(self._config.theta_cm, self._config.n_cm)
+        self._qsr: QSRPolicyProtocol = qsr_policy or QSRPolicy(
+            self._config.theta_qs, self._config.n_qs
+        )
+        self._cmr: CMRPolicyProtocol = cmr_policy or CMRPolicy(
+            self._config.theta_cm, self._config.n_cm
+        )
         # Context overlap that makes chunked seeding anchor-identical to
         # whole-read seeding: k-1 for boundary k-mers plus w-1 for
         # boundary windows.
@@ -118,7 +132,7 @@ class GenPIPPipeline:
         return self._index
 
     @property
-    def basecaller(self) -> SurrogateBasecaller:
+    def basecaller(self) -> Basecaller:
         return self._basecaller
 
     @property
@@ -128,6 +142,14 @@ class GenPIPPipeline:
     @property
     def align(self) -> bool:
         return self._align
+
+    @property
+    def qsr_policy(self) -> QSRPolicyProtocol:
+        return self._qsr
+
+    @property
+    def cmr_policy(self) -> CMRPolicyProtocol:
+        return self._cmr
 
     def process_batch(self, reads: "list[SimulatedRead]") -> "list[ReadOutcome]":
         """Process a batch of reads in order (one runtime work unit).
@@ -332,16 +354,21 @@ class ConventionalPipeline:
     def __init__(
         self,
         index: MinimizerIndex,
-        basecaller: SurrogateBasecaller | None = None,
+        basecaller: Basecaller | None = None,
         config: GenPIPConfig | None = None,
         mapper_config: MapperConfig | None = None,
+        align: bool = True,
     ):
         config = (config or GenPIPConfig()).conventional()
-        self._pipeline = GenPIPPipeline(index, basecaller, config, mapper_config)
+        self._pipeline = GenPIPPipeline(index, basecaller, config, mapper_config, align=align)
 
     @property
     def config(self) -> GenPIPConfig:
         return self._pipeline.config
+
+    @property
+    def pipeline(self) -> GenPIPPipeline:
+        return self._pipeline
 
     def process_read(self, read: SimulatedRead) -> ReadOutcome:
         """Conventional processing == chunk pipeline with ER disabled.

@@ -1,0 +1,218 @@
+"""Named registry of basecaller backends and pipeline presets.
+
+The registry is what lets an engine choice travel as *data*: a
+:class:`BasecallerRef` (registry name + construction config) is a tiny
+picklable value that rebuilds an identical engine anywhere -- in a
+builder chain, in a worker process primed by
+:class:`~repro.runtime.spec.PipelineSpec`, or in a fresh interpreter
+under the ``spawn`` start method. Shipping the name instead of the
+instance keeps per-worker initialisation payloads small and makes the
+CLI's ``--basecaller`` flag and the builder's ``.basecaller("viterbi")``
+the same operation.
+
+Built-in backends: ``"surrogate"``, ``"viterbi"``, ``"dnn"``.
+Built-in presets: ``"ecoli"`` / ``"human"`` (Sec. 6.3 parameters; the
+dataset-profile spellings ``"ecoli-like"`` / ``"human-like"`` are
+accepted as aliases), plus ``"default"``.
+
+Third-party engines register with :func:`register_basecaller`; anything
+registered here is constructable by name everywhere a built-in is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.basecalling.engines import (
+    DNNBackendConfig,
+    DNNChunkBasecaller,
+    ViterbiBackendConfig,
+    ViterbiChunkBasecaller,
+)
+from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig
+from repro.core.backends import Basecaller
+from repro.core.config import ECOLI_PARAMS, HUMAN_PARAMS, GenPIPConfig
+
+
+@dataclass(frozen=True)
+class BackendRegistration:
+    """One named basecaller backend.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lowercase identifier).
+    factory:
+        ``factory(config | None) -> Basecaller``; ``None`` builds the
+        backend's defaults.
+    instance_type:
+        Exact engine type produced by ``factory`` (used to recognise
+        instances when capturing a :class:`BasecallerRef`).
+    config_type:
+        Type of the accepted construction config, or ``None`` when the
+        backend takes no config.
+    capture:
+        ``capture(instance) -> config``: extract the construction
+        config from a live instance so name + config round-trips.
+    description:
+        One-line summary for CLIs and error messages.
+    """
+
+    name: str
+    factory: Callable[[Any], Basecaller]
+    instance_type: type
+    config_type: type | None
+    capture: Callable[[Any], Any]
+    description: str = ""
+
+
+_BASECALLERS: dict[str, BackendRegistration] = {}
+
+
+def register_basecaller(registration: BackendRegistration) -> None:
+    """Add (or replace) a named basecaller backend."""
+    name = registration.name
+    if not name or name != name.lower() or not name.replace("-", "_").isidentifier():
+        raise ValueError(f"backend name must be a lowercase identifier, got {name!r}")
+    _BASECALLERS[name] = registration
+
+
+def basecaller_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BASECALLERS))
+
+
+def basecaller_registration(name: str) -> BackendRegistration:
+    """Look up a backend registration with a helpful error."""
+    try:
+        return _BASECALLERS[name]
+    except KeyError:
+        available = ", ".join(basecaller_names())
+        raise ValueError(
+            f"unknown basecaller backend {name!r}; available backends: {available}"
+        ) from None
+
+
+def create_basecaller(name: str, config: Any | None = None) -> Basecaller:
+    """Construct a registered backend by name.
+
+    ``config`` must be an instance of the backend's config type (or
+    ``None`` for the backend's defaults).
+    """
+    registration = basecaller_registration(name)
+    if config is not None and registration.config_type is not None:
+        if not isinstance(config, registration.config_type):
+            raise TypeError(
+                f"backend {name!r} expects a {registration.config_type.__name__} "
+                f"config, got {type(config).__name__}"
+            )
+    return registration.factory(config)
+
+
+def backend_for_instance(instance: Any) -> BackendRegistration | None:
+    """The registration whose exact instance type matches, if any.
+
+    Exact type matching (not ``isinstance``) keeps subclasses with
+    extra state from being silently rebuilt as their base backend.
+    """
+    for registration in _BASECALLERS.values():
+        if type(instance) is registration.instance_type:
+            return registration
+    return None
+
+
+@dataclass(frozen=True)
+class BasecallerRef:
+    """A picklable (registry name, construction config) engine handle.
+
+    ``ref.build()`` constructs an engine identical to the one the ref
+    was captured from: every built-in backend is deterministic in its
+    config, so name + config is a faithful wire format.
+    """
+
+    name: str
+    config: Any = None
+
+    def build(self) -> Basecaller:
+        """Construct the referenced engine."""
+        return create_basecaller(self.name, self.config)
+
+    @classmethod
+    def capture(cls, basecaller: Any) -> "BasecallerRef | None":
+        """The ref for a live engine, or ``None`` if it is unregistered."""
+        registration = backend_for_instance(basecaller)
+        if registration is None:
+            return None
+        return cls(name=registration.name, config=registration.capture(basecaller))
+
+
+# --- Built-in backends ----------------------------------------------------
+
+register_basecaller(
+    BackendRegistration(
+        name="surrogate",
+        factory=lambda config: SurrogateBasecaller(config),
+        instance_type=SurrogateBasecaller,
+        config_type=SurrogateConfig,
+        capture=lambda basecaller: basecaller.config,
+        description="ground-truth replay with a calibrated error/quality model (dataset-scale)",
+    )
+)
+
+register_basecaller(
+    BackendRegistration(
+        name="viterbi",
+        factory=lambda config: ViterbiChunkBasecaller(config),
+        instance_type=ViterbiChunkBasecaller,
+        config_type=ViterbiBackendConfig,
+        capture=lambda basecaller: basecaller.config,
+        description="signal-space k-mer HMM Viterbi decoding of synthesized raw signal",
+    )
+)
+
+register_basecaller(
+    BackendRegistration(
+        name="dnn",
+        factory=lambda config: DNNChunkBasecaller(config),
+        instance_type=DNNChunkBasecaller,
+        config_type=DNNBackendConfig,
+        capture=lambda basecaller: basecaller.config,
+        description="Bonito-like CTC network (untrained weights; workload/integration backend)",
+    )
+)
+
+
+# --- Pipeline presets -----------------------------------------------------
+
+_PRESETS: dict[str, GenPIPConfig] = {
+    "default": GenPIPConfig(),
+    "ecoli": ECOLI_PARAMS,
+    "human": HUMAN_PARAMS,
+    # Dataset-profile spellings, for symmetry with --profile.
+    "ecoli-like": ECOLI_PARAMS,
+    "human-like": HUMAN_PARAMS,
+}
+
+
+def register_preset(name: str, config: GenPIPConfig) -> None:
+    """Add (or replace) a named pipeline preset."""
+    if not name:
+        raise ValueError("preset name must be non-empty")
+    _PRESETS[name] = config
+
+
+def preset_names() -> tuple[str, ...]:
+    """Registered preset names, sorted."""
+    return tuple(sorted(_PRESETS))
+
+
+def preset_config(name: str) -> GenPIPConfig:
+    """Look up a preset's :class:`GenPIPConfig` with a helpful error."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        available = ", ".join(preset_names())
+        raise ValueError(
+            f"unknown pipeline preset {name!r}; available presets: {available}"
+        ) from None

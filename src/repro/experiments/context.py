@@ -13,10 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core import GenPIP, GenPIPConfig, ECOLI_PARAMS, HUMAN_PARAMS
+from repro.core.config import VARIANTS, variant_config
 from repro.core.genpip import GenPIPReport
 from repro.mapping.index import MinimizerIndex
 from repro.nanopore.datasets import Dataset, PRESETS, generate_dataset
 from repro.perf.workload import PipelineWorkload
+
+__all__ = [
+    "DEFAULT_SCALES",
+    "DATASET_PARAMS",
+    "VARIANTS",
+    "variant_config",
+    "ExperimentContext",
+    "get_context",
+    "resolve_scale",
+]
 
 #: Default generation scales: a few hundred reads per dataset -- enough
 #: for stable ratios, small enough for laptop turnaround.
@@ -24,22 +35,6 @@ DEFAULT_SCALES = {"ecoli-like": 0.002, "human-like": 0.0004}
 
 #: Sec. 6.3's chosen ER parameters per dataset.
 DATASET_PARAMS = {"ecoli-like": ECOLI_PARAMS, "human-like": HUMAN_PARAMS}
-
-#: ER variants of the evaluation and their config transform.
-VARIANTS = ("conventional", "qsr_only", "full_er")
-
-
-def variant_config(config: GenPIPConfig, variant: str) -> GenPIPConfig:
-    """Apply an evaluation variant's ER switches to a base config."""
-    if variant == "conventional":
-        return config.conventional()
-    if variant == "qsr_only":
-        from dataclasses import replace
-
-        return replace(config, enable_cmr=False)
-    if variant == "full_er":
-        return config
-    raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
 
 
 @dataclass
@@ -89,7 +84,11 @@ class ExperimentContext:
         return variant_config(self.base_config(chunk_size), variant)
 
     def report(
-        self, variant: str = "full_er", chunk_size: int = 300, align: bool = False
+        self,
+        variant: str = "full_er",
+        chunk_size: int = 300,
+        align: bool = False,
+        basecaller: str = "surrogate",
     ) -> GenPIPReport:
         """Cached functional pipeline run for one variant/chunk size.
 
@@ -97,11 +96,21 @@ class ExperimentContext:
         performance model derives alignment *work* from mapping status,
         and skipping the DP makes the sweep experiments several times
         faster. Accuracy-focused experiments pass ``align=True``.
+
+        ``basecaller`` selects any registered backend by name; keep the
+        signal-space backends (``"viterbi"``, ``"dnn"``) to tiny scales
+        -- they decode real per-read signal.
         """
-        key = (variant, chunk_size, align)
+        key = (variant, chunk_size, align, basecaller)
         if key not in self._reports:
-            config = self._variant_config(variant, chunk_size)
-            system = GenPIP(self.index, config, align=align)
+            system = (
+                GenPIP.build()
+                .index(self.index)
+                .config(self._variant_config(variant, chunk_size))
+                .basecaller(basecaller)
+                .align(align)
+                .build()
+            )
             self._reports[key] = system.run(self.dataset, workers=self.workers)
         return self._reports[key]
 

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.genomics import alphabet
 
 
 @dataclass(frozen=True)

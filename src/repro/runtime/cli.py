@@ -17,6 +17,12 @@ Two workers, batches of 8, report to a file::
 
     python -m repro.runtime --profile ecoli-like --scale 0.001 \\
         --workers 2 --batch-size 8 --json report.json
+
+Any registered basecaller backend and pipeline preset plugs in (keep
+signal-space backends to tiny scales -- they decode real signal)::
+
+    python -m repro.runtime --basecaller viterbi --preset ecoli \\
+        --scale 0.0002 --max-read-length 1500
 """
 
 from __future__ import annotations
@@ -26,9 +32,10 @@ import json
 import sys
 from typing import Sequence
 
+from repro.core.config import VARIANTS, variant_config
 from repro.core.genpip import GenPIP, GenPIPReport
 from repro.core.pipeline import ReadOutcome
-from repro.experiments.context import DATASET_PARAMS, VARIANTS, variant_config
+from repro.core.registry import basecaller_names, preset_config, preset_names
 from repro.mapping.index import MinimizerIndex
 from repro.nanopore.datasets import PRESETS, generate_dataset, small_profile
 from repro.runtime.engine import DatasetEngine
@@ -54,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap read lengths via the small-profile transform (fast smoke runs)",
     )
     pipe = parser.add_argument_group("pipeline")
+    pipe.add_argument(
+        "--basecaller", choices=basecaller_names(), default="surrogate",
+        help="basecaller backend from the registry",
+    )
+    pipe.add_argument(
+        "--preset", choices=preset_names(), default=None, metavar="NAME",
+        help="pipeline preset (e.g. ecoli, human); default: the profile's Sec. 6.3 parameters",
+    )
     pipe.add_argument(
         "--variant", choices=VARIANTS, default="full_er",
         help="early-rejection variant of the evaluation",
@@ -156,11 +171,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         profile = small_profile(profile, max_read_length=args.max_read_length)
     dataset = generate_dataset(profile, scale=args.scale, seed=args.seed)
     index = MinimizerIndex.build(dataset.reference)
-    config = variant_config(
-        DATASET_PARAMS[args.profile].with_chunk_size(args.chunk_size), args.variant
-    )
+    # The registry's profile-name aliases carry each dataset's Sec. 6.3
+    # parameters, so the profile default and --preset share one source.
+    base_config = preset_config(args.preset or args.profile)
+    config = variant_config(base_config.with_chunk_size(args.chunk_size), args.variant)
 
-    system = GenPIP(index, config, align=args.align)
+    system = (
+        GenPIP.build()
+        .index(index)
+        .config(config)
+        .basecaller(args.basecaller)
+        .align(args.align)
+        .build()
+    )
     engine = DatasetEngine(system.pipeline, workers=args.workers, batch_size=args.batch_size)
     report = engine.run(dataset)
 
@@ -171,6 +194,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scale": args.scale,
         "seed": args.seed,
         "max_read_length": args.max_read_length,
+        "basecaller": args.basecaller,
+        "preset": args.preset,
         "variant": args.variant,
         "chunk_size": args.chunk_size,
         "align": args.align,

@@ -6,15 +6,27 @@ worker needs anyway. :class:`PipelineSpec` captures exactly the
 constructor arguments of the pipeline, travels to each worker once (via
 the pool initializer), and rebuilds an identical pipeline there -- so
 per-task messages carry only reads and outcomes, never engine state.
+
+The basecaller travels as a
+:class:`~repro.core.registry.BasecallerRef` whenever the pipeline's
+engine is a registered backend: the registry name plus its construction
+config round-trips through pickle and rebuilds an identical engine in
+the worker (every built-in backend is deterministic in its config).
+Unregistered engines travel as the instance itself, which therefore
+must be picklable. Either way the spec works under both ``fork`` and
+``spawn`` start methods -- ``tests/test_runtime.py`` rebuilds a
+non-surrogate spec in a fresh interpreter and asserts identical
+outcomes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.basecalling.surrogate import SurrogateBasecaller
+from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
 from repro.core.config import GenPIPConfig
 from repro.core.pipeline import GenPIPPipeline
+from repro.core.registry import BasecallerRef
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import MapperConfig
 
@@ -23,33 +35,54 @@ from repro.mapping.mapper import MapperConfig
 class PipelineSpec:
     """Everything needed to reconstruct a :class:`GenPIPPipeline`.
 
-    All fields are plain dataclasses / numpy containers, so the spec is
-    picklable under both ``fork`` and ``spawn`` start methods.
+    All fields are plain dataclasses / numpy containers (or registered
+    backends' refs), so the spec is picklable under both ``fork`` and
+    ``spawn`` start methods.
     """
 
     index: MinimizerIndex
     config: GenPIPConfig
-    basecaller: SurrogateBasecaller
+    basecaller: BasecallerRef | Basecaller
     mapper_config: MapperConfig
     align: bool = True
+    qsr_policy: QSRPolicyProtocol | None = None
+    cmr_policy: CMRPolicyProtocol | None = None
 
     @classmethod
     def from_pipeline(cls, pipeline: GenPIPPipeline) -> "PipelineSpec":
-        """Capture an existing pipeline's construction arguments."""
+        """Capture an existing pipeline's construction arguments.
+
+        Registered engines are captured as a :class:`BasecallerRef`
+        (name + config); unregistered ones are carried as the instance.
+        The rejection policies are carried as instances -- the defaults
+        are tiny threshold holders, and custom policies need only be
+        picklable, the same contract as a custom basecaller.
+        """
+        basecaller = BasecallerRef.capture(pipeline.basecaller) or pipeline.basecaller
         return cls(
             index=pipeline.index,
             config=pipeline.config,
-            basecaller=pipeline.basecaller,
+            basecaller=basecaller,
             mapper_config=pipeline.mapper_config,
             align=pipeline.align,
+            qsr_policy=pipeline.qsr_policy,
+            cmr_policy=pipeline.cmr_policy,
         )
+
+    def resolve_basecaller(self) -> Basecaller:
+        """The engine instance (building it from the ref if needed)."""
+        if isinstance(self.basecaller, BasecallerRef):
+            return self.basecaller.build()
+        return self.basecaller
 
     def build(self) -> GenPIPPipeline:
         """Reconstruct the pipeline (called once per worker process)."""
         return GenPIPPipeline(
             self.index,
-            self.basecaller,
+            self.resolve_basecaller(),
             self.config,
             self.mapper_config,
             align=self.align,
+            qsr_policy=self.qsr_policy,
+            cmr_policy=self.cmr_policy,
         )

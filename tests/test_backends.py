@@ -1,0 +1,428 @@
+"""Tests for the pluggable engine API.
+
+Covers the structural protocols (:mod:`repro.core.backends`), the
+signal-space backend adapters (:mod:`repro.basecalling.engines`), the
+backend/preset registry (:mod:`repro.core.registry`), the fluent
+builder (:mod:`repro.core.builder`), and the backend-generic
+:class:`~repro.runtime.spec.PipelineSpec` -- including the two
+equivalence guarantees of the redesign:
+
+* the default builder chain produces reports *byte-identical* to the
+  direct ``GenPIP(...)`` constructor;
+* a builder-constructed system with a non-default backend yields the
+  same report from ``run(workers=2)`` as from the serial run, and its
+  spec round-trips through pickle into a fresh interpreter (``spawn``
+  semantics) with identical outcomes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.basecalling import (
+    DNNBackendConfig,
+    DNNChunkBasecaller,
+    SurrogateBasecaller,
+    ViterbiBackendConfig,
+    ViterbiChunkBasecaller,
+    chunk_bounds,
+)
+from repro.core import (
+    CMRPolicy,
+    ECOLI_PARAMS,
+    GenPIP,
+    GenPIPConfig,
+    QSRPolicy,
+    ReadStatus,
+)
+from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.early_rejection import QSRDecision
+from repro.core.pipeline import ConventionalPipeline
+from repro.core.registry import (
+    BasecallerRef,
+    basecaller_names,
+    create_basecaller,
+    preset_config,
+    preset_names,
+)
+from repro.mapping.index import MinimizerIndex
+from repro.nanopore.datasets import ECOLI_LIKE, generate_dataset, small_profile
+from repro.runtime.cli import report_to_json
+from repro.runtime.spec import PipelineSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Small pore (64 Viterbi states) keeps signal-space decoding fast.
+FAST_VITERBI = ViterbiBackendConfig(pore_k=3)
+FAST_DNN = DNNBackendConfig(hidden=16, pore_k=3)
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    """A handful of short reads for signal-space backends."""
+    return generate_dataset(
+        small_profile(ECOLI_LIKE, max_read_length=1_200), scale=0.0001, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_index(micro_dataset):
+    return MinimizerIndex.build(micro_dataset.reference)
+
+
+@pytest.fixture(scope="module")
+def micro_read(micro_dataset):
+    return min(micro_dataset.reads, key=len)
+
+
+class TestProtocols:
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            SurrogateBasecaller(),
+            ViterbiChunkBasecaller(FAST_VITERBI),
+            DNNChunkBasecaller(FAST_DNN),
+        ],
+        ids=["surrogate", "viterbi", "dnn"],
+    )
+    def test_backends_satisfy_basecaller_protocol(self, engine):
+        assert isinstance(engine, Basecaller)
+
+    def test_policies_satisfy_protocols(self):
+        assert isinstance(QSRPolicy(), QSRPolicyProtocol)
+        assert isinstance(CMRPolicy(), CMRPolicyProtocol)
+
+    def test_non_conforming_object_fails(self):
+        assert not isinstance(object(), Basecaller)
+        assert not isinstance(QSRPolicy(), CMRPolicyProtocol)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"surrogate", "viterbi", "dnn"} <= set(basecaller_names())
+
+    def test_create_defaults(self):
+        assert isinstance(create_basecaller("surrogate"), SurrogateBasecaller)
+        assert isinstance(create_basecaller("viterbi"), ViterbiChunkBasecaller)
+        assert isinstance(create_basecaller("dnn"), DNNChunkBasecaller)
+
+    def test_unknown_backend_error_lists_available(self):
+        with pytest.raises(ValueError) as excinfo:
+            create_basecaller("bonito")
+        message = str(excinfo.value)
+        assert "bonito" in message
+        for name in basecaller_names():
+            assert name in message
+
+    def test_wrong_config_type_rejected(self):
+        with pytest.raises(TypeError):
+            create_basecaller("viterbi", DNNBackendConfig())
+
+    def test_ref_capture_and_pickle_round_trip(self, micro_read):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        ref = BasecallerRef.capture(engine)
+        assert ref is not None
+        assert ref.name == "viterbi"
+        assert ref.config == FAST_VITERBI
+        rebuilt = pickle.loads(pickle.dumps(ref)).build()
+        original = engine.basecall_chunk(micro_read, 0, 300)
+        copy = rebuilt.basecall_chunk(micro_read, 0, 300)
+        assert copy.bases == original.bases
+        assert np.array_equal(copy.qualities, original.qualities)
+
+    def test_capture_of_unregistered_engine_is_none(self):
+        class CustomEngine(SurrogateBasecaller):
+            pass
+
+        assert BasecallerRef.capture(CustomEngine()) is None
+        assert BasecallerRef.capture(object()) is None
+
+    def test_presets(self):
+        assert preset_config("ecoli") == ECOLI_PARAMS
+        assert preset_config("ecoli-like") == ECOLI_PARAMS
+        assert preset_config("default") == GenPIPConfig()
+        with pytest.raises(ValueError) as excinfo:
+            preset_config("zebrafish")
+        message = str(excinfo.value)
+        assert "zebrafish" in message
+        for name in preset_names():
+            assert name in message
+
+
+class TestSignalSpaceBackends:
+    def test_viterbi_chunk_grid_matches_shared_bounds(self, micro_read):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        for chunk_size in (200, 300, 500):
+            assert engine.n_chunks(micro_read, chunk_size) == len(
+                chunk_bounds(len(micro_read), chunk_size)
+            )
+
+    def test_viterbi_chunk_decode_is_order_independent(self, micro_read):
+        first = ViterbiChunkBasecaller(FAST_VITERBI)
+        second = ViterbiChunkBasecaller(FAST_VITERBI)
+        # Ask the two instances for the same chunk after different
+        # access histories; results must match exactly.
+        first.basecall_chunk(micro_read, 0, 300)
+        a = first.basecall_chunk(micro_read, 1, 300)
+        b = second.basecall_chunk(micro_read, 1, 300)
+        assert a.bases == b.bases
+        assert np.array_equal(a.qualities, b.qualities)
+
+    def test_viterbi_recovers_sequence(self, micro_read):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        called = engine.basecall_read(micro_read, 300)
+        import difflib
+
+        identity = difflib.SequenceMatcher(
+            None, micro_read.true_bases, called.bases, autojunk=False
+        ).ratio()
+        assert identity > 0.7
+        assert called.n_chunks == engine.n_chunks(micro_read, 300)
+
+    def test_chunk_accounting_covers_whole_read(self, micro_read):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        chunks = [
+            engine.basecall_chunk(micro_read, i, 300)
+            for i in range(engine.n_chunks(micro_read, 300))
+        ]
+        assert sum(c.n_true_bases for c in chunks) == len(micro_read)
+
+    def test_final_chunk_past_modelled_range(self, micro_index):
+        """A read whose final chunk covers only the last k-1 true bases
+        has no dedicated signal samples for it; the decode must yield an
+        empty chunk, not crash (regression: IndexError in slice_bases)."""
+        from repro.nanopore.read_simulator import ReadClass, SimulatedRead
+
+        rng = np.random.default_rng(5)
+        length = 302  # chunk_size 300, pore_k 3 -> final chunk is bases (300, 302), n_bases 300
+        read = SimulatedRead(
+            read_id="edge-read",
+            read_class=ReadClass.JUNK,
+            strand=1,
+            ref_start=None,
+            ref_end=None,
+            true_codes=rng.integers(0, 4, size=length).astype(np.uint8),
+            qualities=np.full(length, 12.0),
+            seed=99,
+        )
+        for engine in (
+            ViterbiChunkBasecaller(FAST_VITERBI),
+            DNNChunkBasecaller(FAST_DNN),
+        ):
+            last = engine.n_chunks(read, 300) - 1
+            chunk = engine.basecall_chunk(read, last, 300)
+            assert len(chunk) == 0
+            assert chunk.n_true_bases == 2
+            called = engine.basecall_read(read, 300)
+            assert called.n_chunks == last + 1
+        # And through the whole pipeline.
+        system = (
+            GenPIP.build()
+            .index(micro_index)
+            .basecaller("viterbi", FAST_VITERBI)
+            .align(False)
+            .build()
+        )
+        outcome = system.process_read(read)
+        assert outcome.n_chunks_total == 2
+
+    def test_out_of_range_chunk_rejected(self, micro_read):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        with pytest.raises(ValueError):
+            engine.basecall_chunk(micro_read, 999, 300)
+
+    def test_instance_pickles_without_cache(self, micro_read):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        engine.basecall_chunk(micro_read, 0, 300)  # populate the cache
+        clone = pickle.loads(pickle.dumps(engine))
+        assert not clone._signal_cache
+        a = clone.basecall_chunk(micro_read, 0, 300)
+        b = engine.basecall_chunk(micro_read, 0, 300)
+        assert a.bases == b.bases
+
+    def test_dnn_backend_emits_aligned_chunks(self, micro_read):
+        engine = DNNChunkBasecaller(FAST_DNN)
+        chunk = engine.basecall_chunk(micro_read, 0, 300)
+        assert chunk.qualities.shape == (len(chunk.bases),)
+        again = DNNChunkBasecaller(FAST_DNN).basecall_chunk(micro_read, 0, 300)
+        assert again.bases == chunk.bases
+        assert np.array_equal(again.qualities, chunk.qualities)
+
+
+class TestBuilder:
+    def test_default_chain_byte_identical_to_constructor(self, micro_index, micro_dataset):
+        direct = GenPIP(micro_index, align=False).run(micro_dataset)
+        built = GenPIP.build().index(micro_index).align(False).build().run(micro_dataset)
+        run_args = {"dataset": "micro"}
+        assert report_to_json(built, run_args) == report_to_json(direct, run_args)
+
+    def test_viterbi_chain_parallel_equals_serial(self, micro_index, micro_dataset):
+        system = (
+            GenPIP.build()
+            .index(micro_index)
+            .preset("ecoli")
+            .basecaller("viterbi", FAST_VITERBI)
+            .align(False)
+            .build()
+        )
+        serial = system.run(micro_dataset)
+        parallel = system.run(micro_dataset, workers=2, batch_size=2)
+        assert parallel.outcomes == serial.outcomes
+        assert parallel.counters == serial.counters
+        statuses = {outcome.status for outcome in serial.outcomes}
+        assert statuses <= set(ReadStatus)
+
+    def test_chunk_size_and_variant_compose(self, micro_index):
+        builder = (
+            GenPIP.build()
+            .index(micro_index)
+            .preset("human")
+            .chunk_size(400)
+            .variant("conventional")
+        )
+        config = builder.resolved_config()
+        assert config.chunk_size == 400
+        assert config.n_qs == 5 and config.n_cm == 3  # human preset survives
+        assert not config.enable_qsr and not config.enable_cmr
+
+    def test_build_without_index_raises(self):
+        with pytest.raises(ValueError, match="index"):
+            GenPIP.build().basecaller("surrogate").build()
+
+    def test_unknown_backend_surfaces_registry_error(self, micro_index):
+        with pytest.raises(ValueError, match="available backends"):
+            GenPIP.build().index(micro_index).basecaller("bonito").build()
+
+    def test_instance_with_config_rejected(self):
+        with pytest.raises(ValueError):
+            GenPIP.build().basecaller(SurrogateBasecaller(), FAST_VITERBI)
+
+    def test_for_dataset_builds_index(self, micro_dataset):
+        system = GenPIP.build().for_dataset(micro_dataset).align(False).build()
+        report = system.run(micro_dataset)
+        assert report.n_reads == len(micro_dataset)
+
+    def test_custom_policy_injection(self, micro_index, micro_dataset):
+        class RejectEverything:
+            def sample_indices(self, n_chunks):
+                return [0]
+
+            def decide(self, sampled_chunks):
+                return QSRDecision(
+                    reject=True,
+                    average_quality=0.0,
+                    sampled_indices=tuple(c.chunk_index for c in sampled_chunks),
+                )
+
+        system = (
+            GenPIP.build()
+            .index(micro_index)
+            .qsr_policy(RejectEverything())
+            .align(False)
+            .build()
+        )
+        report = system.run(micro_dataset)
+        eligible = [
+            o for o in report.outcomes
+            if o.n_chunks_total >= system.config.min_chunks_for_er
+        ]
+        assert eligible
+        assert all(o.status is ReadStatus.REJECTED_QSR for o in eligible)
+
+
+class TestConventionalPipelineAlign:
+    def test_align_is_forwarded(self, micro_index, micro_dataset):
+        read = max(micro_dataset.reads, key=len)
+        with_align = ConventionalPipeline(micro_index, align=True).process_read(read)
+        without = ConventionalPipeline(micro_index, align=False).process_read(read)
+        assert with_align.status == without.status
+        if with_align.status is ReadStatus.MAPPED:
+            assert with_align.aligned
+            assert not without.aligned
+            assert without.mapping.alignment is None
+
+
+class TestPipelineSpec:
+    def test_registered_backend_travels_as_ref(self, micro_index):
+        system = (
+            GenPIP.build()
+            .index(micro_index)
+            .basecaller("viterbi", FAST_VITERBI)
+            .build()
+        )
+        spec = PipelineSpec.from_pipeline(system.pipeline)
+        assert isinstance(spec.basecaller, BasecallerRef)
+        assert spec.basecaller.name == "viterbi"
+        assert spec.basecaller.config == FAST_VITERBI
+        assert isinstance(spec.build().basecaller, ViterbiChunkBasecaller)
+
+    def test_unregistered_backend_travels_as_instance(self, micro_index):
+        class CustomEngine(SurrogateBasecaller):
+            pass
+
+        engine = CustomEngine()
+        spec = PipelineSpec.from_pipeline(
+            GenPIP(micro_index, basecaller=engine).pipeline
+        )
+        assert spec.basecaller is engine
+        assert isinstance(spec.build().basecaller, CustomEngine)
+
+    def test_custom_policies_travel(self, micro_index):
+        qsr = QSRPolicy(theta_qs=3.3, n_qs=4)
+        spec = PipelineSpec.from_pipeline(
+            GenPIP(micro_index, qsr_policy=qsr).pipeline
+        )
+        rebuilt = pickle.loads(pickle.dumps(spec)).build()
+        assert rebuilt.qsr_policy.theta_qs == 3.3
+        assert rebuilt.qsr_policy.n_qs == 4
+
+    def test_spawn_round_trip_identical_outcomes(
+        self, micro_index, micro_dataset, tmp_path
+    ):
+        """Pickle a non-surrogate spec, rebuild it in a *fresh*
+        interpreter (spawn semantics), and compare outcomes exactly."""
+        system = (
+            GenPIP.build()
+            .index(micro_index)
+            .basecaller("viterbi", FAST_VITERBI)
+            .align(False)
+            .build()
+        )
+        reads = micro_dataset.reads[:3]
+        expected = [system.process_read(read) for read in reads]
+
+        spec_path = tmp_path / "spec.pkl"
+        reads_path = tmp_path / "reads.pkl"
+        out_path = tmp_path / "outcomes.pkl"
+        spec_path.write_bytes(pickle.dumps(PipelineSpec.from_pipeline(system.pipeline)))
+        reads_path.write_bytes(pickle.dumps(reads))
+
+        worker = (
+            "import pickle, sys\n"
+            "spec = pickle.loads(open(sys.argv[1], 'rb').read())\n"
+            "reads = pickle.loads(open(sys.argv[2], 'rb').read())\n"
+            "pipeline = spec.build()\n"
+            "outcomes = pipeline.process_batch(reads)\n"
+            "open(sys.argv[3], 'wb').write(pickle.dumps(outcomes))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", worker, str(spec_path), str(reads_path), str(out_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        outcomes = pickle.loads(out_path.read_bytes())
+        assert outcomes == expected

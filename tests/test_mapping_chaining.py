@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.genomics import alphabet
 from repro.genomics.mutate import apply_errors
 from repro.genomics.reference import ReferenceGenome
-from repro.mapping.chaining import Chain, ChainingConfig, best_chain, chain_anchors, chain_scores
+from repro.mapping.chaining import ChainingConfig, best_chain, chain_anchors, chain_scores
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.minimizers import MinimizerConfig
 from repro.mapping.seeding import collect_anchor_arrays, collect_anchors

@@ -5,7 +5,7 @@ import pytest
 
 from repro.genomics.alphabet import encode
 from repro.nanopore.pore_model import PoreModel
-from repro.nanopore.signal import RawSignal, SignalConfig, normalize_signal, synthesize_signal
+from repro.nanopore.signal import SignalConfig, normalize_signal, synthesize_signal
 
 
 class TestPoreModel:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.genomics.alphabet import reverse_complement, decode
+from repro.genomics.alphabet import reverse_complement
 from repro.genomics.reference import ReferenceGenome
 from repro.nanopore.datasets import (
     ECOLI_LIKE,

@@ -261,6 +261,23 @@ class TestCLI:
         assert completed.returncode == 0, completed.stderr
         return out.read_text()
 
+    def test_cli_viterbi_backend_and_preset(self, tmp_path):
+        """`--basecaller viterbi --preset ecoli` runs the signal-space
+        engine end-to-end through the CLI (tiny dataset; later flags
+        override the helper's defaults)."""
+        payload = self._run_cli(
+            tmp_path,
+            "viterbi.json",
+            [
+                "--workers", "1", "--basecaller", "viterbi", "--preset", "ecoli",
+                "--scale", "0.0001", "--max-read-length", "1000",
+            ],
+        )
+        document = json.loads(payload)
+        assert document["run"]["basecaller"] == "viterbi"
+        assert document["run"]["preset"] == "ecoli"
+        assert document["summary"]["n_reads"] == len(document["reads"]) > 0
+
     def test_cli_serial_and_parallel_reports_identical(self, tmp_path):
         serial = self._run_cli(tmp_path, "serial.json", ["--workers", "1"])
         parallel = self._run_cli(
