@@ -1,75 +1,213 @@
-"""Throughput of the sharded runtime: serial vs. multi-worker reads/sec.
+"""Throughput of the streaming runtime, with a machine-readable trail.
 
-Runs the full-ER pipeline over the ecoli-like bench context through
-:class:`~repro.runtime.engine.DatasetEngine` at 1, 2, and 4 workers.
-The interesting trajectory numbers are ``reads_per_sec`` (in each
-bench's ``extra_info``) and the worker-scaling summary printed by
-``test_worker_scaling_summary``: on a multi-core box the 4-worker run
-should clear >= 1.5x serial throughput, since reads are independent and
-the only serial work left is dataset pickling and the ordered merge.
+Two consumers:
+
+* **pytest-benchmark** (``pytest benchmarks/bench_runtime.py``): the
+  classic reads/sec benches at 1/2/4 workers plus the printed
+  worker-scaling summary.
+* **standalone grid** (``python benchmarks/bench_runtime.py --out
+  BENCH_runtime.json``): times the full worker-count x batching-mode x
+  transport grid through :class:`~repro.runtime.engine.DatasetEngine`
+  and emits ``BENCH_runtime.json`` -- one record per configuration with
+  ``reads_per_sec`` -- so the repo's perf trajectory is tracked as a CI
+  artifact from this PR onward. The grid needs no pytest plugins, just
+  the package itself.
+
+On a multi-core box the 4-worker run should clear >= 1.5x serial
+throughput: reads are independent, payloads travel through shared
+memory, and the only serial work left is planning and the ordered
+merge.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
+import sys
 import time
 
-import pytest
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone grid mode
+    pytest = None
 
 from repro.core import GenPIP
-from repro.experiments.context import get_context
 from repro.runtime import DatasetEngine
 
-pytestmark = pytest.mark.bench
-
 WORKER_COUNTS = (1, 2, 4)
+BATCHING_MODES = ("fixed", "length-aware")
+GRID_TRANSPORTS = ("pickle", "shm")
+
+if pytest is not None:
+    pytestmark = pytest.mark.bench
 
 
-@pytest.fixture(scope="module")
-def runtime_context(bench_scale, bench_seed):
-    context = get_context("ecoli-like", scale=bench_scale, seed=bench_seed)
-    context.index  # force index construction outside the timed region
-    return context
-
-
-@pytest.fixture(scope="module")
-def runtime_system(runtime_context):
-    return GenPIP(runtime_context.index, runtime_context.base_config(), align=False)
-
-
-def _run(system, dataset, workers):
-    engine = DatasetEngine(system.pipeline, workers=workers)
+def _run(system, dataset, workers, batching="fixed", transport="auto"):
+    engine = DatasetEngine(
+        system.pipeline, workers=workers, batching=batching, transport=transport
+    )
     report = engine.run(dataset)
     return report, engine.last_stats
 
 
-@pytest.mark.parametrize("workers", WORKER_COUNTS)
-def test_runtime_throughput(benchmark, runtime_system, runtime_context, workers):
-    dataset = runtime_context.dataset
-    report, stats = benchmark.pedantic(
-        _run, args=(runtime_system, dataset, workers), rounds=3, iterations=1
-    )
-    benchmark.extra_info["workers"] = workers
-    benchmark.extra_info["mode"] = stats.mode
-    benchmark.extra_info["reads"] = stats.n_reads
-    benchmark.extra_info["reads_per_sec"] = round(stats.reads_per_sec, 2)
-    assert report.n_reads == len(dataset)
+def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
+    """Time every worker x batching x transport configuration.
 
-
-def test_worker_scaling_summary(runtime_system, runtime_context, capsys):
-    """One timed pass per worker count; prints the speedup table."""
-    dataset = runtime_context.dataset
-    throughput = {}
+    Serial runs move no payloads, so the transport axis only applies to
+    pooled configurations. Each record carries the best (max
+    throughput) of ``repeats`` passes.
+    """
+    records = []
     for workers in WORKER_COUNTS:
-        started = time.perf_counter()
-        report, stats = _run(runtime_system, dataset, workers)
-        elapsed = time.perf_counter() - started
-        throughput[workers] = len(dataset) / elapsed
+        transports = ("none",) if workers <= 1 else GRID_TRANSPORTS
+        for batching in BATCHING_MODES:
+            for transport in transports:
+                engine_transport = "auto" if transport == "none" else transport
+                best = None
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    report, stats = _run(
+                        system, dataset, workers, batching=batching,
+                        transport=engine_transport,
+                    )
+                    elapsed = time.perf_counter() - started
+                    assert report.n_reads == len(dataset)
+                    rps = len(dataset) / elapsed if elapsed > 0 else 0.0
+                    if best is None or rps > best["reads_per_sec"]:
+                        best = {
+                            "workers": workers,
+                            "batching": batching,
+                            "transport": stats.transport,
+                            "mode": stats.mode,
+                            "batch_size": stats.batch_size,
+                            "n_shards": stats.n_shards,
+                            "reads": stats.n_reads,
+                            "elapsed_s": round(elapsed, 4),
+                            "reads_per_sec": round(rps, 2),
+                        }
+                records.append(best)
+    return records
+
+
+def write_bench_json(path, records: list[dict], context: dict) -> None:
+    document = {
+        "schema": "genpip-bench-runtime/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "context": context,
+        "results": records,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# --- pytest-benchmark lane --------------------------------------------------
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def runtime_context(bench_scale, bench_seed):
+        from repro.experiments.context import get_context
+
+        context = get_context("ecoli-like", scale=bench_scale["ecoli-like"], seed=bench_seed)
+        context.index  # force index construction outside the timed region
+        return context
+
+    @pytest.fixture(scope="module")
+    def runtime_system(runtime_context):
+        return GenPIP(runtime_context.index, runtime_context.base_config(), align=False)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_runtime_throughput(benchmark, runtime_system, runtime_context, workers):
+        dataset = runtime_context.dataset
+        report, stats = benchmark.pedantic(
+            _run, args=(runtime_system, dataset, workers), rounds=3, iterations=1
+        )
+        benchmark.extra_info["workers"] = workers
+        benchmark.extra_info["mode"] = stats.mode
+        benchmark.extra_info["transport"] = stats.transport
+        benchmark.extra_info["reads"] = stats.n_reads
+        benchmark.extra_info["reads_per_sec"] = round(stats.reads_per_sec, 2)
         assert report.n_reads == len(dataset)
-    with capsys.disabled():
-        print("\nruntime worker scaling (ecoli-like bench context):")
-        for workers, rps in throughput.items():
-            print(
-                f"  workers={workers}: {rps:8.1f} reads/s "
-                f"(speedup x{rps / throughput[1]:.2f})"
-            )
-    assert all(rps > 0 for rps in throughput.values())
+
+    def test_worker_scaling_summary(runtime_system, runtime_context, capsys):
+        """One timed pass per worker count; prints the speedup table."""
+        dataset = runtime_context.dataset
+        throughput = {}
+        for workers in WORKER_COUNTS:
+            started = time.perf_counter()
+            report, stats = _run(runtime_system, dataset, workers)
+            elapsed = time.perf_counter() - started
+            throughput[workers] = len(dataset) / elapsed
+            assert report.n_reads == len(dataset)
+        with capsys.disabled():
+            print("\nruntime worker scaling (ecoli-like bench context):")
+            for workers, rps in throughput.items():
+                print(
+                    f"  workers={workers}: {rps:8.1f} reads/s "
+                    f"(speedup x{rps / throughput[1]:.2f})"
+                )
+        assert all(rps > 0 for rps in throughput.values())
+
+    def test_grid_emits_bench_json(runtime_system, runtime_context, tmp_path):
+        """The grid collector produces a complete, well-formed document."""
+        records = collect_grid(runtime_system, runtime_context.dataset)
+        path = tmp_path / "BENCH_runtime.json"
+        write_bench_json(path, records, {"profile": "ecoli-like"})
+        document = json.loads(path.read_text())
+        assert document["schema"] == "genpip-bench-runtime/1"
+        # serial: 2 batching modes; pooled (2 counts): 2 modes x 2 transports.
+        assert len(document["results"]) == 2 + 2 * 4
+        assert all(record["reads_per_sec"] > 0 for record in document["results"])
+
+
+# --- standalone grid entry point -------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the runtime throughput grid and emit BENCH_runtime.json."
+    )
+    parser.add_argument("--profile", default="ecoli-like")
+    parser.add_argument("--scale", type=float, default=0.0015)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-read-length", type=int, default=None, metavar="BASES")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    args = parser.parse_args(argv)
+
+    from repro.core.registry import preset_config
+    from repro.mapping.index import MinimizerIndex
+    from repro.nanopore.datasets import PRESETS, generate_dataset, small_profile
+
+    profile = PRESETS[args.profile]
+    if args.max_read_length is not None:
+        profile = small_profile(profile, max_read_length=args.max_read_length)
+    dataset = generate_dataset(profile, scale=args.scale, seed=args.seed)
+    index = MinimizerIndex.build(dataset.reference)
+    system = GenPIP(index, preset_config(args.profile), align=False)
+
+    records = collect_grid(system, dataset, repeats=args.repeats)
+    context = {
+        "profile": profile.name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "n_reads": len(dataset),
+        "total_bases": int(sum(len(read) for read in dataset.reads)),
+    }
+    write_bench_json(args.out, records, context)
+    for record in records:
+        print(
+            f"workers={record['workers']} batching={record['batching']:<12} "
+            f"transport={record['transport']:<6} mode={record['mode']:<12} "
+            f"{record['reads_per_sec']:8.1f} reads/s",
+            file=sys.stderr,
+        )
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

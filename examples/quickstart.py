@@ -11,7 +11,10 @@ This walks the whole public API surface once:
 5. shard the same run across worker processes (identical report);
 6. rebuild the system through the fluent builder and swap in the
    Viterbi backend by registry name -- same CP/ER control flow, real
-   signal-space decoding.
+   signal-space decoding;
+7. stream the run end-to-end: reads from an on-disk container (or a
+   lazy generator), length-aware work units, outcomes to an
+   incremental JSONL sink -- O(batch) parent memory, same report.
 
 Run with: ``python examples/quickstart.py``
 """
@@ -134,6 +137,40 @@ def main() -> None:
         print(
             f"  {outcome.read_id}: {outcome.status.value:<13} "
             f"basecalled {outcome.n_chunks_basecalled}/{outcome.n_chunks_total} chunks"
+        )
+
+    # 7. Streaming runs: at dataset scale the parent should hold neither
+    #    the input reads nor the output outcomes. Reads stream from an
+    #    on-disk container (or a lazy SimulatorSource) one record at a
+    #    time, work units are balanced by total bases instead of read
+    #    count (adaptive batching: long reads stop serialising the
+    #    shard tail), pooled payloads travel through shared memory, and
+    #    outcomes stream into a JSONL file as the ordered prefix
+    #    completes -- parent memory stays O(batch). The JSONL file
+    #    replays losslessly into the exact in-memory report.
+    import tempfile
+    from pathlib import Path
+
+    from repro.nanopore import write_read_store
+    from repro.runtime import JSONLSink, StoreSource, replay_report
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "reads.gprd"
+        outcomes_path = Path(tmp) / "outcomes.jsonl"
+        store_bytes = write_read_store(store_path, reads)
+        summary = genpip.run(
+            StoreSource(store_path),
+            workers=2,
+            adaptive_batching=True,
+            sink=JSONLSink(outcomes_path),
+        )
+        replayed = replay_report(outcomes_path, summary.config)
+        assert replayed.outcomes == report.outcomes  # byte-for-byte replay
+        print(
+            f"\nstreaming run: {store_bytes:,} B container -> "
+            f"{summary.n_reads} reads streamed -> "
+            f"{outcomes_path.stat().st_size:,} B JSONL; "
+            f"replayed report identical: {replayed.outcomes == report.outcomes}"
         )
 
 

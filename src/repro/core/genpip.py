@@ -271,11 +271,18 @@ class GenPIP:
         *,
         workers: int | None = None,
         batch_size: int | None = None,
+        sink=None,
+        adaptive_batching: bool = False,
+        transport: str = "auto",
     ) -> GenPIPReport:
-        """Process every read of a dataset.
+        """Process every read of a dataset (or any read source).
 
         Parameters
         ----------
+        dataset:
+            A :class:`Dataset`, a sequence of reads, or any streaming
+            :class:`~repro.runtime.source.ReadSource` (lazy simulator,
+            on-disk read store, ...).
         workers:
             Worker processes to shard the reads across. ``None`` defers
             to the ``GENPIP_WORKERS`` environment variable (default 1);
@@ -285,8 +292,29 @@ class GenPIP:
         batch_size:
             Reads per work unit handed to a worker (amortises IPC);
             ``None`` picks a size from the dataset and worker count.
+        sink:
+            Where outcomes stream as the ordered prefix completes; a
+            :class:`~repro.runtime.sink.ReportSink`. ``None`` keeps the
+            classic behaviour (full in-memory report). With a streaming
+            sink (e.g. :class:`~repro.runtime.sink.JSONLSink`), the
+            returned report carries exact counters but no per-read
+            outcomes -- those live wherever the sink put them -- and
+            parent memory stays O(batch).
+        adaptive_batching:
+            Balance work units by total bases instead of read count
+            (kills the long-read tail; same outcomes, same order).
+        transport:
+            How pooled read payloads travel: ``"auto"`` (shared memory
+            when available), ``"shm"``, or ``"pickle"``.
         """
         from repro.runtime.engine import DatasetEngine
 
-        engine = DatasetEngine(self._pipeline, workers=workers, batch_size=batch_size)
+        engine = DatasetEngine(
+            self._pipeline,
+            workers=workers,
+            batch_size=batch_size,
+            sink=sink,
+            batching="length-aware" if adaptive_batching else "fixed",
+            transport=transport,
+        )
         return engine.run(dataset)

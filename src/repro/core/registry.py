@@ -15,12 +15,20 @@ Built-in presets: ``"ecoli"`` / ``"human"`` (Sec. 6.3 parameters; the
 dataset-profile spellings ``"ecoli-like"`` / ``"human-like"`` are
 accepted as aliases), plus ``"default"``.
 
-Third-party engines register with :func:`register_basecaller`; anything
-registered here is constructable by name everywhere a built-in is.
+Third-party engines register with :func:`register_basecaller`, or --
+without importing this repo's internals at all -- by shipping an
+``importlib.metadata`` entry point in the :data:`ENTRY_POINT_GROUP`
+group whose target is a :class:`BackendRegistration` (or a zero-arg
+callable returning one). Entry points are discovered lazily on the
+first registry lookup, so merely importing :mod:`repro` never scans
+installed distributions. Anything registered either way is
+constructable by name everywhere a built-in is.
 """
 
 from __future__ import annotations
 
+import importlib.metadata
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -69,6 +77,16 @@ class BackendRegistration:
 
 _BASECALLERS: dict[str, BackendRegistration] = {}
 
+#: Entry-point group third-party distributions use to ship backends.
+ENTRY_POINT_GROUP = "repro.basecallers"
+
+_ENTRY_POINTS_LOADED = False
+
+#: Backend name -> entry-point value that registered it, so a forced
+#: rescan of an unchanged plugin does not re-warn about "overriding" it
+#: while two *different* plugins colliding on one name still warn.
+_ENTRY_POINT_NAMES: dict[str, str] = {}
+
 
 def register_basecaller(registration: BackendRegistration) -> None:
     """Add (or replace) a named basecaller backend."""
@@ -78,17 +96,81 @@ def register_basecaller(registration: BackendRegistration) -> None:
     _BASECALLERS[name] = registration
 
 
+def load_entry_point_backends(*, force: bool = False) -> tuple[str, ...]:
+    """Discover and register third-party backends from entry points.
+
+    Scans the :data:`ENTRY_POINT_GROUP` group of every installed
+    distribution; each entry point must resolve to a
+    :class:`BackendRegistration` or a zero-arg callable returning one.
+    Runs at most once per process (``force=True`` rescans, e.g. after
+    ``sys.path`` changes in tests). A broken plugin is skipped with a
+    ``RuntimeWarning`` rather than breaking the registry for everyone.
+
+    Returns the names registered by this call.
+    """
+    global _ENTRY_POINTS_LOADED
+    if _ENTRY_POINTS_LOADED and not force:
+        return ()
+    loaded: list[str] = []
+    try:
+        entry_points = importlib.metadata.entry_points(group=ENTRY_POINT_GROUP)
+    except Exception as exc:  # pragma: no cover - metadata backend failure
+        # Leave the loaded flag unset so a transient metadata failure
+        # does not permanently disable discovery for the process.
+        warnings.warn(
+            f"cannot scan {ENTRY_POINT_GROUP!r} entry points: {exc!r}", RuntimeWarning
+        )
+        return ()
+    _ENTRY_POINTS_LOADED = True
+    for entry_point in entry_points:
+        try:
+            target = entry_point.load()
+            registration = target if isinstance(target, BackendRegistration) else target()
+            if not isinstance(registration, BackendRegistration):
+                raise TypeError(
+                    f"entry point must yield a BackendRegistration, "
+                    f"got {type(registration).__name__}"
+                )
+            if (
+                registration.name in _BASECALLERS
+                and _ENTRY_POINT_NAMES.get(registration.name) != entry_point.value
+            ):
+                # Explicit register_basecaller() calls replace silently
+                # by design; *ambient* discovery overriding an existing
+                # backend (built-in, or a *different* plugin that won
+                # the name earlier in the scan) changes every subsequent
+                # run's engine, so it must be loud. A forced rescan
+                # re-registering the same plugin is not an override.
+                warnings.warn(
+                    f"entry point {entry_point.name!r} overrides the existing "
+                    f"basecaller backend {registration.name!r}",
+                    RuntimeWarning,
+                )
+            register_basecaller(registration)
+            _ENTRY_POINT_NAMES[registration.name] = entry_point.value
+            loaded.append(registration.name)
+        except Exception as exc:
+            warnings.warn(
+                f"skipping basecaller entry point {entry_point.name!r}: {exc!r}",
+                RuntimeWarning,
+            )
+    return tuple(loaded)
+
+
 def basecaller_names() -> tuple[str, ...]:
-    """Registered backend names, sorted."""
+    """Registered backend names (built-in + entry-point), sorted."""
+    load_entry_point_backends()
     return tuple(sorted(_BASECALLERS))
 
 
 def basecaller_registration(name: str) -> BackendRegistration:
     """Look up a backend registration with a helpful error."""
+    if name not in _BASECALLERS:
+        load_entry_point_backends()
     try:
         return _BASECALLERS[name]
     except KeyError:
-        available = ", ".join(basecaller_names())
+        available = ", ".join(sorted(_BASECALLERS))
         raise ValueError(
             f"unknown basecaller backend {name!r}; available backends: {available}"
         ) from None

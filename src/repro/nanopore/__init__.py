@@ -32,10 +32,18 @@ from repro.nanopore.datasets import (
     ECOLI_LIKE,
     HUMAN_LIKE,
     generate_dataset,
+    iter_dataset_reads,
+    profile_reference,
 )
 from repro.nanopore.signal_store import (
     SignalRecord,
+    iter_read_store,
+    iter_signals,
+    read_read_store,
     read_signals,
+    read_store_count,
+    signal_count,
+    write_read_store,
     write_signals,
 )
 from repro.nanopore.signal_filter import SignalPrefilter, subsequence_dtw
@@ -56,8 +64,16 @@ __all__ = [
     "ECOLI_LIKE",
     "HUMAN_LIKE",
     "generate_dataset",
+    "iter_dataset_reads",
+    "profile_reference",
     "SignalRecord",
+    "iter_read_store",
+    "iter_signals",
+    "read_read_store",
     "read_signals",
+    "read_store_count",
+    "signal_count",
+    "write_read_store",
     "write_signals",
     "SignalPrefilter",
     "subsequence_dtw",

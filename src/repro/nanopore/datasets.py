@@ -176,6 +176,41 @@ class Dataset:
         )
 
 
+def profile_reference(profile: DatasetProfile) -> ReferenceGenome:
+    """The deterministic reference genome of a dataset profile.
+
+    :func:`generate_dataset` and :func:`iter_dataset_reads` build this
+    same genome when no explicit reference is supplied, so callers that
+    need the reference separately (e.g. to build an index before
+    streaming reads) get an identical one.
+    """
+    return ReferenceGenome.random(
+        length=profile.reference_length,
+        seed=profile.reference_seed,
+        name=profile.name,
+    )
+
+
+def iter_dataset_reads(
+    profile: DatasetProfile,
+    scale: float = 0.005,
+    seed: int = 0,
+    reference: ReferenceGenome | None = None,
+):
+    """Lazily generate the reads of :func:`generate_dataset`.
+
+    Yields exactly the read sequence ``generate_dataset(...).reads``
+    would contain (same profile, scale, seed => same reads in the same
+    order) without materialising the dataset. The streaming runtime's
+    :class:`~repro.runtime.source.SimulatorSource` builds on this to
+    overlap read generation with pipeline execution.
+    """
+    if reference is None:
+        reference = profile_reference(profile)
+    simulator = ReadSimulator(reference, profile.simulator, seed=seed)
+    return simulator.iter_reads(profile.scaled_read_count(scale))
+
+
 def generate_dataset(
     profile: DatasetProfile,
     scale: float = 0.005,
@@ -198,13 +233,8 @@ def generate_dataset(
         generated from the profile when omitted.
     """
     if reference is None:
-        reference = ReferenceGenome.random(
-            length=profile.reference_length,
-            seed=profile.reference_seed,
-            name=profile.name,
-        )
-    simulator = ReadSimulator(reference, profile.simulator, seed=seed)
-    reads = simulator.sample_reads(profile.scaled_read_count(scale))
+        reference = profile_reference(profile)
+    reads = list(iter_dataset_reads(profile, scale=scale, seed=seed, reference=reference))
     return Dataset(profile=profile, reference=reference, reads=reads)
 
 

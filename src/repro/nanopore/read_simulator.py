@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -280,11 +281,23 @@ class ReadSimulator:
             seed=seed,
         )
 
-    def sample_reads(self, n: int) -> list[SimulatedRead]:
-        """Draw *n* reads."""
+    def iter_reads(self, n: int) -> Iterator[SimulatedRead]:
+        """Lazily draw *n* reads, one at a time.
+
+        Yields the exact read sequence :meth:`sample_reads` would return
+        (the RNG advances identically), but without materialising the
+        dataset -- the streaming runtime sources
+        (:mod:`repro.runtime.source`) build on this to overlap read
+        generation with pipeline execution.
+        """
         if n < 0:
             raise ValueError("n must be non-negative")
-        return [self.sample_read() for _ in range(n)]
+        for _ in range(n):
+            yield self.sample_read()
+
+    def sample_reads(self, n: int) -> list[SimulatedRead]:
+        """Draw *n* reads."""
+        return list(self.iter_reads(n))
 
 
 def _solve_length_model(config: SimulatorConfig) -> tuple[float, float]:

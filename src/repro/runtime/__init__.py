@@ -1,45 +1,96 @@
-"""Dataset-scale execution runtime: sharded, parallel pipeline runs.
+"""Dataset-scale execution runtime: a streaming, sharded dataflow.
 
 GenPIP's reads are independent, so dataset throughput is an execution
-problem, not an algorithmic one. This package supplies the execution
-layer:
+and *data-movement* problem, not an algorithmic one. This package
+supplies the execution layer as a streaming dataflow:
 
+* :mod:`repro.runtime.source` -- :class:`ReadSource` implementations
+  (in-memory sequence, lazy simulator generator, incremental on-disk
+  read store) plus the :class:`Prefetcher` producer thread that
+  overlaps input with execution;
+* :mod:`repro.runtime.sharding` -- streaming work-unit planning with
+  fixed or length-aware (base-balanced) batching;
 * :mod:`repro.runtime.spec` -- :class:`PipelineSpec`, the picklable
   per-worker pipeline factory;
-* :mod:`repro.runtime.sharding` -- read batching into ordered
-  :class:`WorkUnit`\\ s;
+* :mod:`repro.runtime.transport` -- shared-memory publication of read
+  payloads (workers receive handles, not pickles);
 * :mod:`repro.runtime.merge` -- :class:`ShardCollector`, the
-  order-preserving streaming merge of shard results;
+  order-preserving streaming merge that releases the completed prefix;
+* :mod:`repro.runtime.sink` -- :class:`ReportSink` consumers of that
+  prefix (in-memory report, incremental JSONL with lossless replay);
 * :mod:`repro.runtime.engine` -- :class:`DatasetEngine`, the
-  process-pool executor with a zero-dependency serial fallback;
+  process-pool executor with bounded in-flight submission and a
+  resuming serial fallback;
 * :mod:`repro.runtime.cli` -- the ``python -m repro.runtime`` entry
   point for scriptable (CI) runs.
 
-The load-bearing invariant, asserted by ``tests/test_runtime.py``: for
-any worker count and batch size, the merged report is identical to the
-sequential run's -- same outcomes, same order, same counters.
+The load-bearing invariant, asserted by ``tests/test_runtime.py`` and
+``tests/test_runtime_streaming.py``: for any worker count and any
+source x sink x batching x transport combination, the merged result is
+identical to the sequential run's -- same outcomes, same order, same
+counters.
 """
 
-from repro.runtime.engine import DatasetEngine, RuntimeStats, run_dataset
+from repro.runtime.engine import TRANSPORTS, DatasetEngine, RuntimeStats, run_dataset
 from repro.runtime.merge import ShardCollector, ShardResult
 from repro.runtime.sharding import (
+    BATCHING_MODES,
     WORKERS_ENV_VAR,
     WorkUnit,
+    iter_work,
     plan_work,
     resolve_batch_size,
     resolve_workers,
 )
+from repro.runtime.sink import (
+    JSONLSink,
+    MemorySink,
+    ReportSink,
+    iter_outcomes_jsonl,
+    outcome_from_record,
+    outcome_to_record,
+    replay_report,
+)
+from repro.runtime.source import (
+    IterableSource,
+    Prefetcher,
+    ReadSource,
+    SequenceSource,
+    SimulatorSource,
+    StoreSource,
+    as_read_source,
+)
 from repro.runtime.spec import PipelineSpec
+from repro.runtime.transport import active_segments, release_all
 
 __all__ = [
+    "BATCHING_MODES",
     "DatasetEngine",
+    "IterableSource",
+    "JSONLSink",
+    "MemorySink",
     "PipelineSpec",
+    "Prefetcher",
+    "ReadSource",
+    "ReportSink",
     "RuntimeStats",
+    "SequenceSource",
     "ShardCollector",
     "ShardResult",
+    "SimulatorSource",
+    "StoreSource",
+    "TRANSPORTS",
     "WORKERS_ENV_VAR",
     "WorkUnit",
+    "active_segments",
+    "as_read_source",
+    "iter_outcomes_jsonl",
+    "iter_work",
+    "outcome_from_record",
+    "outcome_to_record",
     "plan_work",
+    "release_all",
+    "replay_report",
     "resolve_batch_size",
     "resolve_workers",
     "run_dataset",

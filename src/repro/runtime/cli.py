@@ -1,11 +1,20 @@
 """``python -m repro.runtime``: scriptable dataset-scale GenPIP runs.
 
-Generates a preset dataset, builds the index, executes the pipeline
-through the sharded :class:`~repro.runtime.engine.DatasetEngine`, and
-writes a deterministic JSON report. The JSON intentionally contains no
-timing or worker information -- a serial run and an ``N``-worker run of
-the same dataset must serialize to byte-identical files, which is
-exactly what the CI smoke job diffs.
+Builds the index, executes the pipeline through the streaming
+:class:`~repro.runtime.engine.DatasetEngine`, and writes a
+deterministic JSON report. Reads come from a selectable **source**
+(``--source``): a materialised in-memory dataset, a lazy simulator
+generator, or an on-disk read container streamed incrementally
+(``--store``; written on first use). Outcomes go to a selectable
+**sink** (``--sink``): the in-memory report, or an incremental JSONL
+file (``--outcomes``) that keeps parent memory at O(batch).
+
+The JSON report intentionally contains no timing, worker, or streaming
+information -- a serial in-memory run and an ``N``-worker
+generator-source JSONL-sink run of the same dataset must serialize to
+byte-identical files, which is exactly what the CI smoke jobs diff
+(with a JSONL sink the report is replayed losslessly from the outcome
+file).
 
 Examples
 --------
@@ -13,10 +22,14 @@ Serial run, report to stdout::
 
     python -m repro.runtime --profile ecoli-like --scale 0.001 --json -
 
-Two workers, batches of 8, report to a file::
+Two workers, length-aware batching, streaming JSONL sink::
 
     python -m repro.runtime --profile ecoli-like --scale 0.001 \\
-        --workers 2 --batch-size 8 --json report.json
+        --workers 2 --adaptive-batching --sink jsonl --outcomes out.jsonl
+
+Stream from an on-disk read container (written on first use)::
+
+    python -m repro.runtime --source store --store reads.gprd --workers 2
 
 Any registered basecaller backend and pipeline preset plugs in (keep
 signal-space backends to tiny scales -- they decode real signal)::
@@ -30,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.config import VARIANTS, variant_config
@@ -37,8 +51,20 @@ from repro.core.genpip import GenPIP, GenPIPReport
 from repro.core.pipeline import ReadOutcome
 from repro.core.registry import basecaller_names, preset_config, preset_names
 from repro.mapping.index import MinimizerIndex
-from repro.nanopore.datasets import PRESETS, generate_dataset, small_profile
-from repro.runtime.engine import DatasetEngine
+from repro.nanopore.datasets import (
+    PRESETS,
+    generate_dataset,
+    iter_dataset_reads,
+    profile_reference,
+    small_profile,
+)
+from repro.nanopore.signal_store import write_read_store
+from repro.runtime.engine import TRANSPORTS, DatasetEngine
+from repro.runtime.sink import JSONLSink, replay_report
+from repro.runtime.source import SimulatorSource, StoreSource
+
+SOURCES = ("memory", "generator", "store")
+SINKS = ("memory", "jsonl")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
     data.add_argument(
         "--max-read-length", type=int, default=None, metavar="BASES",
         help="cap read lengths via the small-profile transform (fast smoke runs)",
+    )
+    data.add_argument(
+        "--source", choices=SOURCES, default="memory",
+        help="where reads come from: materialised dataset, lazy simulator "
+        "generator, or an on-disk read container streamed incrementally",
+    )
+    data.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="read-container path for --source store (generated and written "
+        "on first use if missing)",
     )
     pipe = parser.add_argument_group("pipeline")
     pipe.add_argument(
@@ -87,10 +123,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None, metavar="READS",
         help="reads per work unit (default: auto)",
     )
+    run.add_argument(
+        "--adaptive-batching", action="store_true",
+        help="balance work units by total bases instead of read count "
+        "(kills the long-read shard tail; identical results)",
+    )
+    run.add_argument(
+        "--transport", choices=TRANSPORTS, default="auto",
+        help="how pooled read payloads travel: shared memory, pickle, or "
+        "auto (shm with pickle fallback)",
+    )
     out = parser.add_argument_group("output")
     out.add_argument(
+        "--sink", choices=SINKS, default="memory",
+        help="outcome sink: in-memory report, or incremental JSONL "
+        "(O(batch) parent memory; requires --outcomes)",
+    )
+    out.add_argument(
+        "--outcomes", default=None, metavar="PATH",
+        help="JSONL file the jsonl sink streams outcomes to",
+    )
+    out.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
-        help="write the JSON report to PATH ('-' for stdout)",
+        help="write the JSON report to PATH ('-' for stdout); with the jsonl "
+        "sink the report is replayed losslessly from --outcomes",
     )
     out.add_argument("--quiet", action="store_true", help="suppress the stderr summary")
     return parser
@@ -165,12 +221,71 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--batch-size must be at least 1")
     if args.chunk_size < 50:
         parser.error("--chunk-size must be at least 50 bases")
+    if args.source == "store" and not args.store:
+        parser.error("--source store requires --store PATH")
+    if args.store and args.source != "store":
+        parser.error("--store only makes sense with --source store")
+    if args.sink == "jsonl" and not args.outcomes:
+        parser.error("--sink jsonl requires --outcomes PATH")
+    if args.outcomes and args.sink != "jsonl":
+        parser.error("--outcomes only makes sense with --sink jsonl")
 
     profile = PRESETS[args.profile]
     if args.max_read_length is not None:
         profile = small_profile(profile, max_read_length=args.max_read_length)
-    dataset = generate_dataset(profile, scale=args.scale, seed=args.seed)
-    index = MinimizerIndex.build(dataset.reference)
+    # The reference is deterministic in the profile, so every source
+    # sees the exact dataset generate_dataset would materialise.
+    reference = profile_reference(profile)
+    if args.source == "memory":
+        data = generate_dataset(profile, scale=args.scale, seed=args.seed, reference=reference)
+    elif args.source == "generator":
+        data = SimulatorSource(profile, scale=args.scale, seed=args.seed, reference=reference)
+    else:
+        store_path = Path(args.store)
+        # Provenance sidecar: the container itself stores reads, not the
+        # flags that generated them (or the reference they map against),
+        # so reusing one under different dataset flags would silently
+        # mix reads with the wrong reference/index and mislabel the
+        # report's run block. Refuse mismatches instead.
+        provenance = {
+            "profile": args.profile,
+            "scale": args.scale,
+            "seed": args.seed,
+            "max_read_length": args.max_read_length,
+        }
+        meta_path = store_path.with_name(store_path.name + ".meta.json")
+        if store_path.exists():
+            if meta_path.exists():
+                recorded = json.loads(meta_path.read_text(encoding="utf-8"))
+                if recorded != provenance:
+                    parser.error(
+                        f"read container {store_path} was generated with {recorded}, "
+                        f"but this run requests {provenance}; rerun with matching "
+                        "dataset flags or delete the container to regenerate it"
+                    )
+            else:
+                print(
+                    f"note: reusing read container {store_path} of unknown "
+                    "provenance -- its reads must match this run's --profile "
+                    "(reference/index are built from the flags, not the file)",
+                    file=sys.stderr,
+                )
+        else:
+            # Sidecar first: an interrupt between the two writes then
+            # leaves sidecar-without-container, and the next run simply
+            # regenerates both -- never a container whose provenance
+            # check silently degrades to a note.
+            meta_path.write_text(
+                json.dumps(provenance, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            write_read_store(
+                store_path,
+                iter_dataset_reads(
+                    profile, scale=args.scale, seed=args.seed, reference=reference
+                ),
+            )
+        data = StoreSource(store_path)
+    index = MinimizerIndex.build(reference)
     # The registry's profile-name aliases carry each dataset's Sec. 6.3
     # parameters, so the profile default and --preset share one source.
     base_config = preset_config(args.preset or args.profile)
@@ -184,11 +299,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         .align(args.align)
         .build()
     )
-    engine = DatasetEngine(system.pipeline, workers=args.workers, batch_size=args.batch_size)
-    report = engine.run(dataset)
+    sink = JSONLSink(args.outcomes) if args.sink == "jsonl" else None
+    engine = DatasetEngine(
+        system.pipeline,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        sink=sink,
+        batching="length-aware" if args.adaptive_batching else "fixed",
+        transport=args.transport,
+    )
+    report = engine.run(data)
+    if args.sink == "jsonl" and args.json_path:
+        # The run kept O(batch) outcomes in memory; the per-read records
+        # are replayed losslessly from disk only because the full JSON
+        # report needs them (the stderr summary is counters-only).
+        report = replay_report(args.outcomes, report.config)
 
     # The run block records only result-determining parameters, so the
-    # smoke diff across worker counts stays byte-identical.
+    # smoke diff across worker counts / sources / sinks stays
+    # byte-identical.
     run_args = {
         "profile": profile.name,
         "scale": args.scale,
@@ -219,7 +348,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"mapped {report.mapped_ratio:.1%}, QSR {report.qsr_rejection_ratio:.1%}, "
             f"CMR {report.cmr_rejection_ratio:.1%}, "
             f"basecall savings {report.basecall_savings:.1%} | "
-            f"{stats.mode} x{stats.workers} (batch {stats.batch_size}): "
+            f"{stats.mode} x{stats.workers} "
+            f"(batch {stats.batch_size}, {stats.batching}, "
+            f"source {args.source}, sink {args.sink}, transport {stats.transport}): "
             f"{stats.elapsed_s:.2f}s, {stats.reads_per_sec:.1f} reads/s",
             file=sys.stderr,
         )

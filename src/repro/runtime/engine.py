@@ -1,41 +1,73 @@
-"""The dataset execution engine: serial or process-pool sharded runs.
+"""The dataset execution engine: a streaming dataflow, serial or pooled.
 
-:class:`DatasetEngine` turns a dataset into a stream of
-:class:`~repro.runtime.sharding.WorkUnit`\\ s, executes them on a
-``concurrent.futures.ProcessPoolExecutor`` (or serially in-process),
-and merges shard results back into one
-:class:`~repro.core.genpip.GenPIPReport`.
+:class:`DatasetEngine` wires the runtime's four streaming layers into
+one run:
+
+1. a :class:`~repro.runtime.source.ReadSource` supplies reads (in
+   memory, lazily simulated, or decoded incrementally from an on-disk
+   container), optionally prefetched by a bounded background thread so
+   pool workers never starve on input;
+2. :func:`~repro.runtime.sharding.iter_work` plans ordered
+   :class:`~repro.runtime.sharding.WorkUnit`\\ s from the stream (fixed
+   read count, or length-aware base balancing that kills the long-read
+   tail);
+3. units execute serially in-process or on a
+   ``concurrent.futures.ProcessPoolExecutor`` with a bounded in-flight
+   window; pooled payloads travel either pickled or published once via
+   ``multiprocessing.shared_memory`` (handles instead of payloads --
+   see :mod:`repro.runtime.transport`);
+4. the ordered completed prefix streams out of the
+   :class:`~repro.runtime.merge.ShardCollector` into a
+   :class:`~repro.runtime.sink.ReportSink` as it grows, so parent-side
+   outcome retention is O(batch) with a streaming sink.
 
 The engine's contract mirrors the paper's "no accuracy loss from
-pipeline restructuring" claim at the software level: because reads are
-independent and work units preserve dataset order through shard ids, a
-run with *any* worker count and *any* batch size yields a report
-identical to the sequential run -- same outcomes, same order, same
-counters. ``tests/test_runtime.py`` asserts this exactly.
+pipeline restructuring" claim at the software level: for **every**
+source x sink x batching x transport combination, a run with any worker
+count yields the same outcomes in the same order with the same counters
+as the sequential run. ``tests/test_runtime_streaming.py`` asserts the
+full matrix.
 
-Worker processes are primed once with a
-:class:`~repro.runtime.spec.PipelineSpec` (pool initializer), so the
-minimizer index crosses the process boundary once per worker rather
-than once per task. When a pool cannot be created at all (restricted
-sandboxes, missing ``_multiprocessing``), the engine degrades to the
-zero-dependency serial path with a warning instead of failing the run.
+Failure handling preserves both the contract and resources: a pool that
+cannot be created (or breaks mid-run) degrades to in-process execution
+*resuming* exactly where the pool stopped -- already-emitted outcomes
+are never re-emitted to the sink -- and shared-memory segments are
+released on success, worker failure, broken-pool fallback, and engine
+crash alike (:func:`repro.runtime.transport.active_segments` is the
+leak probe tests use).
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterator
 
 from repro.core.genpip import GenPIPReport
 from repro.core.pipeline import GenPIPPipeline
-from repro.nanopore.read_simulator import SimulatedRead
 from repro.runtime.merge import ShardCollector, ShardResult
-from repro.runtime.sharding import WorkUnit, plan_work, resolve_batch_size, resolve_workers
+from repro.runtime.sharding import (
+    WorkUnit,
+    iter_work,
+    resolve_batch_size,
+    resolve_batching,
+    resolve_workers,
+)
+from repro.runtime.sink import MemorySink, ReportSink
+from repro.runtime.source import Prefetcher, ReadSource, as_read_source
 from repro.runtime.spec import PipelineSpec
+from repro.runtime.transport import SharedUnit, attach_unit, publish_unit, release_unit
+
+#: Supported transports for pooled payloads.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+#: In-flight work units per worker (bounds parent memory and keeps the
+#: pool saturated while the source streams).
+_INFLIGHT_PER_WORKER = 2
 
 #: Per-process pipeline, built once by :func:`_init_worker`.
 _WORKER_PIPELINE: GenPIPPipeline | None = None
@@ -47,12 +79,38 @@ def _init_worker(spec: PipelineSpec) -> None:
     _WORKER_PIPELINE = spec.build()
 
 
-def _process_unit(unit: WorkUnit) -> ShardResult:
-    """Run one work unit on the per-worker pipeline."""
-    pipeline = _WORKER_PIPELINE
-    if pipeline is None:  # pragma: no cover - initializer contract violation
+def _worker_pipeline() -> GenPIPPipeline:
+    if _WORKER_PIPELINE is None:  # pragma: no cover - initializer contract violation
         raise RuntimeError("worker used before _init_worker primed the pipeline")
-    return ShardResult.from_outcomes(unit.shard_id, pipeline.process_batch(list(unit.reads)))
+    return _WORKER_PIPELINE
+
+
+def _process_unit(unit: WorkUnit) -> ShardResult:
+    """Run one pickled work unit on the per-worker pipeline."""
+    return ShardResult.from_outcomes(
+        unit.shard_id, _worker_pipeline().process_batch(list(unit.reads))
+    )
+
+
+def _process_shared_unit(shared: SharedUnit) -> ShardResult:
+    """Run one shared-memory work unit on the per-worker pipeline."""
+    reads = attach_unit(shared)
+    return ShardResult.from_outcomes(shared.shard_id, _worker_pipeline().process_batch(reads))
+
+
+def _pool_warmup() -> None:
+    """No-op task submitted before any engine thread starts.
+
+    With the default ``fork`` start method the executor launches *all*
+    worker processes on the first submit (gh-90622), so routing that
+    first submit through here -- before the :class:`Prefetcher` thread
+    exists -- guarantees every fork happens while the parent is still
+    single-threaded (no 3.12+ fork-after-thread DeprecationWarning, no
+    inherited-lock deadlock hazard). It also surfaces sandboxes that
+    allow pool *creation* but not process *spawning* before any real
+    work is planned.
+    """
+    return None
 
 
 @dataclass(frozen=True)
@@ -66,6 +124,8 @@ class RuntimeStats:
     n_shards: int
     n_reads: int
     elapsed_s: float
+    batching: str = "fixed"  # "fixed" | "length-aware"
+    transport: str = "none"  # "none" | "pickle" | "shm"
 
     @property
     def reads_per_sec(self) -> float:
@@ -73,7 +133,7 @@ class RuntimeStats:
 
 
 class DatasetEngine:
-    """Sharded dataset executor around one pipeline configuration.
+    """Streaming dataset executor around one pipeline configuration.
 
     Parameters
     ----------
@@ -85,10 +145,28 @@ class DatasetEngine:
         Pool size; ``None`` defers to ``GENPIP_WORKERS`` (default
         serial), ``0``/``1`` run serially in-process.
     batch_size:
-        Reads per work unit; ``None`` auto-sizes from the dataset.
+        Reads per work unit; ``None`` auto-sizes from the source's size
+        hint.
     progress:
         Optional callback ``(reads_done, reads_total)`` invoked as the
-        ordered prefix of results grows.
+        ordered prefix of results grows (``reads_total`` is ``-1`` for
+        unsized streaming sources).
+    sink:
+        Outcome consumer; ``None`` accumulates in memory into a full
+        report (the classic behaviour). A
+        :class:`~repro.runtime.sink.JSONLSink` keeps parent retention
+        at O(batch) and its finished report carries counters only.
+    batching:
+        ``"fixed"`` (constant reads per unit) or ``"length-aware"``
+        (units balanced by total bases; see
+        :mod:`repro.runtime.sharding`).
+    transport:
+        How pooled payloads travel: ``"shm"`` (shared memory),
+        ``"pickle"``, or ``"auto"`` (shared memory, degrading to pickle
+        if segments cannot be created). Serial runs move nothing.
+    prefetch_depth:
+        Reads buffered by the background producer thread ahead of
+        planning in pooled runs; ``None`` auto-sizes from the window.
     """
 
     def __init__(
@@ -98,6 +176,10 @@ class DatasetEngine:
         workers: int | None = None,
         batch_size: int | None = None,
         progress: Callable[[int, int], None] | None = None,
+        sink: ReportSink | None = None,
+        batching: str = "fixed",
+        transport: str = "auto",
+        prefetch_depth: int | None = None,
     ):
         if isinstance(pipeline, PipelineSpec):
             self._spec = pipeline
@@ -108,7 +190,16 @@ class DatasetEngine:
         self._workers = resolve_workers(workers)
         self._batch_size = batch_size
         self._progress = progress
+        self._sink = sink
+        self._batching = resolve_batching(batching)
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+        self._transport = transport
+        if prefetch_depth is not None and prefetch_depth < 1:
+            raise ValueError(f"prefetch_depth must be positive, got {prefetch_depth}")
+        self._prefetch_depth = prefetch_depth
         self._progress_seen = 0
+        self._progress_total = -1
         self._last_stats: RuntimeStats | None = None
 
     @property
@@ -121,24 +212,53 @@ class DatasetEngine:
         return self._last_stats
 
     def run(self, dataset) -> GenPIPReport:
-        """Process a dataset (or any sequence of reads) to a report."""
-        reads: Sequence[SimulatedRead] = getattr(dataset, "reads", dataset)
-        batch_size = resolve_batch_size(len(reads), self._workers, self._batch_size)
-        units = plan_work(reads, batch_size)
+        """Process a dataset / read source / sequence of reads.
+
+        Returns the sink's finished report: the full per-read report
+        with the default in-memory sink, or a counters-only summary
+        with a streaming sink (the per-read records then live wherever
+        the sink put them).
+        """
+        source = as_read_source(dataset)
+        sink = self._sink if self._sink is not None else MemorySink()
+        hint = source.size_hint()
+        batch_size = resolve_batch_size(hint, self._workers, self._batch_size)
+        # A sized source bounds the useful pool: never spawn more
+        # workers (each unpickling the full spec) than there can be
+        # units. Fixed batching yields exactly ceil(hint/batch) units;
+        # length-aware can split down to one read per unit, so only the
+        # read count itself bounds it.
+        pool_workers = self._workers
+        if hint is not None:
+            max_units = hint if self._batching == "length-aware" else -(-hint // batch_size)
+            pool_workers = min(pool_workers, max(max_units, 1))
         self._progress_seen = 0
+        self._progress_total = hint if hint is not None else -1
+        collector = ShardCollector()
         started = time.perf_counter()
-        if self._workers <= 1:
-            collector, mode = self._run_serial(units), "serial"
-        else:
-            collector, mode = self._run_pool(units)
-        report = collector.report(self._spec.config)
+        sink.begin(self._spec.config)
+        try:
+            if pool_workers <= 1:
+                mode, transport = self._run_serial_stream(
+                    iter(source), collector, sink, batch_size
+                ), "none"
+            else:
+                mode, transport = self._run_pool_stream(
+                    source, collector, sink, batch_size, pool_workers
+                )
+            report = sink.finish(collector.counters)
+        except BaseException:
+            sink.abort()
+            raise
         self._last_stats = RuntimeStats(
             mode=mode,
             workers=self._workers,
             batch_size=batch_size,
-            n_shards=len(units),
-            n_reads=len(reads),
+            n_shards=collector.expected_shards or 0,
+            n_reads=collector.counters.n_reads,
             elapsed_s=time.perf_counter() - started,
+            batching=self._batching,
+            transport=transport,
         )
         return report
 
@@ -147,22 +267,62 @@ class DatasetEngine:
             self._pipeline = self._spec.build()
         return self._pipeline
 
-    def _run_serial(self, units: list[WorkUnit]) -> ShardCollector:
-        """Zero-dependency fallback: same plan/merge path, one process."""
-        pipeline = self._serial_pipeline()
-        collector = ShardCollector(len(units))
-        total = sum(len(unit) for unit in units)
-        for unit in units:
-            outcomes = pipeline.process_batch(list(unit.reads))
-            collector.add(ShardResult.from_outcomes(unit.shard_id, outcomes))
-            self._report_progress(collector, total)
-        return collector
+    def _emit(self, collector: ShardCollector, sink: ReportSink) -> None:
+        """Stream the newly completed ordered prefix into the sink."""
+        fresh = collector.drain()
+        if fresh:
+            sink.emit(fresh)
+        self._report_progress(collector)
 
-    def _run_pool(self, units: list[WorkUnit]) -> tuple[ShardCollector, str]:
-        total = sum(len(unit) for unit in units)
+    def _run_serial_stream(
+        self,
+        reads: Iterator,
+        collector: ShardCollector,
+        sink: ReportSink,
+        batch_size: int,
+    ) -> str:
+        """In-process execution: same plan/merge/sink path, one process."""
+        return self._consume_units(
+            iter_work(reads, batch_size, batching=self._batching), collector, sink
+        )
+
+    def _consume_units(
+        self,
+        units: Iterator[WorkUnit],
+        collector: ShardCollector,
+        sink: ReportSink,
+        n_planned: int = 0,
+    ) -> str:
+        """Process work units in-process, streaming the prefix out.
+
+        ``n_planned`` is the shard-id floor already claimed by a pooled
+        phase -- a broken-pool resume passes the number of units it had
+        submitted, so the final expected count stays correct even when
+        the highest-numbered submitted unit finished before the break.
+        """
+        pipeline = self._serial_pipeline()
+        n_shards = n_planned
+        for unit in units:
+            n_shards = max(n_shards, unit.shard_id + 1)
+            collector.add(
+                ShardResult.from_outcomes(unit.shard_id, pipeline.process_batch(list(unit.reads)))
+            )
+            self._emit(collector, sink)
+        collector.set_expected(n_shards)
+        self._report_progress(collector)
+        return "serial"
+
+    def _run_pool_stream(
+        self,
+        source: ReadSource,
+        collector: ShardCollector,
+        sink: ReportSink,
+        batch_size: int,
+        pool_workers: int,
+    ) -> tuple[str, str]:
         try:
             executor = ProcessPoolExecutor(
-                max_workers=min(self._workers, max(len(units), 1)),
+                max_workers=pool_workers,
                 initializer=_init_worker,
                 initargs=(self._spec,),
             )
@@ -172,33 +332,161 @@ class DatasetEngine:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return self._run_serial(units), "serial"
-        collector = ShardCollector(len(units))
+            return self._run_serial_stream(iter(source), collector, sink, batch_size), "none"
+
+        # Launch every worker process *now*, while this process is
+        # still single-threaded (see _pool_warmup), and degrade to
+        # serial before planning anything if spawning is forbidden.
         try:
-            with executor:
-                pending = {executor.submit(_process_unit, unit) for unit in units}
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        collector.add(future.result())
-                    self._report_progress(collector, total)
+            executor.submit(_pool_warmup).result()
         except BrokenProcessPool as exc:
-            # Worker startup can fail lazily (first submit) in sandboxes
-            # that allow pool *creation* but not process *spawning*.
             warnings.warn(
-                f"process pool broke ({exc!r}); rerunning serially",
+                f"process pool broke during warm-up ({exc!r}); falling back to serial",
                 RuntimeWarning,
                 stacklevel=3,
             )
-            return self._run_serial(units), "serial"
-        return collector, "process-pool"
+            executor.shutdown(wait=True, cancel_futures=True)
+            return self._run_serial_stream(iter(source), collector, sink, batch_size), "none"
 
-    def _report_progress(self, collector: ShardCollector, total: int) -> None:
-        # High-water gate: a broken-pool fallback restarts from a fresh
-        # collector, and progress must never appear to move backwards.
+        window = max(pool_workers * _INFLIGHT_PER_WORKER, 2)
+        depth = (
+            self._prefetch_depth
+            if self._prefetch_depth is not None
+            else max(window * batch_size, 64)
+        )
+        transport = self._transport
+        inflight: dict[Future, WorkUnit] = {}
+        segments: dict[Future, str] = {}
+        n_submitted = 0
+        # Everything from here runs under the try/finally that shuts
+        # the executor down -- including iter(source), which may do
+        # eager work (open a file, build a simulator) and raise.
+        prefetcher: Prefetcher | None = None
+        # Planned-but-not-yet-submitted unit: the submit loop pulls a
+        # unit *before* waiting for window room, so a pool that breaks
+        # during that wait must hand this unit to the serial resume too.
+        pending_unit: WorkUnit | None = None
+        try:
+            prefetcher = Prefetcher(iter(source), depth=depth)
+            units = iter_work(iter(prefetcher), batch_size, batching=self._batching)
+            try:
+                for unit in units:
+                    pending_unit = unit
+                    while len(inflight) >= window:
+                        self._collect_completed(inflight, segments, collector, sink)
+                    future, segment, transport = self._submit(executor, unit, transport)
+                    inflight[future] = unit
+                    if segment is not None:
+                        segments[future] = segment
+                    n_submitted += 1
+                    pending_unit = None
+                while inflight:
+                    self._collect_completed(inflight, segments, collector, sink)
+                collector.set_expected(n_submitted)
+                self._report_progress(collector)
+                if n_submitted == 0:
+                    # "auto" never resolved: no payload ever travelled.
+                    return "process-pool", "none"
+                return "process-pool", ("pickle" if transport == "pickle" else "shm")
+            except BrokenProcessPool as exc:
+                # Worker processes can die lazily (first task) in
+                # sandboxes that allow pool creation but not process
+                # spawning, or mid-run on resource exhaustion. Resume
+                # in-process from exactly the units the pool never
+                # finished -- outcomes already streamed to the sink are
+                # never re-emitted.
+                warnings.warn(
+                    f"process pool broke ({exc!r}); resuming serially",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                leftovers = sorted(inflight.values(), key=lambda unit: unit.shard_id)
+                if pending_unit is not None:
+                    leftovers.append(pending_unit)
+                for segment in segments.values():
+                    release_unit(segment)
+                inflight.clear()
+                segments.clear()
+                # ``units`` keeps planning over the live prefetcher, so
+                # the resume stays streaming; its shard ids continue
+                # from where the pooled phase stopped.
+                mode = self._consume_units(
+                    itertools.chain(leftovers, units),
+                    collector,
+                    sink,
+                    n_planned=n_submitted,
+                )
+                return mode, "none"
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
+            executor.shutdown(wait=True, cancel_futures=True)
+            for segment in segments.values():
+                release_unit(segment)
+
+    def _submit(
+        self, executor: ProcessPoolExecutor, unit: WorkUnit, transport: str
+    ) -> tuple[Future, str | None, str]:
+        """Submit one unit, publishing via shared memory when possible."""
+        if transport in ("auto", "shm"):
+            try:
+                shared = publish_unit(unit)
+            except (OSError, ValueError, ImportError) as exc:
+                if transport == "shm":
+                    raise
+                warnings.warn(
+                    f"shared-memory transport unavailable ({exc!r}); using pickle",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                transport = "pickle"
+            else:
+                try:
+                    future = executor.submit(_process_shared_unit, shared)
+                except BaseException:
+                    release_unit(shared.segment)
+                    raise
+                return future, shared.segment, transport
+        return executor.submit(_process_unit, unit), None, transport
+
+    def _collect_completed(
+        self,
+        inflight: dict[Future, WorkUnit],
+        segments: dict[Future, str],
+        collector: ShardCollector,
+        sink: ReportSink,
+    ) -> None:
+        """Wait for at least one in-flight unit and fold it in.
+
+        A unit is removed from ``inflight`` (and its segment released)
+        only once its result is in hand, so a broken pool leaves every
+        unfinished unit behind for the serial resume. A break is
+        re-raised only after every *successful* result in the same wait
+        batch has been collected -- work the pool finished before dying
+        is never recomputed.
+        """
+        done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+        broken: BrokenProcessPool | None = None
+        for future in done:
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                broken = exc  # unit stays in ``inflight`` for the serial resume
+                continue
+            inflight.pop(future)
+            segment = segments.pop(future, None)
+            if segment is not None:
+                release_unit(segment)
+            collector.add(result)
+        self._emit(collector, sink)
+        if broken is not None:
+            raise broken
+
+    def _report_progress(self, collector: ShardCollector) -> None:
+        # High-water gate: progress must never appear to move backwards.
         if self._progress is not None and collector.n_ready > self._progress_seen:
             self._progress_seen = collector.n_ready
-            self._progress(collector.n_ready, total)
+            self._progress(collector.n_ready, self._progress_total)
 
 
 def run_dataset(
@@ -208,7 +496,18 @@ def run_dataset(
     workers: int | None = None,
     batch_size: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    sink: ReportSink | None = None,
+    batching: str = "fixed",
+    transport: str = "auto",
 ) -> GenPIPReport:
     """One-shot convenience wrapper around :class:`DatasetEngine`."""
-    engine = DatasetEngine(pipeline, workers=workers, batch_size=batch_size, progress=progress)
+    engine = DatasetEngine(
+        pipeline,
+        workers=workers,
+        batch_size=batch_size,
+        progress=progress,
+        sink=sink,
+        batching=batching,
+        transport=transport,
+    )
     return engine.run(dataset)

@@ -2,10 +2,16 @@
 
 Workers finish in whatever order the scheduler dictates;
 :class:`ShardCollector` re-sequences their :class:`ShardResult`\\ s so
-the caller can stream the *completed prefix* of the dataset (e.g. for
-progress reporting) while later shards are still in flight, and finally
-assemble a :class:`~repro.core.genpip.GenPIPReport` whose outcome order
-and counters are identical to a sequential run's.
+the caller can stream the *completed prefix* of the dataset to a
+:class:`~repro.runtime.sink.ReportSink` while later shards are still in
+flight. :meth:`ShardCollector.drain` **releases** the outcomes it
+returns -- once a sink has consumed the prefix, the parent retains
+nothing but exact integer counters, which is what keeps dataset-scale
+streaming runs at O(batch) parent memory.
+
+The total shard count may be unknown while a streaming plan is still
+being generated; the engine declares it via :meth:`set_expected` once
+the plan is exhausted.
 """
 
 from __future__ import annotations
@@ -39,19 +45,35 @@ class ShardResult:
 
 
 class ShardCollector:
-    """Accumulates shard results by id and exposes the ordered prefix."""
+    """Accumulates shard results by id and streams the ordered prefix."""
 
-    def __init__(self, n_shards: int):
+    def __init__(self, n_shards: int | None = None):
         self._n_shards = n_shards
         self._pending: dict[int, ShardResult] = {}
         self._outcomes: list[ReadOutcome] = []
         self._counters = ReportCounters()
         self._next_shard = 0
+        self._n_ready = 0
         self._drained = 0
+
+    def set_expected(self, n_shards: int) -> None:
+        """Declare the total shard count (streaming plans learn it late)."""
+        if self._n_shards is not None and self._n_shards != n_shards:
+            raise ValueError(
+                f"expected shard count already set to {self._n_shards}, got {n_shards}"
+            )
+        highest = max(self._pending, default=self._next_shard - 1)
+        if n_shards <= highest:
+            raise ValueError(
+                f"expected shard count {n_shards} below already-delivered id {highest}"
+            )
+        self._n_shards = n_shards
 
     def add(self, result: ShardResult) -> None:
         """Accept one shard result (any order, each id exactly once)."""
-        if not 0 <= result.shard_id < self._n_shards:
+        if result.shard_id < 0 or (
+            self._n_shards is not None and result.shard_id >= self._n_shards
+        ):
             raise ValueError(f"shard id {result.shard_id} outside plan of {self._n_shards}")
         if result.shard_id < self._next_shard or result.shard_id in self._pending:
             raise ValueError(f"shard id {result.shard_id} delivered twice")
@@ -59,27 +81,54 @@ class ShardCollector:
         while self._next_shard in self._pending:
             ready = self._pending.pop(self._next_shard)
             self._outcomes.extend(ready.outcomes)
+            self._n_ready += len(ready.outcomes)
             self._counters = self._counters.combine(ready.counters)
             self._next_shard += 1
 
     @property
     def complete(self) -> bool:
-        return self._next_shard == self._n_shards and not self._pending
+        return (
+            self._n_shards is not None
+            and self._next_shard == self._n_shards
+            and not self._pending
+        )
+
+    @property
+    def expected_shards(self) -> int | None:
+        """Declared total shard count (None until the plan is known)."""
+        return self._n_shards
 
     @property
     def n_ready(self) -> int:
-        """Reads in the contiguous completed prefix."""
-        return len(self._outcomes)
+        """Reads ever part of the contiguous completed prefix."""
+        return self._n_ready
+
+    @property
+    def counters(self) -> ReportCounters:
+        """Exact merged counters of the completed prefix so far."""
+        return self._counters
 
     def drain(self) -> list[ReadOutcome]:
-        """Outcomes newly added to the ordered prefix since last drain."""
-        fresh = self._outcomes[self._drained :]
-        self._drained = len(self._outcomes)
+        """Outcomes newly added to the ordered prefix since last drain.
+
+        The returned outcomes are **released** from the collector --
+        after a drain, the parent's only copy is whatever the caller
+        (typically a sink) does with them. A collector that has been
+        drained can no longer assemble a full report itself.
+        """
+        fresh = self._outcomes
+        self._outcomes = []
+        self._drained += len(fresh)
         return fresh
 
     def report(self, config: GenPIPConfig) -> GenPIPReport:
-        """The merged dataset report (requires all shards delivered)."""
+        """The merged dataset report (requires all shards, no drains)."""
         if not self.complete:
-            missing = self._n_shards - self._next_shard
+            missing = (self._n_shards or 0) - self._next_shard
             raise RuntimeError(f"cannot build report: {missing} shard(s) outstanding")
+        if self._drained:
+            raise RuntimeError(
+                "cannot build report: outcomes were drained to a sink; "
+                "use the sink's finished report instead"
+            )
         return GenPIPReport(outcomes=self._outcomes, config=config, counters=self._counters)

@@ -1,23 +1,43 @@
-"""Work-unit planning: split a dataset's reads into ordered shards.
+"""Work-unit planning: split a read stream into ordered shards.
 
 Reads are embarrassingly parallel in GenPIP (no cross-read state), so
-the only planning questions are *how many* reads per work unit (enough
-to amortise pickling/IPC, few enough to load-balance a pool) and *how*
-to stitch results back into dataset order. Each :class:`WorkUnit`
-carries its shard id; the merge side keys on it, so work units can
-complete in any order.
+the only planning questions are *how much* work per unit (enough to
+amortise IPC, little enough to load-balance a pool) and *how* to stitch
+results back into dataset order. Each :class:`WorkUnit` carries its
+shard id; the merge side keys on it, so work units can complete in any
+order.
+
+Planning is a **streaming** operation: :func:`iter_work` consumes any
+read iterable and yields units as soon as they fill, so the engine can
+plan from a lazy source without materialising the dataset. Two
+batching modes exist:
+
+* ``"fixed"`` -- a constant number of reads per unit (the classic
+  plan);
+* ``"length-aware"`` -- units are balanced by *total bases* instead of
+  read count: a unit closes once its bases would exceed the running
+  mean read length times ``batch_size``. Nanopore length distributions
+  are heavy-tailed (Table 1: mean ~9 kb, max >100 kb), so fixed-count
+  units put single 100 kb reads next to units of 1 kb reads and the
+  longest shard serialises the tail of the run; base-balanced units
+  isolate long reads and pack short ones densely. The rule depends
+  only on the read stream's prefix, so serial and parallel runs plan
+  identical units and the equivalence contract holds.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.nanopore.read_simulator import SimulatedRead
 
 #: Environment variable consulted when ``workers=None`` is requested.
 WORKERS_ENV_VAR = "GENPIP_WORKERS"
+
+#: Supported batching modes of :func:`iter_work`.
+BATCHING_MODES = ("fixed", "length-aware")
 
 #: Work units a pool worker should see on average; > 1 so that slow
 #: shards (long reads) don't serialise the tail of the run.
@@ -26,6 +46,14 @@ _UNITS_PER_WORKER = 8
 #: Bounds on automatically chosen batch sizes.
 _MIN_BATCH = 1
 _MAX_BATCH = 256
+
+#: Length-aware units never hold more than this many times the batch
+#: size in reads (bounds per-task handle counts when a stream of very
+#: short reads follows a long-read prefix).
+_LENGTH_AWARE_COUNT_CAP = 4
+
+#: Assumed dataset size when a streaming source has no size hint.
+UNKNOWN_SIZE_HINT = 4096
 
 
 @dataclass(frozen=True)
@@ -38,6 +66,10 @@ class WorkUnit:
 
     def __len__(self) -> int:
         return len(self.reads)
+
+    @property
+    def n_bases(self) -> int:
+        return sum(len(read) for read in self.reads)
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -60,38 +92,123 @@ def resolve_workers(workers: int | None) -> int:
     return max(workers, 1)
 
 
-def resolve_batch_size(n_reads: int, workers: int, batch_size: int | None) -> int:
+def resolve_batch_size(n_reads: int | None, workers: int, batch_size: int | None) -> int:
     """Pick the reads-per-unit granularity for a run.
 
     Explicit requests are honoured (minimum 1). The automatic choice
     targets ``_UNITS_PER_WORKER`` units per worker so the pool stays
     load-balanced, clamped to keep per-task pickling overhead sane.
+    ``n_reads=None`` (unsized streaming source) assumes a dataset-scale
+    stream of :data:`UNKNOWN_SIZE_HINT` reads.
     """
     if batch_size is not None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         return batch_size
+    if n_reads is None:
+        n_reads = UNKNOWN_SIZE_HINT
     if n_reads <= 0:
         return _MIN_BATCH
     auto = -(-n_reads // max(workers * _UNITS_PER_WORKER, 1))  # ceil div
     return max(_MIN_BATCH, min(auto, _MAX_BATCH))
 
 
-def plan_work(reads: Sequence[SimulatedRead], batch_size: int) -> list[WorkUnit]:
-    """Split ``reads`` into consecutive :class:`WorkUnit`\\ s.
+def resolve_batching(batching: str) -> str:
+    """Validate a batching-mode name."""
+    if batching not in BATCHING_MODES:
+        raise ValueError(
+            f"unknown batching mode {batching!r}; expected one of {BATCHING_MODES}"
+        )
+    return batching
+
+
+def iter_work(
+    reads: Iterable[SimulatedRead],
+    batch_size: int,
+    *,
+    batching: str = "fixed",
+) -> Iterator[WorkUnit]:
+    """Stream ordered :class:`WorkUnit`\\ s from any read iterable.
 
     Shard ids increase with dataset position, so concatenating shard
-    results by id reproduces dataset order exactly.
+    results by id reproduces dataset order exactly. Units are yielded
+    as soon as they fill -- the engine submits them while later reads
+    are still being generated or decoded.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
-    units = []
-    for shard_id, start in enumerate(range(0, len(reads), batch_size)):
-        units.append(
-            WorkUnit(
-                shard_id=shard_id,
-                start=start,
-                reads=tuple(reads[start : start + batch_size]),
-            )
-        )
-    return units
+    resolve_batching(batching)
+    if batching == "fixed":
+        yield from _iter_fixed(reads, batch_size)
+    else:
+        yield from _iter_length_aware(reads, batch_size)
+
+
+def _iter_fixed(reads: Iterable[SimulatedRead], batch_size: int) -> Iterator[WorkUnit]:
+    unit: list[SimulatedRead] = []
+    shard_id = 0
+    start = 0
+    for read in reads:
+        unit.append(read)
+        if len(unit) >= batch_size:
+            yield WorkUnit(shard_id=shard_id, start=start, reads=tuple(unit))
+            shard_id += 1
+            start += len(unit)
+            unit = []
+    if unit:
+        yield WorkUnit(shard_id=shard_id, start=start, reads=tuple(unit))
+
+
+def _iter_length_aware(reads: Iterable[SimulatedRead], batch_size: int) -> Iterator[WorkUnit]:
+    """Balance units by total bases: budget = batch_size x running mean.
+
+    The budget for each read is computed from the reads seen *before*
+    it (a prefix-only statistic, so planning is deterministic for a
+    given stream regardless of worker count -- and a long read cannot
+    inflate its own budget). A unit closes when the next read would
+    push it past the budget, and immediately after any read that fills
+    it on its own -- so a read longer than the budget always lands in a
+    singleton unit. A read-count cap keeps units bounded when a stream
+    of very short reads follows a long-read prefix.
+    """
+    unit: list[SimulatedRead] = []
+    unit_bases = 0
+    seen_reads = 0
+    seen_bases = 0
+    shard_id = 0
+    start = 0
+    count_cap = batch_size * _LENGTH_AWARE_COUNT_CAP
+
+    def flush() -> Iterator[WorkUnit]:
+        nonlocal unit, unit_bases, shard_id, start
+        yield WorkUnit(shard_id=shard_id, start=start, reads=tuple(unit))
+        shard_id += 1
+        start += len(unit)
+        unit = []
+        unit_bases = 0
+
+    for read in reads:
+        n = len(read)
+        budget = batch_size * (seen_bases / seen_reads) if seen_reads else None
+        if unit and (
+            len(unit) >= count_cap or (budget is not None and unit_bases + n > budget)
+        ):
+            yield from flush()
+        unit.append(read)
+        unit_bases += n
+        if budget is not None and unit_bases >= budget:
+            yield from flush()
+        seen_reads += 1
+        seen_bases += n
+    if unit:
+        yield from flush()
+
+
+def plan_work(
+    reads: Sequence[SimulatedRead],
+    batch_size: int,
+    *,
+    batching: str = "fixed",
+) -> list[WorkUnit]:
+    """Materialised convenience wrapper around :func:`iter_work`."""
+    return list(iter_work(reads, batch_size, batching=batching))

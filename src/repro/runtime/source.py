@@ -1,0 +1,227 @@
+"""Read sources: where a dataset-scale run pulls its reads from.
+
+The GenPIP evaluation is movement-dominated (Fig. 1: the Bowden-anchor
+dataset is 3913 GB of raw signal at rest), so the runtime must be able
+to *stream* reads from wherever they live instead of materialising the
+dataset in the parent process. A :class:`ReadSource` is anything the
+engine can iterate reads from, with an optional size hint for batch
+planning:
+
+* :class:`SequenceSource` -- an in-memory sequence (a ``Dataset`` or a
+  plain list of reads); re-iterable.
+* :class:`SimulatorSource` -- lazy generation straight from a dataset
+  profile; each iteration rebuilds the deterministic simulator, so the
+  source is re-iterable and two iterations yield identical reads.
+* :class:`StoreSource` -- incremental streaming from an on-disk read
+  container (:func:`repro.nanopore.signal_store.iter_read_store`);
+  memory is bounded by one record, re-iterable.
+* :class:`IterableSource` -- adapter for a bare iterable/generator
+  (single-use unless the iterable itself is re-iterable).
+
+:class:`Prefetcher` wraps any iterable with a bounded background
+producer thread, the runtime's async-I/O stage: read
+generation/decoding/disk I/O overlaps pipeline execution so pool
+workers never starve on input.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.nanopore.datasets import DatasetProfile, iter_dataset_reads
+from repro.nanopore.read_simulator import SimulatedRead
+from repro.nanopore.signal_store import iter_read_store, read_store_count
+
+
+@runtime_checkable
+class ReadSource(Protocol):
+    """Structural protocol for read providers.
+
+    ``__iter__`` yields reads in dataset order; ``size_hint`` returns
+    the total read count when cheaply known (``None`` otherwise -- the
+    engine then falls back to a default batch size).
+    """
+
+    def __iter__(self) -> Iterator[SimulatedRead]: ...  # pragma: no cover - protocol
+
+    def size_hint(self) -> int | None: ...  # pragma: no cover - protocol
+
+
+class SequenceSource:
+    """An in-memory sequence of reads (or a ``Dataset``); re-iterable."""
+
+    def __init__(self, reads: Sequence[SimulatedRead]):
+        self._reads = reads
+
+    def __iter__(self) -> Iterator[SimulatedRead]:
+        return iter(self._reads)
+
+    def size_hint(self) -> int | None:
+        return len(self._reads)
+
+
+class SimulatorSource:
+    """Lazy generator source: reads are simulated on demand.
+
+    Parameters mirror :func:`repro.nanopore.datasets.generate_dataset`;
+    iterating yields exactly the reads that call would materialise, one
+    at a time. Each iteration builds a fresh deterministic simulator,
+    so the source is re-iterable with identical results -- which is what
+    lets the engine rerun the stream serially after a broken pool.
+    """
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        *,
+        scale: float = 0.005,
+        seed: int = 0,
+        reference=None,
+    ):
+        self._profile = profile
+        self._scale = scale
+        self._seed = seed
+        self._reference = reference
+
+    def __iter__(self) -> Iterator[SimulatedRead]:
+        return iter_dataset_reads(
+            self._profile, scale=self._scale, seed=self._seed, reference=self._reference
+        )
+
+    def size_hint(self) -> int | None:
+        return self._profile.scaled_read_count(self._scale)
+
+
+class StoreSource:
+    """Streams reads incrementally from an on-disk read container.
+
+    Built on :func:`~repro.nanopore.signal_store.iter_read_store`:
+    parent memory is bounded by one record, and the header count serves
+    as the size hint. Re-iterable (each iteration reopens the file).
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __iter__(self) -> Iterator[SimulatedRead]:
+        return iter_read_store(self._path)
+
+    def size_hint(self) -> int | None:
+        return read_store_count(self._path)
+
+
+class IterableSource:
+    """Adapter giving a bare iterable the :class:`ReadSource` shape."""
+
+    def __init__(self, reads: Iterable[SimulatedRead], size_hint: int | None = None):
+        self._reads = reads
+        self._size_hint = size_hint
+
+    def __iter__(self) -> Iterator[SimulatedRead]:
+        return iter(self._reads)
+
+    def size_hint(self) -> int | None:
+        return self._size_hint
+
+
+def as_read_source(data) -> ReadSource:
+    """Coerce engine input to a :class:`ReadSource`.
+
+    Accepts an existing source (anything with ``size_hint``), a
+    ``Dataset`` (its ``reads``), a sequence of reads, or a bare
+    iterable (wrapped single-use, unsized).
+    """
+    if hasattr(data, "size_hint") and hasattr(data, "__iter__"):
+        return data
+    reads = getattr(data, "reads", data)
+    if isinstance(reads, Sequence):
+        return SequenceSource(reads)
+    return IterableSource(reads)
+
+
+class PrefetchError(RuntimeError):
+    """The producer thread failed; the original exception is chained."""
+
+
+class Prefetcher:
+    """Bounded background producer over an iterable (async-I/O stage).
+
+    A daemon thread pulls items from the iterable into a bounded queue;
+    the consumer iterates the queue. Generation/decoding therefore
+    overlaps pipeline execution, and the bound keeps parent memory at
+    O(depth) reads. Single-use: iterate once, then :meth:`close`.
+
+    The consumer must call :meth:`close` (or use the context manager)
+    when abandoning the stream early, so the producer thread unblocks
+    and exits; exhausting the iterator closes implicitly. Exceptions in
+    the underlying iterable are re-raised to the consumer as
+    :class:`PrefetchError` with the cause chained.
+    """
+
+    _DONE = object()
+
+    def __init__(self, reads: Iterable[SimulatedRead], depth: int = 64):
+        if depth < 1:
+            raise ValueError("prefetch depth must be positive")
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._produce, args=(iter(reads),), name="genpip-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    def _produce(self, reads: Iterator[SimulatedRead]) -> None:
+        try:
+            for read in reads:
+                while not self._stop.is_set():
+                    try:
+                        self._queue.put(read, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if self._stop.is_set():
+                    return
+        except BaseException as exc:  # propagate to the consumer
+            self._error = exc
+        # The sentinel marks end-of-stream (or error); never blocks
+        # forever because the consumer drains or the queue has room
+        # after close() drained it.
+        while not self._stop.is_set():
+            try:
+                self._queue.put(self._DONE, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def __iter__(self) -> Iterator[SimulatedRead]:
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                if self._error is not None:
+                    raise PrefetchError("read source failed during prefetch") from self._error
+                return
+            yield item
+
+    def close(self) -> None:
+        """Stop the producer and drain the queue (idempotent)."""
+        self._stop.set()
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Prefetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -5,7 +5,10 @@ what dominates its pickled size is the minimizer index, which every
 worker needs anyway. :class:`PipelineSpec` captures exactly the
 constructor arguments of the pipeline, travels to each worker once (via
 the pool initializer), and rebuilds an identical pipeline there -- so
-per-task messages carry only reads and outcomes, never engine state.
+per-task messages carry only work-unit payloads and outcomes, never
+engine state (and with the shared-memory transport of
+:mod:`repro.runtime.transport`, not even read payloads -- just
+handles).
 
 The basecaller travels as a
 :class:`~repro.core.registry.BasecallerRef` whenever the pipeline's

@@ -1,0 +1,225 @@
+"""Shared-memory transport: ship read payloads to workers without pickling.
+
+Per-task pickling of read payloads is the parent-side serial bottleneck
+of a pooled run (the software analogue of the data movement GenPIP's
+PIM design eliminates): the parent serialises every base and quality
+value once per work unit, and each worker deserialises them again. This
+module publishes a work unit's payloads **once** through
+``multiprocessing.shared_memory`` instead:
+
+* :func:`publish_unit` lays a unit's quality tracks (float64, 8-byte
+  aligned, first) and base codes (uint8, after) into one segment and
+  returns a :class:`SharedUnit` -- shard id, segment name, and
+  per-read :class:`ReadHandle`\\ s. The task message that crosses the
+  process boundary is just this handle bundle (~100 bytes per read).
+* :func:`attach_unit` (worker side) attaches the segment, copies the
+  arrays out (copies, so no view outlives the mapping), rebuilds the
+  :class:`~repro.nanopore.read_simulator.SimulatedRead`\\ s, and closes
+  the mapping immediately.
+* :func:`release_unit` / :func:`release_all` (parent side) close and
+  unlink segments. The engine guarantees a release on every exit path
+  -- result collected, worker exception, broken-pool fallback, engine
+  crash -- and :func:`active_segments` exposes the outstanding names so
+  tests can assert nothing leaked.
+
+Worker attachment unregisters from the per-process ``resource_tracker``
+(or passes ``track=False`` on Python >= 3.13): the parent owns the
+segment lifecycle, and a worker's tracker must not unlink segments at
+worker exit (bpo-38119).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+from dataclasses import dataclass
+
+try:
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without POSIX shm
+    # The engine treats an ImportError from publish_unit as "use the
+    # pickle transport"; importing *this module* must stay safe so the
+    # runtime's zero-dependency serial path keeps working everywhere.
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+import numpy as np
+
+from repro.nanopore.read_simulator import ReadClass, SimulatedRead
+from repro.runtime.sharding import WorkUnit
+
+#: Prefix of every segment name this transport creates (leak checks key on it).
+SEGMENT_PREFIX = "genpip-"
+
+#: Parent-side registry of live segments: name -> SharedMemory.
+_ACTIVE: dict[str, shared_memory.SharedMemory] = {}
+
+_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class ReadHandle:
+    """Where one read's payloads live inside a shared segment."""
+
+    read_id: str
+    read_class: str  # ReadClass value
+    strand: int
+    ref_start: int | None
+    ref_end: int | None
+    seed: int
+    n_bases: int
+    quality_offset: int  # byte offset of the float64 quality track
+    codes_offset: int  # byte offset of the uint8 base codes
+
+
+@dataclass(frozen=True)
+class SharedUnit:
+    """A work unit whose read payloads travel via shared memory."""
+
+    shard_id: int
+    segment: str
+    handles: tuple[ReadHandle, ...]
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{next(_COUNTER)}-{secrets.token_hex(3)}"
+
+
+def publish_unit(unit: WorkUnit) -> SharedUnit:
+    """Publish one work unit's payloads into a fresh shared segment.
+
+    Layout: all quality tracks first (each ``8 * n_bases`` bytes, so
+    every track is 8-byte aligned), then all code arrays. The segment
+    stays registered in the parent until :func:`release_unit`.
+    """
+    if shared_memory is None:  # pragma: no cover - platforms without POSIX shm
+        raise ImportError("multiprocessing.shared_memory is unavailable on this platform")
+    total_quals = sum(8 * len(read) for read in unit.reads)
+    total_codes = sum(len(read) for read in unit.reads)
+    size = max(total_quals + total_codes, 1)
+    while True:
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=size, name=_new_segment_name()
+            )
+            break
+        except FileExistsError:  # pragma: no cover - astronomically unlikely
+            continue
+    try:
+        handles = []
+        quality_offset = 0
+        codes_offset = total_quals
+        for read in unit.reads:
+            n = len(read)
+            np.frombuffer(segment.buf, dtype=np.float64, count=n, offset=quality_offset)[
+                :
+            ] = read.qualities
+            np.frombuffer(segment.buf, dtype=np.uint8, count=n, offset=codes_offset)[
+                :
+            ] = read.true_codes
+            handles.append(
+                ReadHandle(
+                    read_id=read.read_id,
+                    read_class=read.read_class.value,
+                    strand=read.strand,
+                    ref_start=read.ref_start,
+                    ref_end=read.ref_end,
+                    seed=read.seed,
+                    n_bases=n,
+                    quality_offset=quality_offset,
+                    codes_offset=codes_offset,
+                )
+            )
+            quality_offset += 8 * n
+            codes_offset += n
+    except BaseException:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - defensive
+            pass
+        raise
+    _ACTIVE[segment.name] = segment
+    return SharedUnit(shard_id=unit.shard_id, segment=segment.name, handles=tuple(handles))
+
+
+def attach_unit(shared: SharedUnit) -> list[SimulatedRead]:
+    """Rebuild a unit's reads from its shared segment (worker side).
+
+    Arrays are copied out of the mapping, so the returned reads stay
+    valid after the mapping is closed (which happens before returning).
+    """
+    segment = _attach(shared.segment)
+    try:
+        reads = []
+        for handle in shared.handles:
+            qualities = np.frombuffer(
+                segment.buf, dtype=np.float64, count=handle.n_bases, offset=handle.quality_offset
+            ).copy()
+            codes = np.frombuffer(
+                segment.buf, dtype=np.uint8, count=handle.n_bases, offset=handle.codes_offset
+            ).copy()
+            reads.append(
+                SimulatedRead(
+                    read_id=handle.read_id,
+                    read_class=ReadClass(handle.read_class),
+                    strand=handle.strand,
+                    ref_start=handle.ref_start,
+                    ref_end=handle.ref_end,
+                    true_codes=codes,
+                    qualities=qualities,
+                    seed=handle.seed,
+                )
+            )
+        return reads
+    finally:
+        segment.close()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker ownership.
+
+    The parent owns the segment lifecycle; an attaching worker must not
+    involve its resource tracker at all. Python >= 3.13 has
+    ``track=False`` for exactly this; on older versions attach
+    unconditionally registers (bpo-38119), which either double-books the
+    fork-shared tracker or lets a spawn-private tracker unlink the
+    segment at worker exit -- so registration is suppressed for the
+    duration of the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # Python >= 3.13
+    except TypeError:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+def release_unit(name: str) -> None:
+    """Close and unlink one published segment (idempotent)."""
+    segment = _ACTIVE.pop(name, None)
+    if segment is None:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+def release_all() -> None:
+    """Release every outstanding segment (crash-path cleanup)."""
+    for name in list(_ACTIVE):
+        release_unit(name)
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of segments published but not yet released (leak probe)."""
+    return tuple(sorted(_ACTIVE))

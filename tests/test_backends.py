@@ -426,3 +426,125 @@ class TestPipelineSpec:
         assert completed.returncode == 0, completed.stderr
         outcomes = pickle.loads(out_path.read_bytes())
         assert outcomes == expected
+
+
+class TestEntryPointDiscovery:
+    """Third-party backends register via importlib.metadata entry points."""
+
+    def _install_fake_distribution(self, site_dir: Path) -> None:
+        """Lay out a real (fake) installed distribution: a module plus a
+        .dist-info directory advertising a repro.basecallers entry point."""
+        (site_dir / "fake_genpip_plugin.py").write_text(
+            "from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig\n"
+            "from repro.core.registry import BackendRegistration\n"
+            "\n"
+            "\n"
+            "class PluginBasecaller(SurrogateBasecaller):\n"
+            '    """Distinct type so instance capture keys on the plugin."""\n'
+            "\n"
+            "\n"
+            "REGISTRATION = BackendRegistration(\n"
+            '    name="fake_plugin",\n'
+            "    factory=lambda config: PluginBasecaller(config),\n"
+            "    instance_type=PluginBasecaller,\n"
+            "    config_type=SurrogateConfig,\n"
+            "    capture=lambda basecaller: basecaller.config,\n"
+            '    description="entry-point test backend",\n'
+            ")\n"
+        )
+        dist_info = site_dir / "fake_genpip_plugin-0.1.dist-info"
+        dist_info.mkdir()
+        (dist_info / "METADATA").write_text(
+            "Metadata-Version: 2.1\nName: fake-genpip-plugin\nVersion: 0.1\n"
+        )
+        (dist_info / "entry_points.txt").write_text(
+            "[repro.basecallers]\nfake_plugin = fake_genpip_plugin:REGISTRATION\n"
+        )
+
+    def test_fake_distribution_backend_registers(self, tmp_path, monkeypatch):
+        import importlib
+
+        from repro.core import registry
+
+        self._install_fake_distribution(tmp_path)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.invalidate_caches()
+        try:
+            loaded = registry.load_entry_point_backends(force=True)
+            assert "fake_plugin" in loaded
+            assert "fake_plugin" in basecaller_names()
+            engine = create_basecaller("fake_plugin")
+            assert type(engine).__name__ == "PluginBasecaller"
+            # The plugin engine round-trips through the picklable ref
+            # exactly like a built-in (name + config wire format).
+            ref = BasecallerRef.capture(engine)
+            assert ref is not None
+            assert ref.name == "fake_plugin"
+            assert type(ref.build()) is type(engine)
+        finally:
+            registry._BASECALLERS.pop("fake_plugin", None)
+            registry._ENTRY_POINT_NAMES.pop("fake_plugin", None)
+            sys.modules.pop("fake_genpip_plugin", None)
+
+    def test_load_runs_once_unless_forced(self):
+        from repro.core import registry
+
+        registry.load_entry_point_backends()
+        assert registry.load_entry_point_backends() == ()
+
+    def test_broken_entry_point_is_skipped_with_warning(self, tmp_path, monkeypatch):
+        import importlib
+
+        from repro.core import registry
+
+        (tmp_path / "broken_plugin.py").write_text("raise ImportError('kaput')\n")
+        dist_info = tmp_path / "broken_plugin-0.1.dist-info"
+        dist_info.mkdir()
+        (dist_info / "METADATA").write_text(
+            "Metadata-Version: 2.1\nName: broken-plugin\nVersion: 0.1\n"
+        )
+        (dist_info / "entry_points.txt").write_text(
+            "[repro.basecallers]\nbroken = broken_plugin:REGISTRATION\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.invalidate_caches()
+        before = set(basecaller_names())
+        with pytest.warns(RuntimeWarning, match="broken"):
+            registry.load_entry_point_backends(force=True)
+        assert set(basecaller_names()) == before
+        sys.modules.pop("broken_plugin", None)
+
+    def test_entry_point_overriding_existing_backend_warns(self, tmp_path, monkeypatch):
+        import importlib
+
+        from repro.core import registry
+
+        (tmp_path / "shadow_plugin.py").write_text(
+            "from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig\n"
+            "from repro.core.registry import BackendRegistration\n"
+            "REGISTRATION = BackendRegistration(\n"
+            '    name="surrogate",\n'
+            "    factory=lambda config: SurrogateBasecaller(config),\n"
+            "    instance_type=SurrogateBasecaller,\n"
+            "    config_type=SurrogateConfig,\n"
+            "    capture=lambda basecaller: basecaller.config,\n"
+            ")\n"
+        )
+        dist_info = tmp_path / "shadow_plugin-0.1.dist-info"
+        dist_info.mkdir()
+        (dist_info / "METADATA").write_text(
+            "Metadata-Version: 2.1\nName: shadow-plugin\nVersion: 0.1\n"
+        )
+        (dist_info / "entry_points.txt").write_text(
+            "[repro.basecallers]\nshadow = shadow_plugin:REGISTRATION\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.invalidate_caches()
+        original = registry._BASECALLERS["surrogate"]
+        try:
+            with pytest.warns(RuntimeWarning, match="overrides the existing"):
+                registry.load_entry_point_backends(force=True)
+        finally:
+            registry._BASECALLERS["surrogate"] = original
+            registry._ENTRY_POINT_NAMES.pop("surrogate", None)
+            sys.modules.pop("shadow_plugin", None)

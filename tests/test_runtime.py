@@ -290,3 +290,59 @@ class TestCLI:
         assert document["run"]["variant"] == "full_er"
         statuses = {read["status"] for read in document["reads"]}
         assert statuses <= {status.value for status in ReadStatus}
+
+    def test_cli_streaming_run_report_identical(self, tmp_path):
+        """A parallel generator-source, JSONL-sink, length-aware run
+        serializes byte-identically to the serial in-memory run (the
+        report is replayed losslessly from the outcome file)."""
+        serial = self._run_cli(tmp_path, "serial.json", ["--workers", "1"])
+        streaming = self._run_cli(
+            tmp_path,
+            "streaming.json",
+            [
+                "--workers", "2", "--source", "generator", "--adaptive-batching",
+                "--sink", "jsonl", "--outcomes", str(tmp_path / "outcomes.jsonl"),
+            ],
+        )
+        assert serial == streaming
+        assert (tmp_path / "outcomes.jsonl").exists()
+        n_lines = len((tmp_path / "outcomes.jsonl").read_text().strip().splitlines())
+        assert n_lines == json.loads(serial)["summary"]["n_reads"]
+
+    def test_cli_store_source_round_trip(self, tmp_path):
+        """--source store writes the container on first use and streams
+        from it; the report matches the in-memory source exactly."""
+        serial = self._run_cli(tmp_path, "serial.json", ["--workers", "1"])
+        store = tmp_path / "reads.gprd"
+        from_store = self._run_cli(
+            tmp_path,
+            "store.json",
+            ["--workers", "2", "--source", "store", "--store", str(store)],
+        )
+        assert store.exists()
+        assert serial == from_store
+
+    def test_cli_store_flag_mismatch_refused(self, tmp_path):
+        """Reusing a container under different dataset flags is an error,
+        not a silently mislabelled run (the reference/index come from the
+        flags, not the file)."""
+        store = tmp_path / "reads.gprd"
+        self._run_cli(
+            tmp_path, "first.json",
+            ["--workers", "1", "--source", "store", "--store", str(store)],
+        )
+        assert store.with_name(store.name + ".meta.json").exists()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.runtime",
+                "--profile", "ecoli-like", "--scale", "0.0005", "--seed", "8",
+                "--source", "store", "--store", str(store), "--quiet",
+            ],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert completed.returncode != 0
+        assert "generated with" in completed.stderr

@@ -1,0 +1,413 @@
+"""Tests for the streaming runtime: sources, sinks, transport, batching.
+
+The centrepiece extends the parallel-equivalence invariant of
+``tests/test_runtime.py`` across the full streaming matrix: for every
+source (in-memory, lazy generator, on-disk store) x sink (memory,
+JSONL) x batching (fixed, length-aware) combination, a pooled run must
+yield exactly the sequential run's outcomes, order, and counters. On
+top of that: lossless JSONL replay, O(batch) parent retention, and
+shared-memory segment cleanup on every exit path (normal, worker
+exception, broken pool).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.basecalling.surrogate import SurrogateBasecaller
+from repro.core import GenPIP, GenPIPConfig
+from repro.mapping.index import MinimizerIndex
+from repro.nanopore.datasets import ECOLI_LIKE, generate_dataset, small_profile
+from repro.nanopore.signal_store import write_read_store
+from repro.runtime import (
+    DatasetEngine,
+    IterableSource,
+    JSONLSink,
+    MemorySink,
+    Prefetcher,
+    SequenceSource,
+    ShardCollector,
+    ShardResult,
+    SimulatorSource,
+    StoreSource,
+    active_segments,
+    as_read_source,
+    iter_work,
+    outcome_from_record,
+    outcome_to_record,
+    replay_report,
+)
+from repro.runtime.source import PrefetchError
+
+TINY_PROFILE = small_profile(ECOLI_LIKE, max_read_length=2_500)
+TINY_SCALE = 0.0004
+TINY_SEED = 13
+
+
+def _no_leaked_segments() -> bool:
+    if active_segments():
+        return False
+    # Belt and braces on Linux: nothing with our prefix in /dev/shm.
+    if os.path.isdir("/dev/shm"):
+        return not glob.glob("/dev/shm/genpip-*")
+    return True
+
+
+class FailingBasecaller(SurrogateBasecaller):
+    """Raises on one read id -- identically in parent and workers."""
+
+    def __init__(self, fail_read_id: str, config=None):
+        super().__init__(config)
+        self.fail_read_id = fail_read_id
+
+    def basecall_chunk(self, read, index, chunk_size):
+        if read.read_id == self.fail_read_id:
+            raise RuntimeError(f"injected failure on {read.read_id}")
+        return super().basecall_chunk(read, index, chunk_size)
+
+
+class WorkerExitingBasecaller(SurrogateBasecaller):
+    """Kills any process that is not the recorded parent (breaks the pool),
+    behaving exactly like the plain surrogate in the parent itself."""
+
+    def __init__(self, parent_pid: int, config=None):
+        super().__init__(config)
+        self.parent_pid = parent_pid
+
+    def basecall_chunk(self, read, index, chunk_size):
+        if os.getpid() != self.parent_pid:
+            os._exit(1)
+        return super().basecall_chunk(read, index, chunk_size)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_dataset(TINY_PROFILE, scale=TINY_SCALE, seed=TINY_SEED)
+
+
+@pytest.fixture(scope="module")
+def tiny_index(tiny_dataset):
+    return MinimizerIndex.build(tiny_dataset.reference)
+
+
+@pytest.fixture(scope="module")
+def tiny_system(tiny_index):
+    return GenPIP(tiny_index, GenPIPConfig(), align=False)
+
+
+@pytest.fixture(scope="module")
+def serial_report(tiny_system, tiny_dataset):
+    """The canonical sequential in-memory run every combination must match."""
+    return tiny_system.run(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def store_path(tiny_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "reads.gprd"
+    write_read_store(path, tiny_dataset.reads)
+    return path
+
+
+def _make_source(kind: str, tiny_dataset, store_path):
+    if kind == "sequence":
+        return SequenceSource(tiny_dataset.reads)
+    if kind == "generator":
+        return SimulatorSource(
+            TINY_PROFILE, scale=TINY_SCALE, seed=TINY_SEED, reference=tiny_dataset.reference
+        )
+    return StoreSource(store_path)
+
+
+class TestStreamingMatrix:
+    @pytest.mark.parametrize("source_kind", ["sequence", "generator", "store"])
+    @pytest.mark.parametrize("batching", ["fixed", "length-aware"])
+    @pytest.mark.parametrize("sink_kind", ["memory", "jsonl"])
+    def test_parallel_equals_sequential(
+        self,
+        tiny_system,
+        tiny_dataset,
+        serial_report,
+        store_path,
+        tmp_path,
+        source_kind,
+        batching,
+        sink_kind,
+    ):
+        source = _make_source(source_kind, tiny_dataset, store_path)
+        jsonl_path = tmp_path / "outcomes.jsonl"
+        sink = JSONLSink(jsonl_path) if sink_kind == "jsonl" else None
+        engine = DatasetEngine(
+            tiny_system.pipeline, workers=2, batch_size=4, sink=sink, batching=batching
+        )
+        report = engine.run(source)
+        assert report.counters == serial_report.counters
+        if sink_kind == "jsonl":
+            assert report.outcomes == []  # streaming sink retains nothing
+            replayed = replay_report(jsonl_path, serial_report.config)
+            assert replayed.outcomes == serial_report.outcomes
+            assert replayed.counters == serial_report.counters
+        else:
+            assert report.outcomes == serial_report.outcomes
+        assert _no_leaked_segments()
+
+    @pytest.mark.parametrize("batching", ["fixed", "length-aware"])
+    def test_serial_streaming_paths(
+        self, tiny_system, tiny_dataset, serial_report, store_path, tmp_path, batching
+    ):
+        """Serial runs through every streaming layer match the baseline."""
+        jsonl_path = tmp_path / "serial.jsonl"
+        engine = DatasetEngine(
+            tiny_system.pipeline,
+            workers=1,
+            batch_size=4,
+            sink=JSONLSink(jsonl_path),
+            batching=batching,
+        )
+        report = engine.run(StoreSource(store_path))
+        assert report.counters == serial_report.counters
+        replayed = replay_report(jsonl_path, serial_report.config)
+        assert replayed.outcomes == serial_report.outcomes
+        assert engine.last_stats.mode == "serial"
+        assert engine.last_stats.transport == "none"
+
+    def test_pickle_transport_equivalence(self, tiny_system, tiny_dataset, serial_report):
+        report = DatasetEngine(
+            tiny_system.pipeline, workers=2, batch_size=4, transport="pickle"
+        ).run(tiny_dataset)
+        assert report.outcomes == serial_report.outcomes
+        assert report.counters == serial_report.counters
+        assert _no_leaked_segments()
+
+    def test_shm_transport_reported_in_stats(self, tiny_system, tiny_dataset, serial_report):
+        engine = DatasetEngine(tiny_system.pipeline, workers=2, batch_size=4, transport="shm")
+        report = engine.run(tiny_dataset)
+        assert report.outcomes == serial_report.outcomes
+        if engine.last_stats.mode == "process-pool":
+            assert engine.last_stats.transport == "shm"
+        assert _no_leaked_segments()
+
+    def test_alignment_survives_jsonl_replay(self, tiny_index, tiny_dataset, tmp_path):
+        """CIGAR-carrying outcomes (align=True) round-trip losslessly."""
+        system = GenPIP(tiny_index, GenPIPConfig(), align=True)
+        baseline = system.run(tiny_dataset)
+        jsonl_path = tmp_path / "aligned.jsonl"
+        summary = system.run(
+            tiny_dataset, workers=2, batch_size=5, sink=JSONLSink(jsonl_path)
+        )
+        assert summary.counters == baseline.counters
+        replayed = replay_report(jsonl_path, baseline.config)
+        assert replayed.outcomes == baseline.outcomes
+        assert replayed == baseline
+
+
+class TestFailurePaths:
+    def test_worker_exception_propagates_and_releases_segments(
+        self, tiny_index, tiny_dataset, tmp_path
+    ):
+        fail_id = tiny_dataset.reads[len(tiny_dataset.reads) // 2].read_id
+        system = GenPIP(
+            tiny_index, GenPIPConfig(), basecaller=FailingBasecaller(fail_id), align=False
+        )
+        sink = JSONLSink(tmp_path / "partial.jsonl")
+        engine = DatasetEngine(system.pipeline, workers=2, batch_size=3, sink=sink)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            engine.run(tiny_dataset)
+        assert _no_leaked_segments()
+
+    def test_broken_pool_resumes_serially_without_duplicates(
+        self, tiny_index, tiny_dataset, serial_report, tmp_path
+    ):
+        """A pool whose workers die mid-run degrades to in-process
+        execution, resuming (not restarting) the stream: the JSONL sink
+        sees every outcome exactly once and the result matches the
+        baseline."""
+        system = GenPIP(
+            tiny_index,
+            GenPIPConfig(),
+            basecaller=WorkerExitingBasecaller(os.getpid()),
+            align=False,
+        )
+        jsonl_path = tmp_path / "resumed.jsonl"
+        engine = DatasetEngine(
+            system.pipeline, workers=2, batch_size=3, sink=JSONLSink(jsonl_path)
+        )
+        with pytest.warns(RuntimeWarning, match="resuming serially|process pool unavailable"):
+            report = engine.run(tiny_dataset)
+        assert engine.last_stats.mode == "serial"
+        assert report.counters == serial_report.counters
+        replayed = replay_report(jsonl_path, serial_report.config)
+        assert replayed.outcomes == serial_report.outcomes
+        assert _no_leaked_segments()
+
+    def test_source_failure_aborts_cleanly(self, tiny_system, tiny_dataset):
+        def exploding():
+            yield from tiny_dataset.reads[:5]
+            raise OSError("disk on fire")
+
+        engine = DatasetEngine(tiny_system.pipeline, workers=2, batch_size=2)
+        with pytest.raises(Exception, match="disk on fire|prefetch"):
+            engine.run(IterableSource(exploding()))
+        assert _no_leaked_segments()
+
+
+class TestRetention:
+    def test_jsonl_sink_parent_retention_is_batch_bounded(
+        self, tiny_system, tiny_dataset, serial_report, tmp_path
+    ):
+        """Serial streaming emits shard-by-shard: every emitted slice is
+        at most one batch, and nothing accumulates between emits."""
+        emitted: list[int] = []
+
+        class ProbeSink(JSONLSink):
+            def emit(self, outcomes):
+                emitted.append(len(outcomes))
+                super().emit(outcomes)
+
+        engine = DatasetEngine(
+            tiny_system.pipeline,
+            workers=1,
+            batch_size=4,
+            sink=ProbeSink(tmp_path / "probe.jsonl"),
+        )
+        engine.run(tiny_dataset)
+        assert sum(emitted) == len(tiny_dataset)
+        assert len(emitted) >= len(tiny_dataset) // 4  # incremental, not one blob
+        assert max(emitted) <= 4
+
+    def test_collector_drain_releases_outcomes(self, serial_report):
+        outcomes = list(serial_report.outcomes)
+        collector = ShardCollector(2)
+        collector.add(ShardResult.from_outcomes(0, outcomes[:5]))
+        drained = collector.drain()
+        assert drained == outcomes[:5]
+        assert collector._outcomes == []  # released, not retained
+        assert collector.n_ready == 5
+        collector.add(ShardResult.from_outcomes(1, outcomes[5:7]))
+        assert collector.drain() == outcomes[5:7]
+        with pytest.raises(RuntimeError, match="drained"):
+            collector.report(serial_report.config)
+
+
+class TestSources:
+    def test_simulator_source_is_reiterable_and_matches_dataset(self, tiny_dataset):
+        source = SimulatorSource(
+            TINY_PROFILE, scale=TINY_SCALE, seed=TINY_SEED, reference=tiny_dataset.reference
+        )
+        assert source.size_hint() == len(tiny_dataset)
+        first = list(source)
+        second = list(source)
+        assert [read.read_id for read in first] == [read.read_id for read in tiny_dataset.reads]
+        for a, b, c in zip(first, second, tiny_dataset.reads):
+            assert a.read_id == b.read_id == c.read_id
+            assert a.seed == b.seed == c.seed
+            np.testing.assert_array_equal(a.true_codes, c.true_codes)
+            np.testing.assert_array_equal(a.qualities, c.qualities)
+
+    def test_store_source_round_trips_reads_exactly(self, tiny_dataset, store_path):
+        source = StoreSource(store_path)
+        assert source.size_hint() == len(tiny_dataset)
+        restored = list(source)
+        assert len(restored) == len(tiny_dataset)
+        for original, back in zip(tiny_dataset.reads, restored):
+            assert back.read_id == original.read_id
+            assert back.read_class is original.read_class
+            assert back.strand == original.strand
+            assert back.ref_start == original.ref_start
+            assert back.ref_end == original.ref_end
+            assert back.seed == original.seed
+            np.testing.assert_array_equal(back.true_codes, original.true_codes)
+            # Bit-exact float64 qualities: outcomes over a store equal
+            # the in-memory run's.
+            np.testing.assert_array_equal(back.qualities, original.qualities)
+
+    def test_as_read_source_coercions(self, tiny_dataset):
+        assert isinstance(as_read_source(tiny_dataset), SequenceSource)
+        assert isinstance(as_read_source(tiny_dataset.reads), SequenceSource)
+        existing = SequenceSource(tiny_dataset.reads)
+        assert as_read_source(existing) is existing
+        wrapped = as_read_source(iter(tiny_dataset.reads))
+        assert isinstance(wrapped, IterableSource)
+        assert wrapped.size_hint() is None
+
+    def test_prefetcher_preserves_order(self, tiny_dataset):
+        with Prefetcher(tiny_dataset.reads, depth=4) as prefetcher:
+            seen = [read.read_id for read in prefetcher]
+        assert seen == [read.read_id for read in tiny_dataset.reads]
+
+    def test_prefetcher_propagates_errors(self):
+        def broken():
+            yield from range(3)
+            raise ValueError("boom")
+
+        prefetcher = Prefetcher(broken(), depth=2)
+        with pytest.raises(PrefetchError):
+            list(prefetcher)
+        prefetcher.close()
+
+    def test_prefetcher_close_unblocks_producer(self, tiny_dataset):
+        prefetcher = Prefetcher(tiny_dataset.reads, depth=1)
+        iterator = iter(prefetcher)
+        next(iterator)  # producer now blocked on the full queue
+        prefetcher.close()
+        assert not prefetcher._thread.is_alive()
+
+
+class TestLengthAwarePlanning:
+    def test_plan_preserves_order_and_coverage(self, tiny_dataset):
+        units = list(iter_work(tiny_dataset.reads, 4, batching="length-aware"))
+        flattened = [read.read_id for unit in units for read in unit.reads]
+        assert flattened == [read.read_id for read in tiny_dataset.reads]
+        assert [unit.shard_id for unit in units] == list(range(len(units)))
+        assert all(len(unit) <= 16 for unit in units)  # count cap = 4x batch
+
+    def test_long_reads_are_isolated(self):
+        # The planner only consults len(read), so synthetic stubs give a
+        # controlled heavy tail: a 20x-mean read amid short ones (the
+        # Table 1 shape: mean ~9 kb, max >100 kb) must land alone.
+        class StubRead:
+            def __init__(self, n: int):
+                self.n = n
+
+            def __len__(self) -> int:
+                return self.n
+
+        long = StubRead(8_000)
+        stream = [StubRead(400) for _ in range(6)] + [long] + [StubRead(400) for _ in range(6)]
+        units = list(iter_work(stream, 4, batching="length-aware"))
+        singleton = [unit for unit in units if len(unit) == 1 and unit.reads[0] is long]
+        assert singleton, "a read longer than the unit budget must form its own work unit"
+        flattened = [read for unit in units for read in unit.reads]
+        assert flattened == stream  # order and coverage preserved
+
+    def test_balance_beats_fixed_on_max_unit_bases(self, tiny_dataset):
+        fixed = list(iter_work(tiny_dataset.reads, 4, batching="fixed"))
+        aware = list(iter_work(tiny_dataset.reads, 4, batching="length-aware"))
+        assert max(unit.n_bases for unit in aware) <= max(unit.n_bases for unit in fixed)
+
+    def test_unknown_batching_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="batching"):
+            list(iter_work(tiny_dataset.reads, 4, batching="cosmic"))
+
+
+class TestSinks:
+    def test_outcome_record_round_trip(self, serial_report):
+        for outcome in serial_report.outcomes:
+            assert outcome_from_record(outcome_to_record(outcome)) == outcome
+
+    def test_memory_sink_matches_direct_report(self, tiny_system, tiny_dataset, serial_report):
+        sink = MemorySink()
+        report = DatasetEngine(tiny_system.pipeline, workers=1, sink=sink).run(tiny_dataset)
+        assert report.outcomes == serial_report.outcomes
+        assert report.counters == serial_report.counters
+
+    def test_jsonl_sink_writes_one_line_per_outcome(
+        self, tiny_system, tiny_dataset, tmp_path
+    ):
+        path = tmp_path / "lines.jsonl"
+        DatasetEngine(tiny_system.pipeline, workers=1, sink=JSONLSink(path)).run(tiny_dataset)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(tiny_dataset)
