@@ -11,7 +11,11 @@ Two consumers:
   and emits ``BENCH_runtime.json`` -- one record per configuration with
   ``reads_per_sec`` -- so the repo's perf trajectory is tracked as a CI
   artifact from this PR onward. The grid needs no pytest plugins, just
-  the package itself.
+  the package itself. Besides the surrogate read-based grid
+  (``"source": "reads"``), the document carries a small **signal-native
+  lane** (``"source": "signals"``): a raw-signal container is written
+  once, then decoded end-to-end by the Viterbi backend serially and
+  pooled, tracking the throughput of the stored-current path.
 
 On a multi-core box the 4-worker run should clear >= 1.5x serial
 throughput: reads are independent, payloads travel through shared
@@ -38,6 +42,7 @@ from repro.runtime import DatasetEngine
 WORKER_COUNTS = (1, 2, 4)
 BATCHING_MODES = ("fixed", "length-aware")
 GRID_TRANSPORTS = ("pickle", "shm")
+SIGNAL_WORKER_COUNTS = (1, 2)
 
 if pytest is not None:
     pytestmark = pytest.mark.bench
@@ -76,6 +81,7 @@ def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
                     rps = len(dataset) / elapsed if elapsed > 0 else 0.0
                     if best is None or rps > best["reads_per_sec"]:
                         best = {
+                            "source": "reads",
                             "workers": workers,
                             "batching": batching,
                             "transport": stats.transport,
@@ -87,6 +93,44 @@ def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
                             "reads_per_sec": round(rps, 2),
                         }
                 records.append(best)
+    return records
+
+
+def collect_signal_grid(signal_system, store_path, repeats: int = 1) -> list[dict]:
+    """Time the signal-native path: stored raw current -> mapper.
+
+    One record per worker count; real signal-space decoding dominates,
+    so the lane stays tiny (a handful of short reads) and still tracks
+    the end-to-end throughput of the container -> transport -> decoder
+    pipeline.
+    """
+    from repro.runtime import SignalStoreSource
+
+    records = []
+    for workers in SIGNAL_WORKER_COUNTS:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            engine = DatasetEngine(signal_system.pipeline, workers=workers)
+            report = engine.run(SignalStoreSource(store_path))
+            elapsed = time.perf_counter() - started
+            stats = engine.last_stats
+            assert report.n_reads == stats.n_reads > 0
+            rps = report.n_reads / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "signals",
+                    "workers": workers,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                }
+        records.append(best)
     return records
 
 
@@ -175,12 +219,21 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--max-read-length", type=int, default=None, metavar="BASES")
     parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument(
+        "--signal-scale", type=float, default=0.0001,
+        help="dataset fraction for the signal-native lane (real decoding; keep tiny)",
+    )
+    parser.add_argument("--signal-max-read-length", type=int, default=900, metavar="BASES")
     parser.add_argument("--out", default="BENCH_runtime.json")
     args = parser.parse_args(argv)
+
+    import tempfile
+    from pathlib import Path
 
     from repro.core.registry import preset_config
     from repro.mapping.index import MinimizerIndex
     from repro.nanopore.datasets import PRESETS, generate_dataset, small_profile
+    from repro.nanopore.signal_store import write_signals
 
     profile = PRESETS[args.profile]
     if args.max_read_length is not None:
@@ -190,17 +243,47 @@ def main(argv=None) -> int:
     system = GenPIP(index, preset_config(args.profile), align=False)
 
     records = collect_grid(system, dataset, repeats=args.repeats)
+
+    # Signal-native lane: write a raw-signal container once, then time
+    # the stored-current path (container -> transport -> Viterbi -> map)
+    # serially and pooled.
+    signal_profile = small_profile(
+        PRESETS[args.profile], max_read_length=args.signal_max_read_length
+    )
+    signal_dataset = generate_dataset(
+        signal_profile, scale=args.signal_scale, seed=args.seed
+    )
+    signal_index = MinimizerIndex.build(signal_dataset.reference)
+    signal_system = (
+        GenPIP.build()
+        .index(signal_index)
+        .config(preset_config(args.profile))
+        .basecaller("viterbi")
+        .align(False)
+        .build()
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "signals.rsig"
+        write_signals(
+            store_path,
+            signal_system.pipeline.basecaller.signal_records(signal_dataset.reads),
+        )
+        records += collect_signal_grid(signal_system, store_path, repeats=args.repeats)
+
     context = {
         "profile": profile.name,
         "scale": args.scale,
         "seed": args.seed,
         "n_reads": len(dataset),
         "total_bases": int(sum(len(read) for read in dataset.reads)),
+        "signal_scale": args.signal_scale,
+        "signal_n_reads": len(signal_dataset),
     }
     write_bench_json(args.out, records, context)
     for record in records:
         print(
-            f"workers={record['workers']} batching={record['batching']:<12} "
+            f"source={record['source']:<7} workers={record['workers']} "
+            f"batching={record['batching']:<12} "
             f"transport={record['transport']:<6} mode={record['mode']:<12} "
             f"{record['reads_per_sec']:8.1f} reads/s",
             file=sys.stderr,

@@ -36,9 +36,12 @@ from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig
 from repro.basecalling.viterbi import ViterbiBasecaller, ViterbiConfig
 from repro.basecalling.chunked import chunk_bounds, reassemble_chunks
 from repro.basecalling.engines import (
+    CarriedSignalProvider,
     DNNBackendConfig,
     DNNChunkBasecaller,
+    SignalProvider,
     SignalSpaceBasecaller,
+    SynthesisSignalProvider,
     ViterbiBackendConfig,
     ViterbiChunkBasecaller,
     synthesize_read_signal,
@@ -53,9 +56,12 @@ __all__ = [
     "ViterbiConfig",
     "chunk_bounds",
     "reassemble_chunks",
+    "CarriedSignalProvider",
     "DNNBackendConfig",
     "DNNChunkBasecaller",
+    "SignalProvider",
     "SignalSpaceBasecaller",
+    "SynthesisSignalProvider",
     "ViterbiBackendConfig",
     "ViterbiChunkBasecaller",
     "synthesize_read_signal",

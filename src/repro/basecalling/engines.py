@@ -6,18 +6,25 @@ the repo's two *signal-space* decoders -- the k-mer HMM Viterbi decoder
 and the Bonito-like CTC network -- to that chunk-level contract, so they
 run the identical CP/ER control flow as the dataset-scale surrogate.
 
-:class:`SimulatedRead` carries ground truth and a quality track but no
-raw signal; each backend synthesizes the read's signal on demand,
-deterministically in ``read.seed`` (one rng stream per read, so the
-signal -- and therefore every chunk decode -- is independent of
-processing order, the invariant the chunk pipeline relies on). The
-synthesis is *quality-conditioned*: measurement noise grows where the
-read's quality track is low, so low-quality reads genuinely decode
-worse and quality-based early rejection remains meaningful in signal
-space.
+The decoders consume raw current, so the only real question per read is
+*where its signal comes from*. A :class:`SignalProvider` answers it:
+
+* :class:`CarriedSignalProvider` -- the read **is** signal: a
+  :class:`~repro.nanopore.signal_read.SignalRead` decoded from a stored
+  container (the paper's actual input artefact) carries its samples,
+  and the backend decodes them as provided.
+* :class:`SynthesisSignalProvider` -- the read is a
+  :class:`SimulatedRead` (ground truth + quality track, no samples):
+  the provider synthesizes its signal on demand, deterministically in
+  ``read.seed`` (one rng stream per read, so the signal -- and
+  therefore every chunk decode -- is independent of processing order,
+  the invariant the chunk pipeline relies on). The synthesis is
+  *quality-conditioned*: measurement noise grows where the read's
+  quality track is low, so low-quality reads genuinely decode worse and
+  quality-based early rejection remains meaningful in signal space.
 
 Chunks are cut on the shared :func:`~repro.basecalling.chunked.chunk_bounds`
-grid (true-base coordinates) and decoded independently, losing k-mer
+grid (base coordinates) and decoded independently, losing k-mer
 context at boundaries -- the same trade-off real chunked basecallers
 make. ``n_true_bases`` keeps the surrogate's accounting so SQS/AQS and
 the performance model treat all engines uniformly.
@@ -27,6 +34,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -38,6 +46,8 @@ from repro.genomics.quality import phred_to_error_prob
 from repro.nanopore.pore_model import PoreModel
 from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
+from repro.nanopore.signal_read import SignalRead
+from repro.nanopore.signal_store import SignalRecord
 
 #: Second word of the per-read rng seed sequence, so the signal stream
 #: never collides with the surrogate's (read.seed, chunk_size, index)
@@ -76,14 +86,75 @@ def synthesize_read_signal(
     )
 
 
-class SignalSpaceBasecaller:
-    """Shared chunk plumbing for engines that decode synthesized signal.
+@runtime_checkable
+class SignalProvider(Protocol):
+    """Where a read's raw signal comes from.
 
-    Subclasses implement :meth:`_decode` (samples -> bases, qualities);
-    this base supplies the :class:`~repro.core.backends.Basecaller`
-    surface: the shared chunk grid, per-read signal synthesis with a
-    small cache, and chunk reassembly. The cache is dropped on pickling
-    so instances stay cheap to ship to worker processes.
+    ``supports`` says whether this provider can serve the read;
+    ``signal_for`` returns the read's full signal. Providers must be
+    deterministic per read (same read -> same signal, independent of
+    call order) -- the chunk pipeline's byte-identity invariant rests
+    on it -- and picklable, since backends travel to worker processes.
+    """
+
+    def supports(self, read) -> bool: ...  # pragma: no cover - protocol
+
+    def signal_for(self, read) -> RawSignal: ...  # pragma: no cover - protocol
+
+
+class CarriedSignalProvider:
+    """Serves reads that *are* signal (:class:`SignalRead`).
+
+    This is the signal-native path: the samples came from a container
+    (or straight from a device) and are decoded as provided.
+    ``normalize`` applies per-read median/MAD normalisation first --
+    cached per read behind a small LRU, so chunked decoding normalises
+    once per read, not once per chunk. Containers written by this repo
+    store picoampere-scale samples (the units the decoders assume), so
+    it defaults off; the cache is dropped on pickling, like the
+    synthesis provider's.
+    """
+
+    def __init__(self, normalize: bool = False):
+        self._normalize = normalize
+        # Keyed by the sample buffer's identity, with the buffer itself
+        # pinned in the value: while an entry lives, its id cannot be
+        # reused, and the `is` check on hit rejects any aliasing --
+        # read ids repeat across containers (read-000000, ...), so an
+        # id-based key alone could serve another container's signal.
+        self._normalized_cache: "OrderedDict[tuple[str, int], tuple]" = OrderedDict()
+
+    def supports(self, read) -> bool:
+        return isinstance(read, SignalRead)
+
+    def signal_for(self, read: SignalRead) -> RawSignal:
+        if not self._normalize:
+            return read.signal
+        samples = read.signal.samples
+        key = (read.read_id, id(samples))
+        entry = self._normalized_cache.get(key)
+        if entry is not None and entry[0] is samples:
+            self._normalized_cache.move_to_end(key)
+            return entry[1]
+        signal = read.normalized().signal
+        self._normalized_cache[key] = (samples, signal)
+        while len(self._normalized_cache) > _SIGNAL_CACHE_READS:
+            self._normalized_cache.popitem(last=False)
+        return signal
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_normalized_cache"] = OrderedDict()
+        return state
+
+
+class SynthesisSignalProvider:
+    """Synthesizes signal for base-space reads (:class:`SimulatedRead`).
+
+    Deterministic in ``read.seed`` and quality-conditioned (see
+    :func:`synthesize_read_signal`). A small LRU keeps the few reads
+    the pipeline touches concurrently hot; the cache is dropped on
+    pickling so instances stay cheap to ship to worker processes.
     """
 
     def __init__(
@@ -95,7 +166,7 @@ class SignalSpaceBasecaller:
         self._pore_model = pore_model
         self._signal_config = signal_config
         self._quality_noise = quality_noise
-        self._signal_cache: OrderedDict[tuple[str, int], RawSignal] = OrderedDict()
+        self._signal_cache: OrderedDict[tuple[str, int, int], RawSignal] = OrderedDict()
 
     @property
     def pore_model(self) -> PoreModel:
@@ -105,7 +176,10 @@ class SignalSpaceBasecaller:
     def signal_config(self) -> SignalConfig:
         return self._signal_config
 
-    def read_signal(self, read: SimulatedRead) -> RawSignal:
+    def supports(self, read) -> bool:
+        return isinstance(read, SimulatedRead)
+
+    def signal_for(self, read: SimulatedRead) -> RawSignal:
         """The read's synthesized signal (cached per read).
 
         The key includes the length so manually constructed reads that
@@ -125,13 +199,85 @@ class SignalSpaceBasecaller:
             self._signal_cache.popitem(last=False)
         return signal
 
-    def n_chunks(self, read: SimulatedRead, chunk_size: int) -> int:
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_signal_cache"] = OrderedDict()
+        return state
+
+
+class SignalSpaceBasecaller:
+    """Shared chunk plumbing for engines that decode raw signal.
+
+    Subclasses implement :meth:`_decode` (samples -> bases, qualities);
+    this base supplies the :class:`~repro.core.backends.Basecaller`
+    surface: the shared chunk grid, chunk reassembly, and signal
+    resolution through an ordered chain of :class:`SignalProvider`\\ s
+    -- carried signal first (signal-native inputs), synthesis as the
+    fallback for base-space simulated reads. ``providers`` replaces the
+    leading carried provider(s) -- e.g. a
+    ``CarriedSignalProvider(normalize=True)`` for containers in non-pA
+    units -- while synthesis always stays the final fallback.
+    """
+
+    #: Signal-space engines decode :class:`SignalRead` inputs natively.
+    accepts_signal_reads = True
+
+    def __init__(
+        self,
+        pore_model: PoreModel,
+        signal_config: SignalConfig,
+        quality_noise: float,
+        normalize_carried: bool = False,
+        providers: "tuple[SignalProvider, ...] | None" = None,
+    ):
+        self._synthesis = SynthesisSignalProvider(pore_model, signal_config, quality_noise)
+        if providers is None:
+            providers = (CarriedSignalProvider(normalize=normalize_carried),)
+        self._providers: tuple[SignalProvider, ...] = tuple(providers) + (
+            self._synthesis,
+        )
+
+    @property
+    def pore_model(self) -> PoreModel:
+        return self._synthesis.pore_model
+
+    @property
+    def signal_config(self) -> SignalConfig:
+        return self._synthesis.signal_config
+
+    @property
+    def providers(self) -> tuple[SignalProvider, ...]:
+        return self._providers
+
+    def read_signal(self, read) -> RawSignal:
+        """The read's signal, from the first provider that serves it."""
+        for provider in self._providers:
+            if provider.supports(read):
+                return provider.signal_for(read)
+        raise TypeError(
+            f"no signal provider for {type(read).__name__}; signal-space engines "
+            "decode SignalRead (carried samples) or SimulatedRead (synthesis)"
+        )
+
+    def synthesize_signal(self, read: SimulatedRead) -> RawSignal:
+        """Synthesize a base-space read's signal (bypasses carried paths).
+
+        This is what writes signal containers: the synthesized current
+        of a simulated dataset, persisted once, replaces synthesis for
+        every subsequent signal-native run.
+        """
+        return self._synthesis.signal_for(read)
+
+    def signal_records(self, reads: Iterable[SimulatedRead]) -> Iterator[SignalRecord]:
+        """Container records of the reads' synthesized signals (streamed)."""
+        for read in reads:
+            yield SignalRecord(read_id=read.read_id, signal=self.synthesize_signal(read))
+
+    def n_chunks(self, read, chunk_size: int) -> int:
         """Number of chunks the read splits into (shared grid)."""
         return len(chunk_bounds(len(read), chunk_size))
 
-    def basecall_chunk(
-        self, read: SimulatedRead, index: int, chunk_size: int
-    ) -> BasecalledChunk:
+    def basecall_chunk(self, read, index: int, chunk_size: int) -> BasecalledChunk:
         """Decode one chunk's signal slice.
 
         The signal models ``len(read) - k + 1`` k-mer positions, so the
@@ -146,15 +292,7 @@ class SignalSpaceBasecaller:
             )
         start, end = bounds[index]
         signal = self.read_signal(read)
-        lo = min(start, signal.n_bases)
-        hi = min(end, signal.n_bases)
-        if lo < hi:
-            samples = signal.slice_bases(lo, hi)
-        else:
-            # The chunk lies entirely past the modelled range (final
-            # chunk covering only the last k-1 true bases, or a read
-            # shorter than k): no samples, empty decode.
-            samples = signal.samples[:0]
+        samples = signal.clamped_slice(start, end)
         bases, qualities = self._decode(samples, read.read_id)
         return BasecalledChunk(
             chunk_index=index,
@@ -163,7 +301,7 @@ class SignalSpaceBasecaller:
             n_true_bases=end - start,
         )
 
-    def basecall_read(self, read: SimulatedRead, chunk_size: int) -> BasecalledRead:
+    def basecall_read(self, read, chunk_size: int) -> BasecalledRead:
         """Basecall every chunk of the read and reassemble."""
         chunks = [
             self.basecall_chunk(read, i, chunk_size)
@@ -173,11 +311,6 @@ class SignalSpaceBasecaller:
 
     def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
         raise NotImplementedError
-
-    def __getstate__(self) -> dict:
-        state = dict(self.__dict__)
-        state["_signal_cache"] = OrderedDict()
-        return state
 
 
 @dataclass(frozen=True)
@@ -199,6 +332,10 @@ class ViterbiBackendConfig:
     quality_noise:
         Scale of the quality-conditioned extra measurement noise (pA);
         0 disables conditioning.
+    normalize_carried:
+        Median/MAD-normalise carried (signal-native) reads before
+        decoding; for containers whose samples are not in picoampere
+        units. Off by default -- this repo's containers store pA.
     """
 
     pore_k: int = 5
@@ -206,6 +343,7 @@ class ViterbiBackendConfig:
     decoder: ViterbiConfig = field(default_factory=ViterbiConfig)
     signal: SignalConfig = field(default_factory=SignalConfig)
     quality_noise: float = 6.0
+    normalize_carried: bool = False
 
     def __post_init__(self) -> None:
         if self.quality_noise < 0:
@@ -218,7 +356,12 @@ class ViterbiChunkBasecaller(SignalSpaceBasecaller):
     def __init__(self, config: ViterbiBackendConfig | None = None):
         config = config or ViterbiBackendConfig()
         pore = PoreModel.synthetic(k=config.pore_k, seed=config.pore_seed)
-        super().__init__(pore, config.signal, config.quality_noise)
+        super().__init__(
+            pore,
+            config.signal,
+            config.quality_noise,
+            normalize_carried=config.normalize_carried,
+        )
         self._config = config
         self._decoder = ViterbiBasecaller(pore, config.decoder)
 
@@ -245,8 +388,9 @@ class DNNBackendConfig:
         Deterministic weight seed and GRU width of the Bonito-like
         network (untrained: the engine exercises the real compute graph
         and control flow, not trained accuracy).
-    pore_k, pore_seed, signal, quality_noise:
-        Signal synthesis, as for :class:`ViterbiBackendConfig`.
+    pore_k, pore_seed, signal, quality_noise, normalize_carried:
+        Signal synthesis and carried-signal handling, as for
+        :class:`ViterbiBackendConfig`.
     """
 
     model_seed: int = 0
@@ -255,6 +399,7 @@ class DNNBackendConfig:
     pore_seed: int = 7
     signal: SignalConfig = field(default_factory=SignalConfig)
     quality_noise: float = 6.0
+    normalize_carried: bool = False
 
     def __post_init__(self) -> None:
         if self.hidden < 1:
@@ -277,7 +422,12 @@ class DNNChunkBasecaller(SignalSpaceBasecaller):
     def __init__(self, config: DNNBackendConfig | None = None):
         config = config or DNNBackendConfig()
         pore = PoreModel.synthetic(k=config.pore_k, seed=config.pore_seed)
-        super().__init__(pore, config.signal, config.quality_noise)
+        super().__init__(
+            pore,
+            config.signal,
+            config.quality_noise,
+            normalize_carried=config.normalize_carried,
+        )
         self._config = config
         self._model = BonitoLikeModel(seed=config.model_seed, hidden=config.hidden)
 

@@ -49,6 +49,13 @@ class Basecaller(Protocol):
     For the runtime to ship an engine to worker processes it must also
     be picklable (or registered in :mod:`repro.core.registry`, which
     lets a name + config travel instead of the instance).
+
+    Engines that can decode *signal-native* inputs -- reads that carry
+    stored raw current (:class:`~repro.nanopore.signal_read.SignalRead`)
+    instead of base-space ground truth -- declare it with a truthy
+    ``accepts_signal_reads`` attribute (a plain class attribute; absent
+    means base-space only). The pipeline and runtime check it before
+    feeding a signal source to an engine.
     """
 
     def n_chunks(self, read: "SimulatedRead", chunk_size: int) -> int:

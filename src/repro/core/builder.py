@@ -108,6 +108,12 @@ class PipelineBuilder:
         (``None`` for defaults) and the engine is built lazily at
         :meth:`build` time. With an instance, ``config`` must be
         omitted.
+
+        For signal-native runs (a
+        :class:`~repro.runtime.source.SignalStoreSource` feeding stored
+        raw current) pick a signal-space backend -- ``"viterbi"`` or
+        ``"dnn"`` -- since the surrogate replays base-space ground
+        truth and cannot decode provided signal.
         """
         if isinstance(backend, str):
             self._basecaller_name = backend

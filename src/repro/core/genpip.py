@@ -32,7 +32,6 @@ from repro.core.pipeline import GenPIPPipeline, ReadOutcome, ReadStatus
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import MapperConfig
 from repro.nanopore.datasets import Dataset
-from repro.nanopore.read_simulator import SimulatedRead
 
 
 @dataclass
@@ -261,8 +260,8 @@ class GenPIP:
     def config(self) -> GenPIPConfig:
         return self._config
 
-    def process_read(self, read: SimulatedRead) -> ReadOutcome:
-        """Run one read through the pipeline."""
+    def process_read(self, read) -> ReadOutcome:
+        """Run one read (base-space or signal-native) through the pipeline."""
         return self._pipeline.process_read(read)
 
     def run(
@@ -282,7 +281,11 @@ class GenPIP:
         dataset:
             A :class:`Dataset`, a sequence of reads, or any streaming
             :class:`~repro.runtime.source.ReadSource` (lazy simulator,
-            on-disk read store, ...).
+            on-disk read store, ...). Signal-native sources
+            (:class:`~repro.runtime.source.SignalStoreSource`, yielding
+            stored raw current instead of simulated reads) require a
+            signal-space basecaller (``"viterbi"`` / ``"dnn"``); the
+            engine rejects the combination up front otherwise.
         workers:
             Worker processes to shard the reads across. ``None`` defers
             to the ``GENPIP_WORKERS`` environment variable (default 1);

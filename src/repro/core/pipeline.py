@@ -38,6 +38,14 @@ from repro.genomics import alphabet
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import IncrementalChunkMapper, MapperConfig, MappingResult
 from repro.nanopore.read_simulator import SimulatedRead
+from repro.nanopore.signal_read import SignalRead
+
+#: Anything the chunk pipeline can process: a base-space simulated read
+#: or a signal-native read carrying stored raw current. Both expose
+#: ``read_id`` and ``len(read)`` (the shared chunk/shard grid); which
+#: kinds a run supports is the basecaller's affair (signal-space
+#: engines declare ``accepts_signal_reads = True``).
+PipelineRead = SimulatedRead | SignalRead
 
 
 class ReadStatus(enum.Enum):
@@ -151,7 +159,7 @@ class GenPIPPipeline:
     def cmr_policy(self) -> CMRPolicyProtocol:
         return self._cmr
 
-    def process_batch(self, reads: "list[SimulatedRead]") -> "list[ReadOutcome]":
+    def process_batch(self, reads: "list[PipelineRead]") -> "list[ReadOutcome]":
         """Process a batch of reads in order (one runtime work unit).
 
         Reads are independent -- the pipeline keeps no cross-read state
@@ -160,8 +168,22 @@ class GenPIPPipeline:
         """
         return [self.process_read(read) for read in reads]
 
-    def process_read(self, read: SimulatedRead) -> ReadOutcome:
-        """Run one read through CP (+ ER if enabled)."""
+    def process_read(self, read: PipelineRead) -> ReadOutcome:
+        """Run one read through CP (+ ER if enabled).
+
+        Accepts base-space :class:`SimulatedRead`\\ s with any backend,
+        and signal-native :class:`SignalRead`\\ s with backends that
+        decode provided signal (``accepts_signal_reads``) -- the same
+        CP/ER control flow either way.
+        """
+        if isinstance(read, SignalRead) and not getattr(
+            self._basecaller, "accepts_signal_reads", False
+        ):
+            raise TypeError(
+                f"{type(self._basecaller).__name__} cannot decode signal-native "
+                "reads; use a signal-space backend ('viterbi', 'dnn') for raw-"
+                "current inputs"
+            )
         cfg = self._config
         chunk_size = cfg.chunk_size
         n_chunks = self._basecaller.n_chunks(read, chunk_size)

@@ -47,6 +47,7 @@ from repro.nanopore.signal_store import (
     write_signals,
 )
 from repro.nanopore.signal_filter import SignalPrefilter, subsequence_dtw
+from repro.nanopore.signal_read import SignalRead
 
 __all__ = [
     "PoreModel",
@@ -76,5 +77,6 @@ __all__ = [
     "write_read_store",
     "write_signals",
     "SignalPrefilter",
+    "SignalRead",
     "subsequence_dtw",
 ]

@@ -95,6 +95,22 @@ class RawSignal:
             end = int(self.base_starts[last_base])
         return self.samples[start:end]
 
+    def clamped_slice(self, first_base: int, last_base: int) -> np.ndarray:
+        """Like :meth:`slice_bases`, but clamped to the modelled range.
+
+        A chunk grid may declare more bases than the signal models (the
+        trailing ``k - 1`` true bases of a synthesized read have no
+        dedicated samples); bounds past the modelled range are clamped,
+        and a range lying entirely past it is an empty view. This is
+        the single definition of chunk-to-sample clamping shared by the
+        signal-space basecallers and :class:`SignalRead` views.
+        """
+        lo = min(first_base, self.n_bases)
+        hi = min(last_base, self.n_bases)
+        if lo >= hi:
+            return self.samples[:0]
+        return self.slice_bases(lo, hi)
+
 
 def synthesize_signal(
     codes: np.ndarray,

@@ -6,18 +6,22 @@ supplies the execution layer as a streaming dataflow:
 
 * :mod:`repro.runtime.source` -- :class:`ReadSource` implementations
   (in-memory sequence, lazy simulator generator, incremental on-disk
-  read store) plus the :class:`Prefetcher` producer thread that
-  overlaps input with execution;
+  read store, and the signal-native :class:`SignalStoreSource` that
+  streams stored raw current straight into a signal-space basecaller)
+  plus the :class:`Prefetcher` producer thread that overlaps input
+  with execution;
 * :mod:`repro.runtime.sharding` -- streaming work-unit planning with
   fixed or length-aware (base-balanced) batching;
 * :mod:`repro.runtime.spec` -- :class:`PipelineSpec`, the picklable
   per-worker pipeline factory;
 * :mod:`repro.runtime.transport` -- shared-memory publication of read
-  payloads (workers receive handles, not pickles);
+  and signal payloads plus the minimizer index (workers receive
+  handles, not pickles);
 * :mod:`repro.runtime.merge` -- :class:`ShardCollector`, the
   order-preserving streaming merge that releases the completed prefix;
 * :mod:`repro.runtime.sink` -- :class:`ReportSink` consumers of that
-  prefix (in-memory report, incremental JSONL with lossless replay);
+  prefix (in-memory report, incremental JSONL with lossless replay,
+  columnar Parquet behind an optional pyarrow gate);
 * :mod:`repro.runtime.engine` -- :class:`DatasetEngine`, the
   process-pool executor with bounded in-flight submission and a
   resuming serial fallback;
@@ -45,10 +49,13 @@ from repro.runtime.sharding import (
 from repro.runtime.sink import (
     JSONLSink,
     MemorySink,
+    ParquetSink,
     ReportSink,
     iter_outcomes_jsonl,
+    iter_outcomes_parquet,
     outcome_from_record,
     outcome_to_record,
+    replay_parquet_report,
     replay_report,
 )
 from repro.runtime.source import (
@@ -56,12 +63,19 @@ from repro.runtime.source import (
     Prefetcher,
     ReadSource,
     SequenceSource,
+    SignalStoreSource,
     SimulatorSource,
     StoreSource,
     as_read_source,
 )
 from repro.runtime.spec import PipelineSpec
-from repro.runtime.transport import active_segments, release_all
+from repro.runtime.transport import (
+    SharedIndexHandle,
+    active_segments,
+    attach_index,
+    publish_index,
+    release_all,
+)
 
 __all__ = [
     "BATCHING_MODES",
@@ -69,6 +83,7 @@ __all__ = [
     "IterableSource",
     "JSONLSink",
     "MemorySink",
+    "ParquetSink",
     "PipelineSpec",
     "Prefetcher",
     "ReadSource",
@@ -77,6 +92,8 @@ __all__ = [
     "SequenceSource",
     "ShardCollector",
     "ShardResult",
+    "SharedIndexHandle",
+    "SignalStoreSource",
     "SimulatorSource",
     "StoreSource",
     "TRANSPORTS",
@@ -84,12 +101,16 @@ __all__ = [
     "WorkUnit",
     "active_segments",
     "as_read_source",
+    "attach_index",
     "iter_outcomes_jsonl",
+    "iter_outcomes_parquet",
     "iter_work",
     "outcome_from_record",
     "outcome_to_record",
     "plan_work",
+    "publish_index",
     "release_all",
+    "replay_parquet_report",
     "replay_report",
     "resolve_batch_size",
     "resolve_workers",

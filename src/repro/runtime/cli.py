@@ -4,17 +4,19 @@ Builds the index, executes the pipeline through the streaming
 :class:`~repro.runtime.engine.DatasetEngine`, and writes a
 deterministic JSON report. Reads come from a selectable **source**
 (``--source``): a materialised in-memory dataset, a lazy simulator
-generator, or an on-disk read container streamed incrementally
-(``--store``; written on first use). Outcomes go to a selectable
-**sink** (``--sink``): the in-memory report, or an incremental JSONL
-file (``--outcomes``) that keeps parent memory at O(batch).
+generator, an on-disk read container streamed incrementally, or an
+on-disk **raw-signal** container decoded signal-natively by a
+signal-space basecaller (``--store``; containers are written on first
+use). Outcomes go to a selectable **sink** (``--sink``): the in-memory
+report, an incremental JSONL file, or a columnar Parquet file
+(``--outcomes``), both keeping parent memory at O(batch).
 
 The JSON report intentionally contains no timing, worker, or streaming
 information -- a serial in-memory run and an ``N``-worker
 generator-source JSONL-sink run of the same dataset must serialize to
 byte-identical files, which is exactly what the CI smoke jobs diff
-(with a JSONL sink the report is replayed losslessly from the outcome
-file).
+(with a streaming sink the report is replayed losslessly from the
+outcome file).
 
 Examples
 --------
@@ -31,8 +33,14 @@ Stream from an on-disk read container (written on first use)::
 
     python -m repro.runtime --source store --store reads.gprd --workers 2
 
-Any registered basecaller backend and pipeline preset plugs in (keep
-signal-space backends to tiny scales -- they decode real signal)::
+Signal-native run: decode stored raw current end to end (the container
+is synthesized and written on first use; keep signal-space backends to
+tiny scales -- they decode real signal)::
+
+    python -m repro.runtime --source signals --store signals.rsig \\
+        --basecaller viterbi --scale 0.0002 --max-read-length 1500
+
+Any registered basecaller backend and pipeline preset plugs in::
 
     python -m repro.runtime --basecaller viterbi --preset ecoli \\
         --scale 0.0002 --max-read-length 1500
@@ -58,13 +66,18 @@ from repro.nanopore.datasets import (
     profile_reference,
     small_profile,
 )
-from repro.nanopore.signal_store import write_read_store
+from repro.nanopore.signal_store import write_read_store, write_signals
 from repro.runtime.engine import TRANSPORTS, DatasetEngine
-from repro.runtime.sink import JSONLSink, replay_report
-from repro.runtime.source import SimulatorSource, StoreSource
+from repro.runtime.sink import (
+    JSONLSink,
+    ParquetSink,
+    replay_parquet_report,
+    replay_report,
+)
+from repro.runtime.source import SignalStoreSource, SimulatorSource, StoreSource
 
-SOURCES = ("memory", "generator", "store")
-SINKS = ("memory", "jsonl")
+SOURCES = ("memory", "generator", "store", "signals")
+SINKS = ("memory", "jsonl", "parquet")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,12 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     data.add_argument(
         "--source", choices=SOURCES, default="memory",
         help="where reads come from: materialised dataset, lazy simulator "
-        "generator, or an on-disk read container streamed incrementally",
+        "generator, an on-disk read container streamed incrementally, or an "
+        "on-disk raw-signal container decoded signal-natively (requires a "
+        "signal-space --basecaller)",
     )
     data.add_argument(
         "--store", default=None, metavar="PATH",
-        help="read-container path for --source store (generated and written "
-        "on first use if missing)",
+        help="container path for --source store/signals (generated and "
+        "written on first use if missing)",
     )
     pipe = parser.add_argument_group("pipeline")
     pipe.add_argument(
@@ -136,17 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
     out = parser.add_argument_group("output")
     out.add_argument(
         "--sink", choices=SINKS, default="memory",
-        help="outcome sink: in-memory report, or incremental JSONL "
-        "(O(batch) parent memory; requires --outcomes)",
+        help="outcome sink: in-memory report, incremental JSONL, or columnar "
+        "Parquet (both streaming sinks keep O(batch) parent memory and "
+        "require --outcomes; parquet needs the optional pyarrow dependency)",
     )
     out.add_argument(
         "--outcomes", default=None, metavar="PATH",
-        help="JSONL file the jsonl sink streams outcomes to",
+        help="file the jsonl/parquet sink streams outcomes to",
     )
     out.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
-        help="write the JSON report to PATH ('-' for stdout); with the jsonl "
-        "sink the report is replayed losslessly from --outcomes",
+        help="write the JSON report to PATH ('-' for stdout); with a "
+        "streaming sink the report is replayed losslessly from --outcomes",
     )
     out.add_argument("--quiet", action="store_true", help="suppress the stderr summary")
     return parser
@@ -210,6 +226,44 @@ def report_to_json(report: GenPIPReport, run_args: dict) -> str:
     return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
 
+def _ensure_container(parser, store_path: Path, provenance: dict, kind: str, write) -> None:
+    """Write a container on first use, guarded by a provenance sidecar.
+
+    The container itself stores reads/signals, not the flags that
+    generated them (or the reference they map against), so reusing one
+    under different dataset flags would silently mix records with the
+    wrong reference/index and mislabel the report's run block. Refuse
+    mismatches instead. The unknown-provenance note names every flag
+    the sidecar would have checked, so a signal container warns about
+    ``--basecaller`` too (stored current is backend-specific).
+    """
+    flags = ", ".join(f"--{key.replace('_', '-')}" for key in provenance)
+    meta_path = store_path.with_name(store_path.name + ".meta.json")
+    if store_path.exists():
+        if meta_path.exists():
+            recorded = json.loads(meta_path.read_text(encoding="utf-8"))
+            if recorded != provenance:
+                parser.error(
+                    f"{kind} container {store_path} was generated with {recorded}, "
+                    f"but this run requests {provenance}; rerun with matching "
+                    "flags or delete the container to regenerate it"
+                )
+        else:
+            print(
+                f"note: reusing {kind} container {store_path} of unknown "
+                f"provenance -- its records must match this run's {flags} "
+                "(reference/index are built from the flags, not the file)",
+                file=sys.stderr,
+            )
+        return
+    # Sidecar first: an interrupt between the two writes then leaves
+    # sidecar-without-container, and the next run simply regenerates
+    # both -- never a container whose provenance check silently
+    # degrades to a note.
+    meta_path.write_text(json.dumps(provenance, sort_keys=True) + "\n", encoding="utf-8")
+    write()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -221,14 +275,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--batch-size must be at least 1")
     if args.chunk_size < 50:
         parser.error("--chunk-size must be at least 50 bases")
-    if args.source == "store" and not args.store:
-        parser.error("--source store requires --store PATH")
-    if args.store and args.source != "store":
-        parser.error("--store only makes sense with --source store")
-    if args.sink == "jsonl" and not args.outcomes:
-        parser.error("--sink jsonl requires --outcomes PATH")
-    if args.outcomes and args.sink != "jsonl":
-        parser.error("--outcomes only makes sense with --sink jsonl")
+    if args.source in ("store", "signals") and not args.store:
+        parser.error(f"--source {args.source} requires --store PATH")
+    if args.store and args.source not in ("store", "signals"):
+        parser.error("--store only makes sense with --source store or signals")
+    if args.sink in ("jsonl", "parquet") and not args.outcomes:
+        parser.error(f"--sink {args.sink} requires --outcomes PATH")
+    if args.outcomes and args.sink not in ("jsonl", "parquet"):
+        parser.error("--outcomes only makes sense with --sink jsonl or parquet")
+
+    # Construct the sink before any expensive setup (index build,
+    # container synthesis): a missing optional pyarrow dependency must
+    # fail fast, not after minutes of dataset generation.
+    if args.sink == "jsonl":
+        sink = JSONLSink(args.outcomes)
+    elif args.sink == "parquet":
+        try:
+            sink = ParquetSink(args.outcomes)
+        except ImportError as exc:
+            parser.error(str(exc))
+    else:
+        sink = None
 
     profile = PRESETS[args.profile]
     if args.max_read_length is not None:
@@ -236,55 +303,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     # The reference is deterministic in the profile, so every source
     # sees the exact dataset generate_dataset would materialise.
     reference = profile_reference(profile)
-    if args.source == "memory":
-        data = generate_dataset(profile, scale=args.scale, seed=args.seed, reference=reference)
-    elif args.source == "generator":
-        data = SimulatorSource(profile, scale=args.scale, seed=args.seed, reference=reference)
-    else:
-        store_path = Path(args.store)
-        # Provenance sidecar: the container itself stores reads, not the
-        # flags that generated them (or the reference they map against),
-        # so reusing one under different dataset flags would silently
-        # mix reads with the wrong reference/index and mislabel the
-        # report's run block. Refuse mismatches instead.
-        provenance = {
-            "profile": args.profile,
-            "scale": args.scale,
-            "seed": args.seed,
-            "max_read_length": args.max_read_length,
-        }
-        meta_path = store_path.with_name(store_path.name + ".meta.json")
-        if store_path.exists():
-            if meta_path.exists():
-                recorded = json.loads(meta_path.read_text(encoding="utf-8"))
-                if recorded != provenance:
-                    parser.error(
-                        f"read container {store_path} was generated with {recorded}, "
-                        f"but this run requests {provenance}; rerun with matching "
-                        "dataset flags or delete the container to regenerate it"
-                    )
-            else:
-                print(
-                    f"note: reusing read container {store_path} of unknown "
-                    "provenance -- its reads must match this run's --profile "
-                    "(reference/index are built from the flags, not the file)",
-                    file=sys.stderr,
-                )
-        else:
-            # Sidecar first: an interrupt between the two writes then
-            # leaves sidecar-without-container, and the next run simply
-            # regenerates both -- never a container whose provenance
-            # check silently degrades to a note.
-            meta_path.write_text(
-                json.dumps(provenance, sort_keys=True) + "\n", encoding="utf-8"
-            )
-            write_read_store(
-                store_path,
-                iter_dataset_reads(
-                    profile, scale=args.scale, seed=args.seed, reference=reference
-                ),
-            )
-        data = StoreSource(store_path)
     index = MinimizerIndex.build(reference)
     # The registry's profile-name aliases carry each dataset's Sec. 6.3
     # parameters, so the profile default and --preset share one source.
@@ -299,7 +317,76 @@ def main(argv: Sequence[str] | None = None) -> int:
         .align(args.align)
         .build()
     )
-    sink = JSONLSink(args.outcomes) if args.sink == "jsonl" else None
+
+    if args.source == "memory":
+        data = generate_dataset(profile, scale=args.scale, seed=args.seed, reference=reference)
+    elif args.source == "generator":
+        data = SimulatorSource(profile, scale=args.scale, seed=args.seed, reference=reference)
+    elif args.source == "store":
+        store_path = Path(args.store)
+        provenance = {
+            "profile": args.profile,
+            "scale": args.scale,
+            "seed": args.seed,
+            "max_read_length": args.max_read_length,
+        }
+        _ensure_container(
+            parser,
+            store_path,
+            provenance,
+            "read",
+            lambda: write_read_store(
+                store_path,
+                iter_dataset_reads(
+                    profile, scale=args.scale, seed=args.seed, reference=reference
+                ),
+            ),
+        )
+        data = StoreSource(store_path)
+    else:  # signals
+        basecaller = system.pipeline.basecaller
+        if not getattr(basecaller, "accepts_signal_reads", False):
+            parser.error(
+                f"--source signals requires a signal-space basecaller "
+                f"(e.g. viterbi, dnn), not {args.basecaller!r}"
+            )
+        store_path = Path(args.store)
+        # accepts_signal_reads is the protocol capability; signal_records
+        # (container synthesis) is not, so a third-party signal-native
+        # backend can decode an existing container but cannot write one.
+        if not store_path.exists() and not hasattr(basecaller, "signal_records"):
+            parser.error(
+                f"--source signals needs an existing container at {store_path}: "
+                f"backend {args.basecaller!r} decodes signal natively but does "
+                "not synthesize containers (no signal_records()); provide a "
+                "container written by a synthesis-capable backend"
+            )
+        # The synthesized current depends on the backend's pore model
+        # and signal parameters, so the backend is part of a signal
+        # container's provenance.
+        provenance = {
+            "profile": args.profile,
+            "scale": args.scale,
+            "seed": args.seed,
+            "max_read_length": args.max_read_length,
+            "basecaller": args.basecaller,
+        }
+        _ensure_container(
+            parser,
+            store_path,
+            provenance,
+            "raw-signal",
+            lambda: write_signals(
+                store_path,
+                basecaller.signal_records(
+                    iter_dataset_reads(
+                        profile, scale=args.scale, seed=args.seed, reference=reference
+                    )
+                ),
+            ),
+        )
+        data = SignalStoreSource(store_path)
+
     engine = DatasetEngine(
         system.pipeline,
         workers=args.workers,
@@ -309,11 +396,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         transport=args.transport,
     )
     report = engine.run(data)
-    if args.sink == "jsonl" and args.json_path:
+    if args.json_path and args.sink in ("jsonl", "parquet"):
         # The run kept O(batch) outcomes in memory; the per-read records
         # are replayed losslessly from disk only because the full JSON
         # report needs them (the stderr summary is counters-only).
-        report = replay_report(args.outcomes, report.config)
+        replay = replay_report if args.sink == "jsonl" else replay_parquet_report
+        report = replay(args.outcomes, report.config)
 
     # The run block records only result-determining parameters, so the
     # smoke diff across worker counts / sources / sinks stays
@@ -329,6 +417,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "chunk_size": args.chunk_size,
         "align": args.align,
     }
+    if args.source == "signals":
+        # Signal-native decoding IS result-determining (quantised stored
+        # current, modelled-position chunk grid), unlike the read-based
+        # sources, which all yield the identical dataset. The key is
+        # added only here so read-based reports stay byte-identical to
+        # earlier releases.
+        run_args["signal_native"] = True
     if args.json_path:
         payload = report_to_json(report, run_args)
         if args.json_path == "-":
@@ -343,6 +438,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if not args.quiet:
         stats = engine.last_stats
+        backpressure = ""
+        # Gate on the window, not the mode: a broken-pool run resumes
+        # serially but keeps the pooled phase's backpressure figures --
+        # the post-mortem case these metrics exist for.
+        if stats.inflight_window > 0:
+            backpressure = (
+                f", prefetch {stats.prefetch_peak}/{stats.prefetch_capacity}"
+                f", window {stats.inflight_peak}/{stats.inflight_window}"
+            )
         print(
             f"{profile.name}: {report.n_reads} reads, {report.total_bases:,} bases | "
             f"mapped {report.mapped_ratio:.1%}, QSR {report.qsr_rejection_ratio:.1%}, "
@@ -350,7 +454,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"basecall savings {report.basecall_savings:.1%} | "
             f"{stats.mode} x{stats.workers} "
             f"(batch {stats.batch_size}, {stats.batching}, "
-            f"source {args.source}, sink {args.sink}, transport {stats.transport}): "
+            f"source {args.source}, sink {args.sink}, transport {stats.transport}"
+            f"{backpressure}): "
             f"{stats.elapsed_s:.2f}s, {stats.reads_per_sec:.1f} reads/s",
             file=sys.stderr,
         )

@@ -5,8 +5,10 @@ one run:
 
 1. a :class:`~repro.runtime.source.ReadSource` supplies reads (in
    memory, lazily simulated, or decoded incrementally from an on-disk
-   container), optionally prefetched by a bounded background thread so
-   pool workers never starve on input;
+   container -- base-space reads or signal-native raw current via
+   :class:`~repro.runtime.source.SignalStoreSource`), optionally
+   prefetched by a bounded background thread so pool workers never
+   starve on input;
 2. :func:`~repro.runtime.sharding.iter_work` plans ordered
    :class:`~repro.runtime.sharding.WorkUnit`\\ s from the stream (fixed
    read count, or length-aware base balancing that kills the long-read
@@ -49,6 +51,7 @@ from typing import Callable, Iterator
 
 from repro.core.genpip import GenPIPReport
 from repro.core.pipeline import GenPIPPipeline
+from repro.mapping.index import MinimizerIndex
 from repro.runtime.merge import ShardCollector, ShardResult
 from repro.runtime.sharding import (
     WorkUnit,
@@ -60,7 +63,14 @@ from repro.runtime.sharding import (
 from repro.runtime.sink import MemorySink, ReportSink
 from repro.runtime.source import Prefetcher, ReadSource, as_read_source
 from repro.runtime.spec import PipelineSpec
-from repro.runtime.transport import SharedUnit, attach_unit, publish_unit, release_unit
+from repro.runtime.transport import (
+    SharedIndexHandle,
+    SharedUnit,
+    attach_unit,
+    publish_index,
+    publish_unit,
+    release_unit,
+)
 
 #: Supported transports for pooled payloads.
 TRANSPORTS = ("auto", "shm", "pickle")
@@ -116,7 +126,18 @@ def _pool_warmup() -> None:
 @dataclass(frozen=True)
 class RuntimeStats:
     """Bookkeeping of one engine run (never part of the report itself,
-    so serialized reports stay bit-identical across worker counts)."""
+    so serialized reports stay bit-identical across worker counts).
+
+    The backpressure fields make dataset-scale starvation visible: a
+    ``prefetch_peak`` pinned at ``prefetch_capacity`` means the source
+    runs ahead of the pool (workers are the bottleneck); a peak near
+    zero means workers starve on input. Likewise ``inflight_peak``
+    against ``inflight_window`` shows whether the submission window
+    ever filled. All four are zero for runs that never entered the
+    pooled path; a broken-pool run that resumed serially reports
+    ``mode="serial"`` but keeps the pooled phase's values -- exactly
+    the phase whose backpressure is worth inspecting post-mortem.
+    """
 
     mode: str  # "serial" | "process-pool"
     workers: int
@@ -126,6 +147,10 @@ class RuntimeStats:
     elapsed_s: float
     batching: str = "fixed"  # "fixed" | "length-aware"
     transport: str = "none"  # "none" | "pickle" | "shm"
+    prefetch_capacity: int = 0  # reads the producer thread may buffer
+    prefetch_peak: int = 0  # high-water mark of that buffer
+    inflight_window: int = 0  # max work units submitted concurrently
+    inflight_peak: int = 0  # high-water mark of submitted-not-collected units
 
     @property
     def reads_per_sec(self) -> float:
@@ -200,6 +225,7 @@ class DatasetEngine:
         self._prefetch_depth = prefetch_depth
         self._progress_seen = 0
         self._progress_total = -1
+        self._backpressure: dict[str, int] = {}
         self._last_stats: RuntimeStats | None = None
 
     @property
@@ -220,6 +246,13 @@ class DatasetEngine:
         the sink put them).
         """
         source = as_read_source(dataset)
+        kind = getattr(source, "read_kind", None)
+        if callable(kind) and kind() == "signals" and not self._spec.accepts_signal_reads():
+            raise TypeError(
+                "signal-native source requires a signal-space basecaller "
+                "('viterbi', 'dnn'); the configured backend decodes base-space "
+                "reads only"
+            )
         sink = self._sink if self._sink is not None else MemorySink()
         hint = source.size_hint()
         batch_size = resolve_batch_size(hint, self._workers, self._batch_size)
@@ -234,6 +267,12 @@ class DatasetEngine:
             pool_workers = min(pool_workers, max(max_units, 1))
         self._progress_seen = 0
         self._progress_total = hint if hint is not None else -1
+        self._backpressure = {
+            "prefetch_capacity": 0,
+            "prefetch_peak": 0,
+            "inflight_window": 0,
+            "inflight_peak": 0,
+        }
         collector = ShardCollector()
         started = time.perf_counter()
         sink.begin(self._spec.config)
@@ -259,6 +298,7 @@ class DatasetEngine:
             elapsed_s=time.perf_counter() - started,
             batching=self._batching,
             transport=transport,
+            **self._backpressure,
         )
         return report
 
@@ -320,11 +360,50 @@ class DatasetEngine:
         batch_size: int,
         pool_workers: int,
     ) -> tuple[str, str]:
+        # Publish the minimizer index once into shared memory so pool
+        # initialisation ships a tiny handle per worker instead of
+        # pickling the index max_workers times. The handle lives as
+        # long as the pool might attach (released in the finally).
+        # Under "auto", failure degrades to the classic pickled-index
+        # initargs; an explicit "shm" request is a hard contract, for
+        # the index exactly as for unit payloads in _submit.
+        index_handle: SharedIndexHandle | None = None
+        worker_spec = self._spec
+        if self._transport in ("auto", "shm") and isinstance(self._spec.index, MinimizerIndex):
+            try:
+                index_handle = publish_index(self._spec.index)
+                worker_spec = self._spec.with_index(index_handle)
+            except (OSError, ValueError, ImportError) as exc:
+                if self._transport == "shm":
+                    raise
+                warnings.warn(
+                    f"shared-memory index unavailable ({exc!r}); "
+                    "shipping the pickled index to workers",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        try:
+            return self._run_pool_stream_with_spec(
+                source, collector, sink, batch_size, pool_workers, worker_spec
+            )
+        finally:
+            if index_handle is not None:
+                release_unit(index_handle.segment)
+
+    def _run_pool_stream_with_spec(
+        self,
+        source: ReadSource,
+        collector: ShardCollector,
+        sink: ReportSink,
+        batch_size: int,
+        pool_workers: int,
+        worker_spec: PipelineSpec,
+    ) -> tuple[str, str]:
         try:
             executor = ProcessPoolExecutor(
                 max_workers=pool_workers,
                 initializer=_init_worker,
-                initargs=(self._spec,),
+                initargs=(worker_spec,),
             )
         except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
             warnings.warn(
@@ -354,6 +433,8 @@ class DatasetEngine:
             if self._prefetch_depth is not None
             else max(window * batch_size, 64)
         )
+        self._backpressure["inflight_window"] = window
+        self._backpressure["prefetch_capacity"] = depth
         transport = self._transport
         inflight: dict[Future, WorkUnit] = {}
         segments: dict[Future, str] = {}
@@ -376,6 +457,8 @@ class DatasetEngine:
                         self._collect_completed(inflight, segments, collector, sink)
                     future, segment, transport = self._submit(executor, unit, transport)
                     inflight[future] = unit
+                    if len(inflight) > self._backpressure["inflight_peak"]:
+                        self._backpressure["inflight_peak"] = len(inflight)
                     if segment is not None:
                         segments[future] = segment
                     n_submitted += 1
@@ -419,6 +502,7 @@ class DatasetEngine:
                 return mode, "none"
         finally:
             if prefetcher is not None:
+                self._backpressure["prefetch_peak"] = prefetcher.peak_depth
                 prefetcher.close()
             executor.shutdown(wait=True, cancel_futures=True)
             for segment in segments.values():

@@ -58,7 +58,13 @@ UNKNOWN_SIZE_HINT = 4096
 
 @dataclass(frozen=True)
 class WorkUnit:
-    """A contiguous run of reads, tagged with its position in the plan."""
+    """A contiguous run of reads, tagged with its position in the plan.
+
+    Planning is read-kind agnostic: the only contract consumed here is
+    ``len(read)`` (the base-grid length), so base-space simulated reads
+    and signal-native :class:`~repro.nanopore.signal_read.SignalRead`\\ s
+    shard identically.
+    """
 
     shard_id: int
     start: int

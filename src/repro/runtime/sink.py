@@ -14,6 +14,14 @@ it, so the parent's peak outcome retention is O(batch):
   finished report carries counters only, and :func:`replay_report`
   reconstructs the *exact* in-memory report from the file
   (``tests/test_runtime_streaming.py`` asserts equality).
+* :class:`ParquetSink` -- the columnar sibling for analytics-scale
+  outcome files: scalar fields as native Arrow columns, nested
+  QSR/CMR/mapping records as JSON-encoded nullable strings, written in
+  row groups as the prefix grows. Requires the optional ``pyarrow``
+  dependency (install ``genpip-repro[parquet]``); construction raises a
+  clear ``ImportError`` without it, and
+  :func:`replay_parquet_report` round-trips losslessly like the JSONL
+  path.
 
 Outcome serialisation is lossless: every field of
 :class:`~repro.core.pipeline.ReadOutcome` -- including the nested
@@ -123,6 +131,152 @@ class JSONLSink:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+def _require_pyarrow():
+    """Import pyarrow or fail with an actionable message."""
+    try:
+        import pyarrow
+        import pyarrow.parquet
+    except ImportError as exc:  # pragma: no cover - exercised when pyarrow absent
+        raise ImportError(
+            "the parquet sink requires pyarrow (pip install 'genpip-repro[parquet]'); "
+            "use the jsonl sink on installations without it"
+        ) from exc
+    return pyarrow, pyarrow.parquet
+
+
+#: The single source of truth for the Parquet layout: column name ->
+#: logical kind. Scalar kinds map to native Arrow types; ``"json"``
+#: columns hold the same JSON encodings the JSONL sink writes (nested
+#: qsr/cmr/mapping records) as nullable strings. The schema and both
+#: row (de)serialisers all derive from this mapping.
+_PARQUET_COLUMNS = (
+    ("read_id", "string"),
+    ("status", "string"),
+    ("read_length", "int64"),
+    ("n_chunks_total", "int64"),
+    ("n_chunks_basecalled", "int64"),
+    ("n_bases_basecalled", "int64"),
+    ("n_chunks_seeded", "int64"),
+    ("n_chain_invocations", "int64"),
+    ("aligned", "bool"),
+    ("mean_quality", "float64"),
+    ("qsr", "json"),
+    ("cmr", "json"),
+    ("mapping", "json"),
+)
+_PARQUET_JSON_FIELDS = tuple(name for name, kind in _PARQUET_COLUMNS if kind == "json")
+
+
+class ParquetSink:
+    """Streams outcomes to a columnar Parquet file (optional pyarrow).
+
+    Outcomes accumulate into row groups of ``batch_rows`` and are
+    flushed incrementally through a ``pyarrow.parquet.ParquetWriter``,
+    so parent retention stays O(batch_rows). Serialisation is lossless:
+    scalar fields are native columns, the nested QSR/CMR/mapping
+    records are the same JSON encodings the JSONL sink writes, and
+    :func:`replay_parquet_report` reconstructs the exact in-memory
+    report. On ``abort`` the partially written file is closed and left
+    on disk.
+    """
+
+    def __init__(self, path, batch_rows: int = 1024):
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be positive")
+        self._pa, self._pq = _require_pyarrow()
+        self._path = Path(path)
+        self._batch_rows = batch_rows
+        arrow_types = {
+            "string": self._pa.string(),
+            "int64": self._pa.int64(),
+            "bool": self._pa.bool_(),
+            "float64": self._pa.float64(),
+            "json": self._pa.string(),
+        }
+        self._schema = self._pa.schema(
+            [self._pa.field(name, arrow_types[kind]) for name, kind in _PARQUET_COLUMNS]
+        )
+        self._writer = None
+        self._buffer: list[dict] = []
+        self._config: GenPIPConfig | None = None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def begin(self, config: GenPIPConfig) -> None:
+        self._close()
+        self._config = config
+        self._buffer = []
+        self._writer = self._pq.ParquetWriter(self._path, self._schema)
+
+    def emit(self, outcomes: Sequence[ReadOutcome]) -> None:
+        if self._writer is None:
+            raise RuntimeError("sink emitted to before begin()")
+        for outcome in outcomes:
+            record = outcome_to_record(outcome)
+            row = {}
+            for name, kind in _PARQUET_COLUMNS:
+                value = record[name]
+                if kind == "json" and value is not None:
+                    value = json.dumps(value, sort_keys=True, separators=(",", ":"))
+                row[name] = value
+            self._buffer.append(row)
+        if len(self._buffer) >= self._batch_rows:
+            self._flush()
+
+    def finish(self, counters: ReportCounters) -> GenPIPReport:
+        if self._config is None:
+            raise RuntimeError("sink finished before begin()")
+        self._flush()
+        self._close()
+        return GenPIPReport(outcomes=[], config=self._config, counters=counters)
+
+    def abort(self) -> None:
+        self._close()
+
+    def _flush(self) -> None:
+        if not self._buffer or self._writer is None:
+            return
+        columns = {
+            name: [row[name] for row in self._buffer] for name in self._schema.names
+        }
+        self._writer.write_table(
+            self._pa.Table.from_pydict(columns, schema=self._schema)
+        )
+        self._buffer = []
+
+    def _close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._buffer = []
+
+
+def iter_outcomes_parquet(path) -> Iterator[ReadOutcome]:
+    """Stream outcomes back from a Parquet sink file, row group at a time."""
+    _, pq = _require_pyarrow()
+    parquet_file = pq.ParquetFile(path)
+    try:
+        for group in range(parquet_file.num_row_groups):
+            for row in parquet_file.read_row_group(group).to_pylist():
+                record = dict(row)
+                for name in _PARQUET_JSON_FIELDS:
+                    record[name] = None if row[name] is None else json.loads(row[name])
+                yield outcome_from_record(record)
+    finally:
+        parquet_file.close()
+
+
+def replay_parquet_report(path, config: GenPIPConfig) -> GenPIPReport:
+    """Reconstruct the full in-memory report from a Parquet sink file.
+
+    Like :func:`replay_report`, the result equals the report a
+    :class:`MemorySink` run would have returned.
+    """
+    return GenPIPReport(outcomes=list(iter_outcomes_parquet(path)), config=config)
 
 
 # --- lossless outcome (de)serialisation ------------------------------------

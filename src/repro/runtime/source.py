@@ -15,6 +15,11 @@ planning:
 * :class:`StoreSource` -- incremental streaming from an on-disk read
   container (:func:`repro.nanopore.signal_store.iter_read_store`);
   memory is bounded by one record, re-iterable.
+* :class:`SignalStoreSource` -- incremental streaming of *signal-native*
+  reads (:class:`~repro.nanopore.signal_read.SignalRead`) from an
+  on-disk raw-signal container (:func:`~repro.nanopore.signal_store
+  .iter_signals`): the run starts from stored raw current, the paper's
+  actual input artefact, and never synthesizes a signal.
 * :class:`IterableSource` -- adapter for a bare iterable/generator
   (single-use unless the iterable itself is re-iterable).
 
@@ -33,7 +38,13 @@ from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.nanopore.datasets import DatasetProfile, iter_dataset_reads
 from repro.nanopore.read_simulator import SimulatedRead
-from repro.nanopore.signal_store import iter_read_store, read_store_count
+from repro.nanopore.signal_read import SignalRead
+from repro.nanopore.signal_store import (
+    iter_read_store,
+    iter_signals,
+    read_store_count,
+    signal_count,
+)
 
 
 @runtime_checkable
@@ -43,6 +54,13 @@ class ReadSource(Protocol):
     ``__iter__`` yields reads in dataset order; ``size_hint`` returns
     the total read count when cheaply known (``None`` otherwise -- the
     engine then falls back to a default batch size).
+
+    Sources may additionally expose ``read_kind() -> str`` declaring
+    what they yield: ``"reads"`` (base-space simulated reads, the
+    default when absent) or ``"signals"`` (signal-native
+    :class:`~repro.nanopore.signal_read.SignalRead`\\ s). The engine
+    uses it to reject a signal source fed to a base-space-only
+    basecaller *before* any worker touches a read.
     """
 
     def __iter__(self) -> Iterator[SimulatedRead]: ...  # pragma: no cover - protocol
@@ -117,6 +135,34 @@ class StoreSource:
         return read_store_count(self._path)
 
 
+class SignalStoreSource:
+    """Streams signal-native reads from an on-disk raw-signal container.
+
+    Built on :func:`~repro.nanopore.signal_store.iter_signals`: each
+    record becomes a :class:`~repro.nanopore.signal_read.SignalRead`
+    whose samples flow to a signal-space basecaller as-is -- no
+    synthesis anywhere on the path. Parent memory is bounded by one
+    record, the header count is the size hint, and the source is
+    re-iterable (each iteration reopens the file).
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __iter__(self) -> Iterator[SignalRead]:
+        return (SignalRead.from_record(record) for record in iter_signals(self._path))
+
+    def size_hint(self) -> int | None:
+        return signal_count(self._path)
+
+    def read_kind(self) -> str:
+        return "signals"
+
+
 class IterableSource:
     """Adapter giving a bare iterable the :class:`ReadSource` shape."""
 
@@ -173,10 +219,27 @@ class Prefetcher:
         self._queue: queue.Queue = queue.Queue(maxsize=depth)
         self._stop = threading.Event()
         self._error: BaseException | None = None
+        self._peak_depth = 0
         self._thread = threading.Thread(
             target=self._produce, args=(iter(reads),), name="genpip-prefetch", daemon=True
         )
         self._thread.start()
+
+    @property
+    def capacity(self) -> int:
+        """The queue bound (how far the producer may run ahead)."""
+        return self._queue.maxsize
+
+    @property
+    def peak_depth(self) -> int:
+        """High-water mark of the queue (backpressure probe).
+
+        Sampled by the producer after each put, so it is approximate by
+        one consumer step -- precise enough to tell a saturated buffer
+        (producer ahead, workers the bottleneck) from a starved one
+        (source I/O the bottleneck).
+        """
+        return self._peak_depth
 
     def _produce(self, reads: Iterator[SimulatedRead]) -> None:
         try:
@@ -184,8 +247,12 @@ class Prefetcher:
                 while not self._stop.is_set():
                     try:
                         self._queue.put(read, timeout=0.1)
+                        depth = self._queue.qsize()
+                        if depth > self._peak_depth:
+                            self._peak_depth = depth
                         break
                     except queue.Full:
+                        self._peak_depth = self._queue.maxsize
                         continue
                 if self._stop.is_set():
                     return

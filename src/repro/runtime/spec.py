@@ -10,6 +10,14 @@ engine state (and with the shared-memory transport of
 :mod:`repro.runtime.transport`, not even read payloads -- just
 handles).
 
+The index travels one of two ways: as the
+:class:`~repro.mapping.index.MinimizerIndex` itself (pickled through
+the initializer args), or -- when the engine published it via
+:func:`~repro.runtime.transport.publish_index` -- as a
+:class:`~repro.runtime.transport.SharedIndexHandle`, a ~100-byte
+name-plus-counts handle each worker attaches and rebuilds from shared
+memory. :meth:`resolve_index` hides the difference from :meth:`build`.
+
 The basecaller travels as a
 :class:`~repro.core.registry.BasecallerRef` whenever the pipeline's
 engine is a registered backend: the registry name plus its construction
@@ -24,14 +32,15 @@ outcomes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
 from repro.core.config import GenPIPConfig
 from repro.core.pipeline import GenPIPPipeline
-from repro.core.registry import BasecallerRef
+from repro.core.registry import BasecallerRef, basecaller_registration
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import MapperConfig
+from repro.runtime.transport import SharedIndexHandle, attach_index
 
 
 @dataclass(frozen=True)
@@ -39,11 +48,11 @@ class PipelineSpec:
     """Everything needed to reconstruct a :class:`GenPIPPipeline`.
 
     All fields are plain dataclasses / numpy containers (or registered
-    backends' refs), so the spec is picklable under both ``fork`` and
-    ``spawn`` start methods.
+    backends' refs / shared-memory handles), so the spec is picklable
+    under both ``fork`` and ``spawn`` start methods.
     """
 
-    index: MinimizerIndex
+    index: MinimizerIndex | SharedIndexHandle
     config: GenPIPConfig
     basecaller: BasecallerRef | Basecaller
     mapper_config: MapperConfig
@@ -72,16 +81,39 @@ class PipelineSpec:
             cmr_policy=pipeline.cmr_policy,
         )
 
+    def with_index(self, index: MinimizerIndex | SharedIndexHandle) -> "PipelineSpec":
+        """A copy of the spec carrying ``index`` instead (e.g. a
+        shared-memory handle the engine just published)."""
+        return replace(self, index=index)
+
+    def resolve_index(self) -> MinimizerIndex:
+        """The index instance (attaching the shared segment if needed)."""
+        if isinstance(self.index, SharedIndexHandle):
+            return attach_index(self.index)
+        return self.index
+
     def resolve_basecaller(self) -> Basecaller:
         """The engine instance (building it from the ref if needed)."""
         if isinstance(self.basecaller, BasecallerRef):
             return self.basecaller.build()
         return self.basecaller
 
+    def accepts_signal_reads(self) -> bool:
+        """Whether the configured engine decodes signal-native reads.
+
+        Answered without building the engine: for a registry ref the
+        capability is a class attribute of the registered backend type;
+        for an instance it is read off the instance.
+        """
+        if isinstance(self.basecaller, BasecallerRef):
+            registration = basecaller_registration(self.basecaller.name)
+            return bool(getattr(registration.instance_type, "accepts_signal_reads", False))
+        return bool(getattr(self.basecaller, "accepts_signal_reads", False))
+
     def build(self) -> GenPIPPipeline:
         """Reconstruct the pipeline (called once per worker process)."""
         return GenPIPPipeline(
-            self.index,
+            self.resolve_index(),
             self.resolve_basecaller(),
             self.config,
             self.mapper_config,

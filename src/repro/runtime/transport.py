@@ -1,21 +1,31 @@
-"""Shared-memory transport: ship read payloads to workers without pickling.
+"""Shared-memory transport: ship payloads to workers without pickling.
 
 Per-task pickling of read payloads is the parent-side serial bottleneck
 of a pooled run (the software analogue of the data movement GenPIP's
 PIM design eliminates): the parent serialises every base and quality
 value once per work unit, and each worker deserialises them again. This
-module publishes a work unit's payloads **once** through
+module publishes payloads **once** through
 ``multiprocessing.shared_memory`` instead:
 
-* :func:`publish_unit` lays a unit's quality tracks (float64, 8-byte
-  aligned, first) and base codes (uint8, after) into one segment and
-  returns a :class:`SharedUnit` -- shard id, segment name, and
-  per-read :class:`ReadHandle`\\ s. The task message that crosses the
-  process boundary is just this handle bundle (~100 bytes per read).
+* :func:`publish_unit` lays a unit's payloads into one segment --
+  8-byte-aligned arrays first (float64 quality tracks, int64 base-start
+  tracks), then float32 signal samples, then uint8 base codes -- and
+  returns a :class:`SharedUnit`: shard id, segment name, and one handle
+  per read (:class:`ReadHandle` for base-space reads,
+  :class:`SignalHandle` for signal-native reads carrying raw current).
+  The task message that crosses the process boundary is just this
+  handle bundle (~100 bytes per read).
 * :func:`attach_unit` (worker side) attaches the segment, copies the
   arrays out (copies, so no view outlives the mapping), rebuilds the
-  :class:`~repro.nanopore.read_simulator.SimulatedRead`\\ s, and closes
-  the mapping immediately.
+  :class:`~repro.nanopore.read_simulator.SimulatedRead`\\ s /
+  :class:`~repro.nanopore.signal_read.SignalRead`\\ s, and closes the
+  mapping immediately.
+* :func:`publish_index` / :func:`attach_index` do the same for the
+  reference minimizer index: its key/position/strand arrays and the
+  reference codes are laid out in **one** segment published once per
+  run, so pool initialisation ships a ~100-byte
+  :class:`SharedIndexHandle` to each worker instead of pickling the
+  index ``max_workers`` times through the initializer.
 * :func:`release_unit` / :func:`release_all` (parent side) close and
   unlink segments. The engine guarantees a release on every exit path
   -- result collected, worker exception, broken-pool fallback, engine
@@ -33,7 +43,7 @@ from __future__ import annotations
 import itertools
 import os
 import secrets
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 try:
     from multiprocessing import resource_tracker, shared_memory
@@ -46,7 +56,12 @@ except ImportError:  # pragma: no cover - platforms without POSIX shm
 
 import numpy as np
 
+from repro.genomics.reference import ReferenceGenome
+from repro.mapping.index import IndexEntry, MinimizerIndex
+from repro.mapping.minimizers import MinimizerConfig
 from repro.nanopore.read_simulator import ReadClass, SimulatedRead
+from repro.nanopore.signal import RawSignal
+from repro.nanopore.signal_read import SignalRead
 from repro.runtime.sharding import WorkUnit
 
 #: Prefix of every segment name this transport creates (leak checks key on it).
@@ -74,12 +89,24 @@ class ReadHandle:
 
 
 @dataclass(frozen=True)
+class SignalHandle:
+    """Where one signal-native read's payloads live inside a segment."""
+
+    read_id: str
+    declared_bases: int
+    n_samples: int
+    n_starts: int
+    samples_offset: int  # byte offset of the float32 sample array
+    starts_offset: int  # byte offset of the int64 base-start array
+
+
+@dataclass(frozen=True)
 class SharedUnit:
     """A work unit whose read payloads travel via shared memory."""
 
     shard_id: int
     segment: str
-    handles: tuple[ReadHandle, ...]
+    handles: tuple[ReadHandle | SignalHandle, ...]
 
     def __len__(self) -> int:
         return len(self.handles)
@@ -89,65 +116,106 @@ def _new_segment_name() -> str:
     return f"{SEGMENT_PREFIX}{os.getpid()}-{next(_COUNTER)}-{secrets.token_hex(3)}"
 
 
+def _create_segment(size: int) -> "shared_memory.SharedMemory":
+    """A fresh named segment of at least one byte."""
+    if shared_memory is None:  # pragma: no cover - platforms without POSIX shm
+        raise ImportError("multiprocessing.shared_memory is unavailable on this platform")
+    while True:
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=max(size, 1), name=_new_segment_name()
+            )
+        except FileExistsError:  # pragma: no cover - astronomically unlikely
+            continue
+
+
+def _discard_segment(segment: "shared_memory.SharedMemory") -> None:
+    """Close and unlink a segment that was never registered (error path)."""
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - defensive
+        pass
+
+
 def publish_unit(unit: WorkUnit) -> SharedUnit:
     """Publish one work unit's payloads into a fresh shared segment.
 
-    Layout: all quality tracks first (each ``8 * n_bases`` bytes, so
-    every track is 8-byte aligned), then all code arrays. The segment
-    stays registered in the parent until :func:`release_unit`.
+    Layout keeps every array naturally aligned: the 8-byte section
+    first (float64 quality tracks of base-space reads, int64 base-start
+    tracks of signal-native reads, in read order), then the float32
+    signal samples, then the uint8 base codes. The segment stays
+    registered in the parent until :func:`release_unit`.
     """
-    if shared_memory is None:  # pragma: no cover - platforms without POSIX shm
-        raise ImportError("multiprocessing.shared_memory is unavailable on this platform")
-    total_quals = sum(8 * len(read) for read in unit.reads)
-    total_codes = sum(len(read) for read in unit.reads)
-    size = max(total_quals + total_codes, 1)
-    while True:
-        try:
-            segment = shared_memory.SharedMemory(
-                create=True, size=size, name=_new_segment_name()
-            )
-            break
-        except FileExistsError:  # pragma: no cover - astronomically unlikely
-            continue
+    total8 = 0  # f64 qualities + i64 base starts
+    total_samples = 0  # f32 signal samples
+    total_codes = 0  # u8 base codes
+    for read in unit.reads:
+        if isinstance(read, SignalRead):
+            total8 += 8 * read.signal.n_bases
+            total_samples += 4 * read.signal.samples.size
+        else:
+            total8 += 8 * len(read)
+            total_codes += len(read)
+    segment = _create_segment(total8 + total_samples + total_codes)
     try:
-        handles = []
-        quality_offset = 0
-        codes_offset = total_quals
+        handles: list[ReadHandle | SignalHandle] = []
+        offset8 = 0
+        samples_offset = total8
+        codes_offset = total8 + total_samples
         for read in unit.reads:
-            n = len(read)
-            np.frombuffer(segment.buf, dtype=np.float64, count=n, offset=quality_offset)[
-                :
-            ] = read.qualities
-            np.frombuffer(segment.buf, dtype=np.uint8, count=n, offset=codes_offset)[
-                :
-            ] = read.true_codes
-            handles.append(
-                ReadHandle(
-                    read_id=read.read_id,
-                    read_class=read.read_class.value,
-                    strand=read.strand,
-                    ref_start=read.ref_start,
-                    ref_end=read.ref_end,
-                    seed=read.seed,
-                    n_bases=n,
-                    quality_offset=quality_offset,
-                    codes_offset=codes_offset,
+            if isinstance(read, SignalRead):
+                n_starts = read.signal.n_bases
+                n_samples = read.signal.samples.size
+                np.frombuffer(
+                    segment.buf, dtype=np.int64, count=n_starts, offset=offset8
+                )[:] = read.signal.base_starts
+                np.frombuffer(
+                    segment.buf, dtype=np.float32, count=n_samples, offset=samples_offset
+                )[:] = read.signal.samples
+                handles.append(
+                    SignalHandle(
+                        read_id=read.read_id,
+                        declared_bases=len(read),
+                        n_samples=n_samples,
+                        n_starts=n_starts,
+                        samples_offset=samples_offset,
+                        starts_offset=offset8,
+                    )
                 )
-            )
-            quality_offset += 8 * n
-            codes_offset += n
+                offset8 += 8 * n_starts
+                samples_offset += 4 * n_samples
+            else:
+                n = len(read)
+                np.frombuffer(segment.buf, dtype=np.float64, count=n, offset=offset8)[
+                    :
+                ] = read.qualities
+                np.frombuffer(segment.buf, dtype=np.uint8, count=n, offset=codes_offset)[
+                    :
+                ] = read.true_codes
+                handles.append(
+                    ReadHandle(
+                        read_id=read.read_id,
+                        read_class=read.read_class.value,
+                        strand=read.strand,
+                        ref_start=read.ref_start,
+                        ref_end=read.ref_end,
+                        seed=read.seed,
+                        n_bases=n,
+                        quality_offset=offset8,
+                        codes_offset=codes_offset,
+                    )
+                )
+                offset8 += 8 * n
+                codes_offset += n
     except BaseException:
-        segment.close()
-        try:
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - defensive
-            pass
+        _discard_segment(segment)
         raise
     _ACTIVE[segment.name] = segment
     return SharedUnit(shard_id=unit.shard_id, segment=segment.name, handles=tuple(handles))
 
 
-def attach_unit(shared: SharedUnit) -> list[SimulatedRead]:
+def attach_unit(shared: SharedUnit) -> list[SimulatedRead | SignalRead]:
     """Rebuild a unit's reads from its shared segment (worker side).
 
     Arrays are copied out of the mapping, so the returned reads stay
@@ -155,8 +223,29 @@ def attach_unit(shared: SharedUnit) -> list[SimulatedRead]:
     """
     segment = _attach(shared.segment)
     try:
-        reads = []
+        reads: list[SimulatedRead | SignalRead] = []
         for handle in shared.handles:
+            if isinstance(handle, SignalHandle):
+                samples = np.frombuffer(
+                    segment.buf,
+                    dtype=np.float32,
+                    count=handle.n_samples,
+                    offset=handle.samples_offset,
+                ).copy()
+                starts = np.frombuffer(
+                    segment.buf,
+                    dtype=np.int64,
+                    count=handle.n_starts,
+                    offset=handle.starts_offset,
+                ).copy()
+                reads.append(
+                    SignalRead(
+                        read_id=handle.read_id,
+                        signal=RawSignal(samples=samples, base_starts=starts),
+                        declared_bases=handle.declared_bases,
+                    )
+                )
+                continue
             qualities = np.frombuffer(
                 segment.buf, dtype=np.float64, count=handle.n_bases, offset=handle.quality_offset
             ).copy()
@@ -200,6 +289,125 @@ def _attach(name: str) -> shared_memory.SharedMemory:
             return shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original_register
+
+
+# --- shared minimizer index -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedIndexHandle:
+    """A reference minimizer index published once via shared memory.
+
+    Array offsets are implied by the counts (see :func:`attach_index`):
+    ``uint64`` keys, then ``int64`` entry bounds (``n_keys + 1``), then
+    ``int64`` positions, then ``int8`` strands, then ``uint8`` reference
+    codes. Only this handle -- name, counts, and the tiny minimizer
+    config -- crosses the process boundary.
+    """
+
+    segment: str
+    config: MinimizerConfig
+    reference_name: str
+    n_keys: int
+    n_locations: int
+    reference_length: int
+
+
+def _index_offsets(handle: SharedIndexHandle) -> tuple[int, int, int, int]:
+    """Byte offsets of (bounds, positions, strands, codes)."""
+    bounds = 8 * handle.n_keys
+    positions = bounds + 8 * (handle.n_keys + 1)
+    strands = positions + 8 * handle.n_locations
+    codes = strands + handle.n_locations
+    return bounds, positions, strands, codes
+
+
+def publish_index(index: MinimizerIndex) -> SharedIndexHandle:
+    """Publish an index's arrays into one shared segment (parent side).
+
+    The pickled size of a :class:`~repro.runtime.spec.PipelineSpec` is
+    dominated by the index; publishing it once and shipping a handle
+    removes that per-worker serialisation from pool start-up. The
+    segment stays registered until :func:`release_unit` on its name.
+    """
+    keys = np.fromiter(index.keys(), dtype=np.uint64, count=len(index))
+    entries = [index.lookup(int(key)) for key in keys]
+    counts = np.fromiter(
+        (entry.positions.size for entry in entries), dtype=np.int64, count=keys.size
+    )
+    bounds = np.zeros(keys.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    n_locations = int(bounds[-1])
+    codes = index.reference.codes
+    handle = SharedIndexHandle(
+        segment="",
+        config=index.config,
+        reference_name=index.reference.name,
+        n_keys=int(keys.size),
+        n_locations=n_locations,
+        reference_length=int(codes.size),
+    )
+    bounds_off, positions_off, strands_off, codes_off = _index_offsets(handle)
+    segment = _create_segment(codes_off + codes.size)
+    try:
+        np.frombuffer(segment.buf, dtype=np.uint64, count=keys.size, offset=0)[:] = keys
+        np.frombuffer(segment.buf, dtype=np.int64, count=bounds.size, offset=bounds_off)[
+            :
+        ] = bounds
+        positions = np.frombuffer(
+            segment.buf, dtype=np.int64, count=n_locations, offset=positions_off
+        )
+        strands = np.frombuffer(
+            segment.buf, dtype=np.int8, count=n_locations, offset=strands_off
+        )
+        for i, entry in enumerate(entries):
+            positions[bounds[i] : bounds[i + 1]] = entry.positions
+            strands[bounds[i] : bounds[i + 1]] = entry.strands
+        np.frombuffer(segment.buf, dtype=np.uint8, count=codes.size, offset=codes_off)[
+            :
+        ] = codes
+    except BaseException:
+        _discard_segment(segment)
+        raise
+    _ACTIVE[segment.name] = segment
+    return replace(handle, segment=segment.name)
+
+
+def attach_index(handle: SharedIndexHandle) -> MinimizerIndex:
+    """Rebuild the index from its shared segment (worker side).
+
+    The big arrays are copied out of the mapping once; per-key entries
+    are views into those worker-private copies, so the rebuilt index
+    costs one pass over the segment and no pickling. The mapping is
+    closed before returning.
+    """
+    bounds_off, positions_off, strands_off, codes_off = _index_offsets(handle)
+    segment = _attach(handle.segment)
+    try:
+        keys = np.frombuffer(segment.buf, dtype=np.uint64, count=handle.n_keys, offset=0).copy()
+        bounds = np.frombuffer(
+            segment.buf, dtype=np.int64, count=handle.n_keys + 1, offset=bounds_off
+        ).copy()
+        positions = np.frombuffer(
+            segment.buf, dtype=np.int64, count=handle.n_locations, offset=positions_off
+        ).copy()
+        strands = np.frombuffer(
+            segment.buf, dtype=np.int8, count=handle.n_locations, offset=strands_off
+        ).copy()
+        codes = np.frombuffer(
+            segment.buf, dtype=np.uint8, count=handle.reference_length, offset=codes_off
+        ).copy()
+    finally:
+        segment.close()
+    table = {
+        int(key): IndexEntry(
+            positions=positions[bounds[i] : bounds[i + 1]],
+            strands=strands[bounds[i] : bounds[i + 1]],
+        )
+        for i, key in enumerate(keys)
+    }
+    reference = ReferenceGenome(name=handle.reference_name, codes=codes)
+    return MinimizerIndex(config=handle.config, table=table, reference=reference)
 
 
 def release_unit(name: str) -> None:

@@ -242,7 +242,7 @@ class TestSignalSpaceBackends:
         engine = ViterbiChunkBasecaller(FAST_VITERBI)
         engine.basecall_chunk(micro_read, 0, 300)  # populate the cache
         clone = pickle.loads(pickle.dumps(engine))
-        assert not clone._signal_cache
+        assert not clone._synthesis._signal_cache
         a = clone.basecall_chunk(micro_read, 0, 300)
         b = engine.basecall_chunk(micro_read, 0, 300)
         assert a.bases == b.bases

@@ -28,6 +28,7 @@ from repro.runtime import (
     IterableSource,
     JSONLSink,
     MemorySink,
+    ParquetSink,
     Prefetcher,
     SequenceSource,
     ShardCollector,
@@ -39,9 +40,17 @@ from repro.runtime import (
     iter_work,
     outcome_from_record,
     outcome_to_record,
+    replay_parquet_report,
     replay_report,
 )
 from repro.runtime.source import PrefetchError
+
+try:
+    import pyarrow  # noqa: F401
+
+    HAS_PYARROW = True
+except ImportError:
+    HAS_PYARROW = False
 
 TINY_PROFILE = small_profile(ECOLI_LIKE, max_read_length=2_500)
 TINY_SCALE = 0.0004
@@ -411,3 +420,40 @@ class TestSinks:
         DatasetEngine(tiny_system.pipeline, workers=1, sink=JSONLSink(path)).run(tiny_dataset)
         lines = path.read_text().strip().splitlines()
         assert len(lines) == len(tiny_dataset)
+
+
+class TestParquetSink:
+    """Columnar sink coverage; skipped as a block when pyarrow is absent."""
+
+    @pytest.mark.skipif(not HAS_PYARROW, reason="pyarrow not installed")
+    def test_parquet_replay_matches_serial(
+        self, tiny_system, tiny_dataset, serial_report, tmp_path
+    ):
+        path = tmp_path / "outcomes.parquet"
+        engine = DatasetEngine(
+            tiny_system.pipeline,
+            workers=2,
+            batch_size=4,
+            sink=ParquetSink(path, batch_rows=8),
+        )
+        report = engine.run(tiny_dataset)
+        assert report.outcomes == []  # streaming sink retains nothing
+        assert report.counters == serial_report.counters
+        replayed = replay_parquet_report(path, serial_report.config)
+        assert replayed.outcomes == serial_report.outcomes
+        assert replayed.counters == serial_report.counters
+        assert _no_leaked_segments()
+
+    @pytest.mark.skipif(not HAS_PYARROW, reason="pyarrow not installed")
+    def test_parquet_round_trips_alignments(self, tiny_index, tiny_dataset, tmp_path):
+        system = GenPIP(tiny_index, GenPIPConfig(), align=True)
+        baseline = system.run(tiny_dataset)
+        path = tmp_path / "aligned.parquet"
+        system.run(tiny_dataset, sink=ParquetSink(path))
+        replayed = replay_parquet_report(path, baseline.config)
+        assert replayed == baseline
+
+    @pytest.mark.skipif(HAS_PYARROW, reason="pyarrow installed")
+    def test_parquet_sink_requires_pyarrow(self, tmp_path):
+        with pytest.raises(ImportError, match="pyarrow"):
+            ParquetSink(tmp_path / "outcomes.parquet")
