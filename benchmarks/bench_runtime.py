@@ -15,7 +15,10 @@ Two consumers:
   (``"source": "reads"``), the document carries a small **signal-native
   lane** (``"source": "signals"``): a raw-signal container is written
   once, then decoded end-to-end by the Viterbi backend serially and
-  pooled, tracking the throughput of the stored-current path.
+  pooled, tracking the throughput of the stored-current path; and a
+  **signal-ER lane** (``"signal_er": true``) that re-runs the same
+  container behind a signal-domain rejection policy, emitting the
+  observed reject rate next to the wall time.
 
 On a multi-core box the 4-worker run should clear >= 1.5x serial
 throughput: reads are independent, payloads travel through shared
@@ -93,6 +96,48 @@ def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
                             "reads_per_sec": round(rps, 2),
                         }
                 records.append(best)
+    return records
+
+
+def collect_signal_er_lane(ser_system, store_path, repeats: int = 1) -> list[dict]:
+    """Time the signal-ER path: raw current screened before basecalling.
+
+    Same container as the signal lane, but the pipeline carries a
+    :class:`~repro.signal.rejection.SignalRejectionPolicy`, so junk (and
+    template-uncovered) reads stop in signal space with zero basecalled
+    chunks. Each record carries the observed ``reject_rate`` next to
+    the wall time -- the two numbers SER trades against each other.
+    """
+    from repro.runtime import SignalStoreSource
+
+    records = []
+    for workers in SIGNAL_WORKER_COUNTS:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            engine = DatasetEngine(ser_system.pipeline, workers=workers)
+            report = engine.run(SignalStoreSource(store_path))
+            elapsed = time.perf_counter() - started
+            stats = engine.last_stats
+            assert stats.signal_er
+            assert report.n_reads == stats.n_reads > 0
+            rps = report.n_reads / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "signals",
+                    "signal_er": True,
+                    "reject_rate": round(report.ser_rejection_ratio, 4),
+                    "workers": workers,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                }
+        records.append(best)
     return records
 
 
@@ -270,6 +315,29 @@ def main(argv=None) -> int:
         )
         records += collect_signal_grid(signal_system, store_path, repeats=args.repeats)
 
+        # Signal-ER lane: the same container, screened in signal space
+        # before any basecalling (sparse evenly-sampled templates, so
+        # the reject rate is high -- the lane tracks the screen's cost
+        # and the basecalling it avoids, not its coverage).
+        from repro.signal import SignalRejectionPolicy
+
+        ser_policy = SignalRejectionPolicy.from_reference(
+            signal_system.pipeline.basecaller.pore_model,
+            signal_dataset.reference.codes,
+            n_templates=4,
+            prefix_bases=100,
+        )
+        ser_system = (
+            GenPIP.build()
+            .index(signal_index)
+            .config(preset_config(args.profile))
+            .basecaller("viterbi")
+            .align(False)
+            .signal_rejection(ser_policy)
+            .build()
+        )
+        records += collect_signal_er_lane(ser_system, store_path, repeats=args.repeats)
+
     context = {
         "profile": profile.name,
         "scale": args.scale,
@@ -281,11 +349,16 @@ def main(argv=None) -> int:
     }
     write_bench_json(args.out, records, context)
     for record in records:
+        ser = (
+            f" signal-er reject={record['reject_rate']:.0%}"
+            if record.get("signal_er")
+            else ""
+        )
         print(
             f"source={record['source']:<7} workers={record['workers']} "
             f"batching={record['batching']:<12} "
             f"transport={record['transport']:<6} mode={record['mode']:<12} "
-            f"{record['reads_per_sec']:8.1f} reads/s",
+            f"{record['reads_per_sec']:8.1f} reads/s{ser}",
             file=sys.stderr,
         )
     print(f"wrote {args.out}", file=sys.stderr)

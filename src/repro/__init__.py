@@ -29,15 +29,18 @@ __all__ = [
     "Basecaller",
     "QSRPolicyProtocol",
     "CMRPolicyProtocol",
+    "SignalRejectionPolicyProtocol",
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Protocol names re-exported lazily (PEP 562) so that ``import repro``
 #: stays a version-string-only import; the full engine stack loads on
 #: first attribute access.
-_PROTOCOL_EXPORTS = frozenset({"Basecaller", "QSRPolicyProtocol", "CMRPolicyProtocol"})
+_PROTOCOL_EXPORTS = frozenset(
+    {"Basecaller", "QSRPolicyProtocol", "CMRPolicyProtocol", "SignalRejectionPolicyProtocol"}
+)
 
 
 def __getattr__(name: str):

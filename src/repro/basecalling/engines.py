@@ -109,14 +109,27 @@ class CarriedSignalProvider:
     (or straight from a device) and are decoded as provided.
     ``normalize`` applies per-read median/MAD normalisation first --
     cached per read behind a small LRU, so chunked decoding normalises
-    once per read, not once per chunk. Containers written by this repo
-    store picoampere-scale samples (the units the decoders assume), so
-    it defaults off; the cache is dropped on pickling, like the
-    synthesis provider's.
+    once per read, not once per chunk. ``calibration`` instead applies
+    one *container-wide* affine map
+    (:class:`~repro.signal.calibration.SignalCalibration`) onto the
+    decoders' picoampere scale: unlike per-read normalisation it
+    preserves absolute level differences between reads, which is what
+    decoding a container written in non-pA units requires. The two are
+    mutually exclusive. Containers written by this repo store
+    picoampere-scale samples (the units the decoders assume), so both
+    default off; the caches are dropped on pickling, like the synthesis
+    provider's.
     """
 
-    def __init__(self, normalize: bool = False):
+    def __init__(self, normalize: bool = False, calibration=None):
+        if normalize and calibration is not None:
+            raise ValueError(
+                "normalize and calibration are mutually exclusive: per-read "
+                "median/MAD normalisation would undo the container-wide "
+                "affine calibration"
+            )
         self._normalize = normalize
+        self._calibration = calibration
         # Keyed by the sample buffer's identity, with the buffer itself
         # pinned in the value: while an entry lives, its id cannot be
         # reused, and the `is` check on hit rejects any aliasing --
@@ -128,7 +141,7 @@ class CarriedSignalProvider:
         return isinstance(read, SignalRead)
 
     def signal_for(self, read: SignalRead) -> RawSignal:
-        if not self._normalize:
+        if not self._normalize and self._calibration is None:
             return read.signal
         samples = read.signal.samples
         key = (read.read_id, id(samples))
@@ -136,7 +149,13 @@ class CarriedSignalProvider:
         if entry is not None and entry[0] is samples:
             self._normalized_cache.move_to_end(key)
             return entry[1]
-        signal = read.normalized().signal
+        if self._calibration is not None:
+            signal = RawSignal(
+                samples=self._calibration.apply(samples),
+                base_starts=read.signal.base_starts,
+            )
+        else:
+            signal = read.normalized().signal
         self._normalized_cache[key] = (samples, signal)
         while len(self._normalized_cache) > _SIGNAL_CACHE_READS:
             self._normalized_cache.popitem(last=False)
@@ -351,9 +370,19 @@ class ViterbiBackendConfig:
 
 
 class ViterbiChunkBasecaller(SignalSpaceBasecaller):
-    """The k-mer HMM Viterbi decoder behind the chunk-basecaller contract."""
+    """The k-mer HMM Viterbi decoder behind the chunk-basecaller contract.
 
-    def __init__(self, config: ViterbiBackendConfig | None = None):
+    ``providers`` overrides the leading carried-signal provider(s) --
+    e.g. a :class:`CarriedSignalProvider` with a per-container
+    :class:`~repro.signal.calibration.SignalCalibration` for stores
+    written in non-pA units; synthesis stays the final fallback.
+    """
+
+    def __init__(
+        self,
+        config: ViterbiBackendConfig | None = None,
+        providers: "tuple[SignalProvider, ...] | None" = None,
+    ):
         config = config or ViterbiBackendConfig()
         pore = PoreModel.synthetic(k=config.pore_k, seed=config.pore_seed)
         super().__init__(
@@ -361,6 +390,7 @@ class ViterbiChunkBasecaller(SignalSpaceBasecaller):
             config.signal,
             config.quality_noise,
             normalize_carried=config.normalize_carried,
+            providers=providers,
         )
         self._config = config
         self._decoder = ViterbiBasecaller(pore, config.decoder)
@@ -419,7 +449,11 @@ class DNNChunkBasecaller(SignalSpaceBasecaller):
     and feeds the Helix MVM cost model with real shapes.
     """
 
-    def __init__(self, config: DNNBackendConfig | None = None):
+    def __init__(
+        self,
+        config: DNNBackendConfig | None = None,
+        providers: "tuple[SignalProvider, ...] | None" = None,
+    ):
         config = config or DNNBackendConfig()
         pore = PoreModel.synthetic(k=config.pore_k, seed=config.pore_seed)
         super().__init__(
@@ -427,6 +461,7 @@ class DNNChunkBasecaller(SignalSpaceBasecaller):
             config.signal,
             config.quality_noise,
             normalize_carried=config.normalize_carried,
+            providers=providers,
         )
         self._config = config
         self._model = BonitoLikeModel(seed=config.model_seed, hidden=config.hidden)

@@ -26,7 +26,12 @@ level (the hardware cost models live in :mod:`repro.hardware` /
   ``GenPIP.build()...`` construction API.
 """
 
-from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.backends import (
+    Basecaller,
+    CMRPolicyProtocol,
+    QSRPolicyProtocol,
+    SignalRejectionPolicyProtocol,
+)
 from repro.core.builder import PipelineBuilder
 from repro.core.config import (
     ECOLI_PARAMS,
@@ -70,6 +75,7 @@ __all__ = [
     "Basecaller",
     "QSRPolicyProtocol",
     "CMRPolicyProtocol",
+    "SignalRejectionPolicyProtocol",
     "QSRPolicy",
     "CMRPolicy",
     "qsr_sample_indices",

@@ -32,6 +32,8 @@ from repro.basecalling.types import BasecalledChunk, BasecalledRead
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.early_rejection import CMRDecision, QSRDecision
     from repro.nanopore.read_simulator import SimulatedRead
+    from repro.nanopore.signal_read import SignalRead
+    from repro.signal.rejection import SERDecision
 
 
 @runtime_checkable
@@ -106,4 +108,28 @@ class CMRPolicyProtocol(Protocol):
 
     def decide(self, chain_score: float, merged_bases: int) -> "CMRDecision":
         """Accept/reject from the merged prefix's chaining score."""
+        ...
+
+
+@runtime_checkable
+class SignalRejectionPolicyProtocol(Protocol):
+    """Signal-domain early-rejection contract (SER; paper Sec. 2.3's
+    "ideally even before they go through basecalling").
+
+    Decides, from a signal-native read's *raw current* alone, whether
+    the read is junk -- before the pipeline basecalls a single chunk.
+    Runs only for :class:`~repro.nanopore.signal_read.SignalRead`
+    inputs (base-space reads carry no current to screen). The default
+    implementation is
+    :class:`~repro.signal.rejection.SignalRejectionPolicy`, which
+    matches the signal prefix against reference templates by
+    subsequence DTW.
+
+    Policies travel to pooled workers inside the
+    :class:`~repro.runtime.spec.PipelineSpec`, so -- like basecallers
+    -- they must be picklable and deterministic per read.
+    """
+
+    def decide(self, read: "SignalRead") -> "SERDecision":
+        """Accept/reject from the read's raw-current prefix."""
         ...

@@ -26,7 +26,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.backends import (
+    Basecaller,
+    CMRPolicyProtocol,
+    QSRPolicyProtocol,
+    SignalRejectionPolicyProtocol,
+)
 from repro.core.config import GenPIPConfig, variant_config
 from repro.core.registry import create_basecaller, preset_config
 from repro.mapping.index import MinimizerIndex
@@ -60,6 +65,7 @@ class PipelineBuilder:
         self._align: bool = True
         self._qsr_policy: QSRPolicyProtocol | None = None
         self._cmr_policy: CMRPolicyProtocol | None = None
+        self._ser_policy: SignalRejectionPolicyProtocol | None = None
 
     # --- data sources -----------------------------------------------------
 
@@ -149,6 +155,22 @@ class PipelineBuilder:
         self._cmr_policy = policy
         return self
 
+    def signal_rejection(
+        self, policy: SignalRejectionPolicyProtocol | None
+    ) -> "PipelineBuilder":
+        """Add the signal-domain early-rejection (SER) stage.
+
+        The policy screens signal-native reads' raw current *before any
+        basecalling* (e.g.
+        :class:`~repro.signal.rejection.SignalRejectionPolicy` built
+        from the backend's pore model and the reference). ``None``
+        removes a previously set policy. The stage only fires for
+        :class:`~repro.nanopore.signal_read.SignalRead` inputs and only
+        while the resolved config's ``enable_ser`` is on.
+        """
+        self._ser_policy = policy
+        return self
+
     # --- materialisation --------------------------------------------------
 
     def resolved_config(self) -> GenPIPConfig:
@@ -195,6 +217,7 @@ class PipelineBuilder:
             align=self._align,
             qsr_policy=self._qsr_policy,
             cmr_policy=self._cmr_policy,
+            ser_policy=self._ser_policy,
         )
 
     def build_pipeline(self) -> "GenPIPPipeline":

@@ -17,6 +17,14 @@ class GenPIPConfig:
     enable_qsr, enable_cmr:
         Switch the two early-rejection sub-techniques (the GenPIP-CP /
         GenPIP-CP-QSR / GenPIP system variants of Sec. 5).
+    enable_ser:
+        Switch signal-domain early rejection (SER), the pre-basecalling
+        reject stage over raw current. SER additionally needs a
+        :class:`~repro.core.backends.SignalRejectionPolicyProtocol`
+        policy injected into the pipeline (there is no reference-free
+        default), so with the default construction this flag is inert;
+        with a policy present it gates the stage exactly like
+        ``enable_qsr``/``enable_cmr`` gate theirs.
     n_qs:
         Number of evenly-spaced chunks sampled by QSR (Sec. 6.3.1:
         2 for E. coli, 5 for human).
@@ -41,6 +49,7 @@ class GenPIPConfig:
     chunk_size: int = 300
     enable_qsr: bool = True
     enable_cmr: bool = True
+    enable_ser: bool = True
     n_qs: int = 2
     theta_qs: float = 7.0
     n_cm: int = 5
@@ -62,8 +71,8 @@ class GenPIPConfig:
         return replace(self, chunk_size=chunk_size)
 
     def conventional(self) -> "GenPIPConfig":
-        """This config with both ER techniques disabled (CP-only)."""
-        return replace(self, enable_qsr=False, enable_cmr=False)
+        """This config with every ER technique disabled (CP-only)."""
+        return replace(self, enable_qsr=False, enable_cmr=False, enable_ser=False)
 
 
 #: Sec. 6.3 sensitivity-chosen parameters for the E. coli dataset.

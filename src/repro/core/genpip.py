@@ -26,7 +26,12 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.builder import PipelineBuilder
 
-from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.backends import (
+    Basecaller,
+    CMRPolicyProtocol,
+    QSRPolicyProtocol,
+    SignalRejectionPolicyProtocol,
+)
 from repro.core.config import GenPIPConfig
 from repro.core.pipeline import GenPIPPipeline, ReadOutcome, ReadStatus
 from repro.mapping.index import MinimizerIndex
@@ -157,6 +162,11 @@ class GenPIPReport:
         return self.count(ReadStatus.REJECTED_CMR) / max(self.n_reads, 1)
 
     @property
+    def ser_rejection_ratio(self) -> float:
+        """Reads rejected in signal space, before any basecalling."""
+        return self.count(ReadStatus.REJECTED_SIGNAL) / max(self.n_reads, 1)
+
+    @property
     def mapped_ratio(self) -> float:
         return self.count(ReadStatus.MAPPED) / max(self.n_reads, 1)
 
@@ -209,10 +219,13 @@ class GenPIP:
         Prebuilt reference minimizer index (the offline indexing phase).
     config:
         Pipeline parameters; defaults to the paper's E. coli preset.
-    basecaller / mapper_config / qsr_policy / cmr_policy:
+    basecaller / mapper_config / qsr_policy / cmr_policy / ser_policy:
         Engine overrides, typed against the :mod:`repro.core.backends`
         protocols; any registered backend (``"surrogate"``,
         ``"viterbi"``, ``"dnn"``) or conforming object plugs in.
+        ``ser_policy`` adds the pre-basecalling signal-domain rejection
+        stage for signal-native reads (no default: without a policy the
+        stage does not exist).
 
     For fluent construction -- registry-name backends, presets, ER
     variants -- use :meth:`GenPIP.build`.
@@ -227,6 +240,7 @@ class GenPIP:
         align: bool = True,
         qsr_policy: QSRPolicyProtocol | None = None,
         cmr_policy: CMRPolicyProtocol | None = None,
+        ser_policy: SignalRejectionPolicyProtocol | None = None,
     ):
         self._config = config or GenPIPConfig()
         self._pipeline = GenPIPPipeline(
@@ -237,6 +251,7 @@ class GenPIP:
             align=align,
             qsr_policy=qsr_policy,
             cmr_policy=cmr_policy,
+            ser_policy=ser_policy,
         )
 
     @classmethod

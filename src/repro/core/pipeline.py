@@ -25,13 +25,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.basecalling.chunked import reassemble_chunks
 from repro.basecalling.surrogate import SurrogateBasecaller
 from repro.basecalling.types import BasecalledChunk, BasecalledRead
-from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.backends import (
+    Basecaller,
+    CMRPolicyProtocol,
+    QSRPolicyProtocol,
+    SignalRejectionPolicyProtocol,
+)
 from repro.core.config import GenPIPConfig
 from repro.core.early_rejection import CMRDecision, CMRPolicy, QSRDecision, QSRPolicy
 from repro.genomics import alphabet
@@ -39,6 +45,9 @@ from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import IncrementalChunkMapper, MapperConfig, MappingResult
 from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal_read import SignalRead
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps repro.signal lazy)
+    from repro.signal.rejection import SERDecision
 
 #: Anything the chunk pipeline can process: a base-space simulated read
 #: or a signal-native read carrying stored raw current. Both expose
@@ -51,6 +60,8 @@ PipelineRead = SimulatedRead | SignalRead
 class ReadStatus(enum.Enum):
     """Terminal state of one read in the pipeline."""
 
+    #: Stopped by signal-domain early rejection (before any basecalling).
+    REJECTED_SIGNAL = "rejected_signal"
     #: Stopped by quality-score early rejection (after N_qs chunks).
     REJECTED_QSR = "rejected_qsr"
     #: Stopped by chunk-mapping early rejection (after ~N_qs + N_cm chunks).
@@ -81,13 +92,18 @@ class ReadOutcome:
     n_chain_invocations: int
     aligned: bool
     mean_quality: float | None = None
+    ser: SERDecision | None = None
     qsr: QSRDecision | None = None
     cmr: CMRDecision | None = None
     mapping: MappingResult | None = None
 
     @property
     def rejected_early(self) -> bool:
-        return self.status in (ReadStatus.REJECTED_QSR, ReadStatus.REJECTED_CMR)
+        return self.status in (
+            ReadStatus.REJECTED_SIGNAL,
+            ReadStatus.REJECTED_QSR,
+            ReadStatus.REJECTED_CMR,
+        )
 
     @property
     def basecall_fraction(self) -> float:
@@ -114,6 +130,7 @@ class GenPIPPipeline:
         align: bool = True,
         qsr_policy: QSRPolicyProtocol | None = None,
         cmr_policy: CMRPolicyProtocol | None = None,
+        ser_policy: SignalRejectionPolicyProtocol | None = None,
     ):
         self._index = index
         self._basecaller: Basecaller = basecaller or SurrogateBasecaller()
@@ -126,6 +143,9 @@ class GenPIPPipeline:
         self._cmr: CMRPolicyProtocol = cmr_policy or CMRPolicy(
             self._config.theta_cm, self._config.n_cm
         )
+        # SER has no reference-free default: None simply disables the
+        # pre-basecalling stage (the PR-4-and-earlier control flow).
+        self._ser: SignalRejectionPolicyProtocol | None = ser_policy
         # Context overlap that makes chunked seeding anchor-identical to
         # whole-read seeding: k-1 for boundary k-mers plus w-1 for
         # boundary windows.
@@ -158,6 +178,10 @@ class GenPIPPipeline:
     @property
     def cmr_policy(self) -> CMRPolicyProtocol:
         return self._cmr
+
+    @property
+    def ser_policy(self) -> SignalRejectionPolicyProtocol | None:
+        return self._ser
 
     def process_batch(self, reads: "list[PipelineRead]") -> "list[ReadOutcome]":
         """Process a batch of reads in order (one runtime work unit).
@@ -196,6 +220,30 @@ class GenPIPPipeline:
 
         er_eligible = n_chunks >= cfg.min_chunks_for_er
 
+        # --- Stage 0: SER on the raw-current prefix, before any chunk
+        # is basecalled (the paper's "ideally even before they go
+        # through basecalling", Sec. 2.3). Signal-native reads only --
+        # base-space reads carry no current to screen.
+        ser_decision = None
+        if (
+            cfg.enable_ser
+            and self._ser is not None
+            and er_eligible
+            and isinstance(read, SignalRead)
+        ):
+            ser_decision = self._ser.decide(read)
+            if ser_decision.reject:
+                return self._outcome(
+                    read,
+                    ReadStatus.REJECTED_SIGNAL,
+                    n_chunks,
+                    called,
+                    n_chunks_seeded=0,
+                    n_chain_invocations=0,
+                    aligned=False,
+                    ser=ser_decision,
+                )
+
         # --- Stage 1: QSR on N_qs evenly sampled chunks (Fig. 6 (1)-(3)).
         qsr_decision = None
         if cfg.enable_qsr and er_eligible:
@@ -210,6 +258,7 @@ class GenPIPPipeline:
                     n_chunks_seeded=0,
                     n_chain_invocations=0,
                     aligned=False,
+                    ser=ser_decision,
                     qsr=qsr_decision,
                 )
 
@@ -242,6 +291,7 @@ class GenPIPPipeline:
                     n_chunks_seeded=len(seeded),
                     n_chain_invocations=n_chain_invocations,
                     aligned=False,
+                    ser=ser_decision,
                     qsr=qsr_decision,
                     cmr=cmr_decision,
                 )
@@ -265,6 +315,7 @@ class GenPIPPipeline:
                 n_chain_invocations=n_chain_invocations,
                 aligned=False,
                 mean_quality=full_read.mean_quality,
+                ser=ser_decision,
             )
 
         read_codes = alphabet.encode(full_read.bases)
@@ -281,6 +332,7 @@ class GenPIPPipeline:
             n_chain_invocations=n_chain_invocations,
             aligned=mapping.alignment is not None,
             mean_quality=full_read.mean_quality,
+            ser=ser_decision,
             qsr=qsr_decision,
             cmr=cmr_decision,
             mapping=mapping,
@@ -344,6 +396,7 @@ class GenPIPPipeline:
         n_chain_invocations: int,
         aligned: bool,
         mean_quality: float | None = None,
+        ser: SERDecision | None = None,
         qsr: QSRDecision | None = None,
         cmr: CMRDecision | None = None,
         mapping: MappingResult | None = None,
@@ -359,6 +412,7 @@ class GenPIPPipeline:
             n_chain_invocations=n_chain_invocations,
             aligned=aligned,
             mean_quality=mean_quality,
+            ser=ser,
             qsr=qsr,
             cmr=cmr,
             mapping=mapping,

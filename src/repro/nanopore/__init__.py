@@ -43,6 +43,7 @@ from repro.nanopore.signal_store import (
     read_signals,
     read_store_count,
     signal_count,
+    strip_base_starts,
     write_read_store,
     write_signals,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "read_signals",
     "read_store_count",
     "signal_count",
+    "strip_base_starts",
     "write_read_store",
     "write_signals",
     "SignalPrefilter",

@@ -82,6 +82,25 @@ class SignalRecord:
     signal: RawSignal
 
 
+def strip_base_starts(records: Iterable[SignalRecord]) -> Iterator[SignalRecord]:
+    """Records with the base-start track removed (samples only).
+
+    Real FAST5/SLOW5 containers carry no base-start track -- that grid
+    is this repo's synthesis artefact. Writing a container through this
+    filter produces the genuinely raw artefact, which downstream layers
+    must re-grid by event segmentation
+    (:mod:`repro.signal.segmentation`) before chunking.
+    """
+    for record in records:
+        yield SignalRecord(
+            read_id=record.read_id,
+            signal=RawSignal(
+                samples=record.signal.samples,
+                base_starts=np.empty(0, dtype=np.int64),
+            ),
+        )
+
+
 def _quantise(samples: np.ndarray) -> tuple[np.ndarray, float, float]:
     """Affine-quantise float samples to int16; returns (q, offset, scale)."""
     samples = np.asarray(samples, dtype=np.float64)

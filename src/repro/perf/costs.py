@@ -61,6 +61,14 @@ class CostDatabase:
     #: GenPIP's mapping path (in-memory seeding + DP units) -- same DP
     #: substrate as PARC; the dedicated seeding unit keeps it fed.
     genpip_map_bps: float = 14.0 * ANCHOR_BASES / (500.0 * 3600.0)
+    #: Signal-domain pre-filter (SER): a SquiggleFilter-class hardware
+    #: sDTW array screens raw current far faster than any basecaller
+    #: decodes it -- SquiggleFilter reports multi-genome real-time
+    #: filtering from a ~W-scale ASIC. Modelled at 10x the Helix
+    #: basecaller's throughput: fast enough that screening every read's
+    #: prefix is cheap next to the basecalling it avoids, slow enough
+    #: that the stage is never literally free in the accounting.
+    ser_filter_bps: float = 10.0 * 2.3 * 12.4 * ANCHOR_BASES / (3100.0 * 3600.0)
 
     # ------------------------------------------------------------------
     # Data movement (lab machine -> dry-lab cluster; [85]'s volumes).
@@ -106,6 +114,7 @@ class CostDatabase:
             self.helix_basecall_bps,
             self.parc_map_bps,
             self.genpip_map_bps,
+            self.ser_filter_bps,
             self.raw_bytes_per_base,
             self.called_bytes_per_base,
             self.link_bandwidth_bps,

@@ -133,6 +133,21 @@ def _movement_bytes(workload: PipelineWorkload, costs: CostDatabase) -> tuple[fl
     return raw, called
 
 
+def _signal_filter_time_s(workload: PipelineWorkload, costs: CostDatabase) -> float:
+    """Time the signal-domain pre-filter (SER) itself consumes.
+
+    The *credit* for SER -- basecalling/QC/mapping work that never
+    happened -- is already in the workload's volumes (an SER-rejected
+    read contributes zero basecalled bases); this is the debit side:
+    every screened prefix costs sDTW time on the filter engine. Zero
+    for workloads that never ran the stage, so all pre-SER estimates
+    are bit-identical.
+    """
+    if workload.ser_screened_bases <= 0:
+        return 0.0
+    return workload.ser_screened_bases / costs.ser_filter_bps
+
+
 def _estimate_batch(name: str, workload: PipelineWorkload, costs: CostDatabase) -> SystemEstimate:
     engines = _engines_for(name, costs)
     f_align = costs.map_align_fraction
@@ -147,6 +162,11 @@ def _estimate_batch(name: str, workload: PipelineWorkload, costs: CostDatabase) 
         + (t_qc + t_map) * engines.other_power_w
     )
     time = t_basecall + t_qc + t_map
+    t_ser = _signal_filter_time_s(workload, costs)
+    if t_ser:
+        breakdown["signal_filter"] = t_ser
+        time += t_ser
+        energy += t_ser * engines.other_power_w
     if engines.has_movement:
         raw, called = _movement_bytes(workload, costs)
         t_move = costs.movement_time_s(raw + called)
@@ -189,6 +209,11 @@ def _estimate_pipelined(
     }
     time = makespan + t_qc
     energy = busy_bc * engines.basecall_power_w + (busy_map + t_qc) * engines.other_power_w
+    t_ser = _signal_filter_time_s(workload, costs)
+    if t_ser:
+        breakdown["signal_filter"] = t_ser
+        time += t_ser
+        energy += t_ser * engines.other_power_w
     if engines.has_movement:
         # The raw signal must land on the basecalling machine before the
         # pipeline can run (sequencing already finished), so it stays

@@ -48,6 +48,17 @@ class PipelineWorkload:
     #: Whether each read reached alignment (flow-shop input).
     aligned_per_read: tuple[bool, ...]
     chunk_size: int
+    #: Reads stopped by signal-domain early rejection (SER) -- before
+    #: any basecalling at all.
+    ser_rejected_reads: int = 0
+    #: Bases of SER-rejected reads: work the basecaller (and everything
+    #: after it) never saw. ``basecalled_bases`` already excludes them;
+    #: this field makes the credit auditable on its own.
+    ser_skipped_bases: int = 0
+    #: Base-grid positions pushed through the signal-domain screen (the
+    #: prefix of every screened read, rejected or not) -- what the
+    #: filter hardware itself is charged for.
+    ser_screened_bases: int = 0
 
     @classmethod
     def from_report(cls, report: GenPIPReport) -> "PipelineWorkload":
@@ -55,6 +66,9 @@ class PipelineWorkload:
         chunk_size = report.config.chunk_size
         mapped_batch = 0
         aligned = 0
+        ser_rejected = 0
+        ser_skipped = 0
+        ser_screened = 0
         # "Alignment executed" also holds for reads mapped without the
         # base-level alignment pass (align=False fast runs): a mapped
         # read would have been aligned on real hardware.
@@ -62,6 +76,14 @@ class PipelineWorkload:
             o.aligned or o.status is ReadStatus.MAPPED for o in report.outcomes
         )
         for outcome, was_aligned in zip(report.outcomes, aligned_flags):
+            if outcome.ser is not None:
+                ser_screened += outcome.ser.prefix_bases
+            if outcome.status is ReadStatus.REJECTED_SIGNAL:
+                # Stopped in signal space: zero basecalling, QC, and
+                # mapping work anywhere downstream.
+                ser_rejected += 1
+                ser_skipped += outcome.read_length
+                continue
             if outcome.status not in (ReadStatus.REJECTED_QSR, ReadStatus.FAILED_QC):
                 # Batch systems map every QC-passed read; ER-CMR-rejected
                 # reads map only their merged prefix.
@@ -85,6 +107,9 @@ class PipelineWorkload:
             seeded_chunks_per_read=tuple(o.n_chunks_seeded for o in report.outcomes),
             aligned_per_read=aligned_flags,
             chunk_size=chunk_size,
+            ser_rejected_reads=ser_rejected,
+            ser_skipped_bases=ser_skipped,
+            ser_screened_bases=ser_screened,
         )
 
     @property
@@ -112,4 +137,7 @@ class PipelineWorkload:
             seeded_chunks_per_read=self.seeded_chunks_per_read,
             aligned_per_read=self.aligned_per_read,
             chunk_size=self.chunk_size,
+            ser_rejected_reads=int(self.ser_rejected_reads * factor),
+            ser_skipped_bases=int(self.ser_skipped_bases * factor),
+            ser_screened_bases=int(self.ser_screened_bases * factor),
         )

@@ -40,6 +40,15 @@ tiny scales -- they decode real signal)::
     python -m repro.runtime --source signals --store signals.rsig \\
         --basecaller viterbi --scale 0.0002 --max-read-length 1500
 
+Fully raw signal: the container is written *without* base-start tracks
+(the real FAST5/SLOW5 shape), every read's chunk grid is recovered by
+event segmentation, and junk is rejected in signal space before any
+basecalling::
+
+    python -m repro.runtime --source signals --store raw.rsig \\
+        --basecaller viterbi --scale 0.0002 --max-read-length 1500 \\
+        --segmentation --signal-er
+
 Any registered basecaller backend and pipeline preset plugs in::
 
     python -m repro.runtime --basecaller viterbi --preset ecoli \\
@@ -49,6 +58,7 @@ Any registered basecaller backend and pipeline preset plugs in::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -57,7 +67,12 @@ from typing import Sequence
 from repro.core.config import VARIANTS, variant_config
 from repro.core.genpip import GenPIP, GenPIPReport
 from repro.core.pipeline import ReadOutcome
-from repro.core.registry import basecaller_names, preset_config, preset_names
+from repro.core.registry import (
+    basecaller_names,
+    create_basecaller,
+    preset_config,
+    preset_names,
+)
 from repro.mapping.index import MinimizerIndex
 from repro.nanopore.datasets import (
     PRESETS,
@@ -66,7 +81,12 @@ from repro.nanopore.datasets import (
     profile_reference,
     small_profile,
 )
-from repro.nanopore.signal_store import write_read_store, write_signals
+from repro.nanopore.signal_store import (
+    strip_base_starts,
+    write_read_store,
+    write_signals,
+)
+from repro.signal import SegmentationConfig, SignalRejectionPolicy
 from repro.runtime.engine import TRANSPORTS, DatasetEngine
 from repro.runtime.sink import (
     JSONLSink,
@@ -129,6 +149,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--align", action="store_true",
         help="run base-level alignment (slower; off by default like the sweeps)",
     )
+    signal = parser.add_argument_group("signal domain (requires --source signals)")
+    signal.add_argument(
+        "--signal-er", action="store_true",
+        help="signal-domain early rejection: screen each read's raw-current "
+        "prefix against reference templates (subsequence DTW) and reject "
+        "junk before any basecalling",
+    )
+    signal.add_argument(
+        "--signal-er-threshold", type=float, default=0.17, metavar="COST",
+        help="sDTW accept threshold (per-sample cost) of the SER screen",
+    )
+    signal.add_argument(
+        "--signal-er-templates", type=int, default=6, metavar="N",
+        help="reference segments sampled evenly as SER templates (a sparse "
+        "screen: acceptances are reliable, rejections include genomic reads "
+        "the templates do not cover)",
+    )
+    signal.add_argument(
+        "--segmentation", action="store_true",
+        help="write the raw-signal container without base-start tracks "
+        "(FAST5/SLOW5-shaped: samples only) and recover every read's chunk "
+        "grid by event segmentation",
+    )
     run = parser.add_argument_group("runtime")
     run.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -183,8 +226,12 @@ def _mapping_record(outcome: ReadOutcome) -> dict | None:
     }
 
 
+def _ser_record(outcome: ReadOutcome) -> dict | None:
+    return None if outcome.ser is None else dataclasses.asdict(outcome.ser)
+
+
 def _read_record(outcome: ReadOutcome) -> dict:
-    return {
+    record = {
         "read_id": outcome.read_id,
         "status": outcome.status.value,
         "read_length": outcome.read_length,
@@ -197,10 +244,21 @@ def _read_record(outcome: ReadOutcome) -> dict:
         "mean_quality": outcome.mean_quality,
         "mapping": _mapping_record(outcome),
     }
+    # Emitted only for screened reads, so SER-less reports keep the
+    # exact byte layout of earlier releases.
+    ser = _ser_record(outcome)
+    if ser is not None:
+        record["ser"] = ser
+    return record
 
 
 def report_to_json(report: GenPIPReport, run_args: dict) -> str:
-    """Serialize a report deterministically (sorted keys, no timing)."""
+    """Serialize a report deterministically (sorted keys, no timing).
+
+    Signal-domain keys (the summary's ``ser_rejection_ratio``, each
+    read's ``ser`` record) appear only in runs that enabled SER, so
+    SER-less reports stay byte-identical to earlier releases.
+    """
     counters = report.counters
     document = {
         "run": run_args,
@@ -223,6 +281,8 @@ def report_to_json(report: GenPIPReport, run_args: dict) -> str:
         },
         "reads": [_read_record(outcome) for outcome in report.outcomes],
     }
+    if run_args.get("signal_er"):
+        document["summary"]["ser_rejection_ratio"] = report.ser_rejection_ratio
     return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
 
@@ -283,6 +343,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--sink {args.sink} requires --outcomes PATH")
     if args.outcomes and args.sink not in ("jsonl", "parquet"):
         parser.error("--outcomes only makes sense with --sink jsonl or parquet")
+    if args.source != "signals":
+        if args.signal_er:
+            parser.error("--signal-er only applies to --source signals runs")
+        if args.segmentation:
+            parser.error("--segmentation only applies to --source signals runs")
+    if args.signal_er_threshold <= 0:
+        parser.error("--signal-er-threshold must be positive")
+    if args.signal_er_templates < 1:
+        parser.error("--signal-er-templates must be at least 1")
 
     # Construct the sink before any expensive setup (index build,
     # container synthesis): a missing optional pyarrow dependency must
@@ -309,14 +378,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     base_config = preset_config(args.preset or args.profile)
     config = variant_config(base_config.with_chunk_size(args.chunk_size), args.variant)
 
-    system = (
+    # The engine is constructed once, up front, so the SER policy can be
+    # derived from its pore model; the builder then receives the live
+    # instance (equivalent to building by name -- the registry recovers
+    # name + config for worker shipping either way).
+    basecaller = create_basecaller(args.basecaller)
+    builder = (
         GenPIP.build()
         .index(index)
         .config(config)
-        .basecaller(args.basecaller)
+        .basecaller(basecaller)
         .align(args.align)
-        .build()
     )
+    if args.signal_er:
+        pore_model = getattr(basecaller, "pore_model", None)
+        if pore_model is None:
+            parser.error(
+                f"--signal-er needs a basecaller with a pore model to build "
+                f"expected-signal templates; backend {args.basecaller!r} has none"
+            )
+        # Deterministic in (reference, pore model, flags): serial and
+        # pooled runs rebuild byte-identical template sets.
+        builder = builder.signal_rejection(
+            SignalRejectionPolicy.from_reference(
+                pore_model,
+                reference.codes,
+                n_templates=args.signal_er_templates,
+                threshold=args.signal_er_threshold,
+            )
+        )
+    system = builder.build()
 
     if args.source == "memory":
         data = generate_dataset(profile, scale=args.scale, seed=args.seed, reference=reference)
@@ -344,7 +435,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         data = StoreSource(store_path)
     else:  # signals
-        basecaller = system.pipeline.basecaller
         if not getattr(basecaller, "accepts_signal_reads", False):
             parser.error(
                 f"--source signals requires a signal-space basecaller "
@@ -371,21 +461,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             "max_read_length": args.max_read_length,
             "basecaller": args.basecaller,
         }
+        if args.segmentation:
+            # A segmentation container holds *only* samples (the real
+            # FAST5/SLOW5 shape) -- structurally different data, so it
+            # is part of the provenance. The key is added only here so
+            # pre-existing grid-carrying containers keep matching.
+            provenance["segmentation"] = True
+
+        def _write_signal_container() -> None:
+            records = basecaller.signal_records(
+                iter_dataset_reads(
+                    profile, scale=args.scale, seed=args.seed, reference=reference
+                )
+            )
+            if args.segmentation:
+                records = strip_base_starts(records)
+            write_signals(store_path, records)
+
         _ensure_container(
-            parser,
-            store_path,
-            provenance,
-            "raw-signal",
-            lambda: write_signals(
-                store_path,
-                basecaller.signal_records(
-                    iter_dataset_reads(
-                        profile, scale=args.scale, seed=args.seed, reference=reference
-                    )
-                ),
-            ),
+            parser, store_path, provenance, "raw-signal", _write_signal_container
         )
-        data = SignalStoreSource(store_path)
+        data = SignalStoreSource(
+            store_path,
+            segmentation=SegmentationConfig() if args.segmentation else None,
+        )
 
     engine = DatasetEngine(
         system.pipeline,
@@ -422,8 +521,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         # current, modelled-position chunk grid), unlike the read-based
         # sources, which all yield the identical dataset. The key is
         # added only here so read-based reports stay byte-identical to
-        # earlier releases.
+        # earlier releases -- and the same goes for the segmentation
+        # and SER keys (both result-determining: the recovered grid and
+        # the template set shape every downstream number).
         run_args["signal_native"] = True
+        if args.segmentation:
+            run_args["segmentation"] = True
+        if args.signal_er:
+            run_args["signal_er"] = {
+                "templates": args.signal_er_templates,
+                "threshold": args.signal_er_threshold,
+            }
     if args.json_path:
         payload = report_to_json(report, run_args)
         if args.json_path == "-":
@@ -447,9 +555,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f", prefetch {stats.prefetch_peak}/{stats.prefetch_capacity}"
                 f", window {stats.inflight_peak}/{stats.inflight_window}"
             )
+        # Signal-domain rejects are reported separately from QSR/CMR:
+        # they cost zero basecalled chunks, which is the whole point.
+        ser_summary = f"SER {report.ser_rejection_ratio:.1%}, " if stats.signal_er else ""
         print(
             f"{profile.name}: {report.n_reads} reads, {report.total_bases:,} bases | "
-            f"mapped {report.mapped_ratio:.1%}, QSR {report.qsr_rejection_ratio:.1%}, "
+            f"mapped {report.mapped_ratio:.1%}, {ser_summary}"
+            f"QSR {report.qsr_rejection_ratio:.1%}, "
             f"CMR {report.cmr_rejection_ratio:.1%}, "
             f"basecall savings {report.basecall_savings:.1%} | "
             f"{stats.mode} x{stats.workers} "

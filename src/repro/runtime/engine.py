@@ -147,6 +147,10 @@ class RuntimeStats:
     elapsed_s: float
     batching: str = "fixed"  # "fixed" | "length-aware"
     transport: str = "none"  # "none" | "pickle" | "shm"
+    #: Whether the run had the signal-domain (pre-basecalling) early
+    #: rejection stage active -- a config property surfaced here so the
+    #: CLI summary can label SER runs without inspecting the pipeline.
+    signal_er: bool = False
     prefetch_capacity: int = 0  # reads the producer thread may buffer
     prefetch_peak: int = 0  # high-water mark of that buffer
     inflight_window: int = 0  # max work units submitted concurrently
@@ -298,6 +302,7 @@ class DatasetEngine:
             elapsed_s=time.perf_counter() - started,
             batching=self._batching,
             transport=transport,
+            signal_er=self._spec.signal_rejection_enabled(),
             **self._backpressure,
         )
         return report

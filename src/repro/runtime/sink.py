@@ -33,6 +33,7 @@ through :func:`outcome_to_record` / :func:`outcome_from_record`
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
 from typing import IO, Iterator, Protocol, Sequence, runtime_checkable
 
@@ -42,6 +43,7 @@ from repro.core.genpip import GenPIPReport, ReportCounters
 from repro.core.pipeline import ReadOutcome, ReadStatus
 from repro.mapping.alignment import AlignmentResult
 from repro.mapping.mapper import MappingResult
+from repro.signal.rejection import SERDecision
 
 
 @runtime_checkable
@@ -162,6 +164,7 @@ _PARQUET_COLUMNS = (
     ("n_chain_invocations", "int64"),
     ("aligned", "bool"),
     ("mean_quality", "float64"),
+    ("ser", "json"),
     ("qsr", "json"),
     ("cmr", "json"),
     ("mapping", "json"),
@@ -219,7 +222,10 @@ class ParquetSink:
             record = outcome_to_record(outcome)
             row = {}
             for name, kind in _PARQUET_COLUMNS:
-                value = record[name]
+                # "ser" is present in records only for signal-ER runs
+                # (keeping pre-SER JSONL byte-identical); the column is
+                # simply null elsewhere.
+                value = record.get(name)
                 if kind == "json" and value is not None:
                     value = json.dumps(value, sort_keys=True, separators=(",", ":"))
                 row[name] = value
@@ -283,7 +289,13 @@ def replay_parquet_report(path, config: GenPIPConfig) -> GenPIPReport:
 
 
 def outcome_to_record(outcome: ReadOutcome) -> dict:
-    """A JSON-safe dict capturing *every* field of an outcome."""
+    """A JSON-safe dict capturing *every* field of an outcome.
+
+    The ``ser`` key is emitted only when a signal-domain rejection
+    decision exists: SER-less runs (every run before the stage existed,
+    and every run with it disabled) therefore serialize byte-identically
+    to earlier releases, and old outcome files replay unchanged.
+    """
     qsr = outcome.qsr
     cmr = outcome.cmr
     mapping = outcome.mapping
@@ -331,11 +343,17 @@ def outcome_to_record(outcome: ReadOutcome) -> dict:
             },
         },
     }
+    if outcome.ser is not None:
+        # SERDecision is a flat dataclass of JSON-safe scalars, so its
+        # wire shape derives from the type -- one source of truth with
+        # the SERDecision(**ser) reconstruction below.
+        record["ser"] = asdict(outcome.ser)
     return record
 
 
 def outcome_from_record(record: dict) -> ReadOutcome:
     """Inverse of :func:`outcome_to_record` (exact reconstruction)."""
+    ser = record.get("ser")
     qsr = record["qsr"]
     cmr = record["cmr"]
     mapping = record["mapping"]
@@ -356,6 +374,7 @@ def outcome_from_record(record: dict) -> ReadOutcome:
         n_chain_invocations=record["n_chain_invocations"],
         aligned=record["aligned"],
         mean_quality=record["mean_quality"],
+        ser=None if ser is None else SERDecision(**ser),
         qsr=None
         if qsr is None
         else QSRDecision(

@@ -144,17 +144,39 @@ class SignalStoreSource:
     synthesis anywhere on the path. Parent memory is bounded by one
     record, the header count is the size hint, and the source is
     re-iterable (each iteration reopens the file).
+
+    ``segmentation`` activates the event-segmentation front-end
+    (:mod:`repro.signal.segmentation`) for records that carry *no*
+    base-start track -- the shape of real FAST5/SLOW5 data: such a read
+    has no chunk grid, so its grid is recovered from the samples by
+    jump detection before the read enters the dataflow. Segmentation
+    runs here, in the parent, exactly once per read per iteration --
+    the derived grid then travels to workers with the read (both
+    transports ship ``base_starts``), which keeps pooled runs
+    byte-identical to serial ones. Records that already carry a grid
+    pass through untouched.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, segmentation=None):
         self._path = Path(path)
+        self._segmentation = segmentation
 
     @property
     def path(self) -> Path:
         return self._path
 
     def __iter__(self) -> Iterator[SignalRead]:
-        return (SignalRead.from_record(record) for record in iter_signals(self._path))
+        from repro.signal.segmentation import segment_read
+
+        for record in iter_signals(self._path):
+            read = SignalRead.from_record(record)
+            if (
+                self._segmentation is not None
+                and read.signal.n_bases == 0
+                and read.n_samples > 0
+            ):
+                read = segment_read(read, self._segmentation)
+            yield read
 
     def size_hint(self) -> int | None:
         return signal_count(self._path)

@@ -34,7 +34,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.backends import Basecaller, CMRPolicyProtocol, QSRPolicyProtocol
+from repro.core.backends import (
+    Basecaller,
+    CMRPolicyProtocol,
+    QSRPolicyProtocol,
+    SignalRejectionPolicyProtocol,
+)
 from repro.core.config import GenPIPConfig
 from repro.core.pipeline import GenPIPPipeline
 from repro.core.registry import BasecallerRef, basecaller_registration
@@ -59,6 +64,7 @@ class PipelineSpec:
     align: bool = True
     qsr_policy: QSRPolicyProtocol | None = None
     cmr_policy: CMRPolicyProtocol | None = None
+    ser_policy: SignalRejectionPolicyProtocol | None = None
 
     @classmethod
     def from_pipeline(cls, pipeline: GenPIPPipeline) -> "PipelineSpec":
@@ -66,8 +72,10 @@ class PipelineSpec:
 
         Registered engines are captured as a :class:`BasecallerRef`
         (name + config); unregistered ones are carried as the instance.
-        The rejection policies are carried as instances -- the defaults
-        are tiny threshold holders, and custom policies need only be
+        The rejection policies -- QSR/CMR and the optional signal-domain
+        (SER) policy -- are carried as instances: the defaults are tiny
+        threshold holders (the SER default adds its expected-signal
+        templates, still a few KB), and custom policies need only be
         picklable, the same contract as a custom basecaller.
         """
         basecaller = BasecallerRef.capture(pipeline.basecaller) or pipeline.basecaller
@@ -79,6 +87,7 @@ class PipelineSpec:
             align=pipeline.align,
             qsr_policy=pipeline.qsr_policy,
             cmr_policy=pipeline.cmr_policy,
+            ser_policy=pipeline.ser_policy,
         )
 
     def with_index(self, index: MinimizerIndex | SharedIndexHandle) -> "PipelineSpec":
@@ -110,6 +119,10 @@ class PipelineSpec:
             return bool(getattr(registration.instance_type, "accepts_signal_reads", False))
         return bool(getattr(self.basecaller, "accepts_signal_reads", False))
 
+    def signal_rejection_enabled(self) -> bool:
+        """Whether the rebuilt pipeline will run the SER stage."""
+        return self.ser_policy is not None and self.config.enable_ser
+
     def build(self) -> GenPIPPipeline:
         """Reconstruct the pipeline (called once per worker process)."""
         return GenPIPPipeline(
@@ -120,4 +133,5 @@ class PipelineSpec:
             align=self.align,
             qsr_policy=self.qsr_policy,
             cmr_policy=self.cmr_policy,
+            ser_policy=self.ser_policy,
         )

@@ -1,0 +1,60 @@
+"""Signal-domain analysis: event segmentation, SER, and calibration.
+
+The paper's pipeline *starts* from raw current, and PR 4 made stored
+current a first-class input; this package supplies the analysis layer
+that makes raw current self-sufficient -- no ground-truth side channels
+required:
+
+* :mod:`repro.signal.segmentation` -- dwell/jump-detection event
+  segmentation, recovering a chunk grid for container signal written
+  without a ``base_starts`` track (real FAST5/SLOW5 never has one);
+* :mod:`repro.signal.rejection` -- signal-domain early rejection (SER):
+  the :class:`SignalRejectionPolicy` screens a read's raw-current
+  prefix by subsequence DTW against reference templates and stops junk
+  *before any basecalling* -- the paper's "ideally even before they go
+  through basecalling" (Sec. 2.3), one stage earlier than QSR/CMR;
+* :mod:`repro.signal.calibration` -- per-container gain/offset
+  statistics mapping non-pA containers onto the decoders' picoampere
+  scale (what per-read median/MAD normalisation cannot do without
+  destroying absolute level information).
+
+The pipeline-facing contract lives in :mod:`repro.core.backends`
+(:class:`~repro.core.backends.SignalRejectionPolicyProtocol`), mirroring
+the QSR/CMR policy protocols; everything here is a default
+implementation behind it.
+"""
+
+from repro.signal.calibration import (
+    IDENTITY_CALIBRATION,
+    ContainerStats,
+    SignalCalibration,
+    calibrate_to_pore_model,
+    container_calibration,
+    pore_model_stats,
+)
+from repro.signal.rejection import SERDecision, SignalRejectionPolicy
+from repro.signal.segmentation import (
+    SegmentationConfig,
+    detect_events,
+    jump_scores,
+    robust_noise_scale,
+    segment_read,
+    segment_signal,
+)
+
+__all__ = [
+    "ContainerStats",
+    "IDENTITY_CALIBRATION",
+    "SERDecision",
+    "SegmentationConfig",
+    "SignalCalibration",
+    "SignalRejectionPolicy",
+    "calibrate_to_pore_model",
+    "container_calibration",
+    "detect_events",
+    "jump_scores",
+    "pore_model_stats",
+    "robust_noise_scale",
+    "segment_read",
+    "segment_signal",
+]

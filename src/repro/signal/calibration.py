@@ -1,0 +1,154 @@
+"""Per-container gain/offset calibration for stored raw current.
+
+The signal containers this repo writes store picoampere-scale samples,
+which is exactly what the signal-space decoders assume. Real devices
+emit DAC counts under a per-run gain and offset, and
+``CarriedSignalProvider(normalize=True)`` -- per-read median/MAD to a
+*nominal* scale -- destroys the absolute level information the k-mer
+decoders key on. Calibration closes that gap: estimate one robust
+(median, MAD) pair over a whole container, solve the affine map that
+lands those statistics on the pore model's own level distribution, and
+apply that *single shared* transform to every read -- per-read level
+differences survive, units become pA.
+
+Flow::
+
+    stats = ContainerStats.from_container("run.rsig")     # one stream
+    cal   = calibrate_to_pore_model(stats, pore_model)    # gain/offset
+    provider = CarriedSignalProvider(calibration=cal)     # decode in pA
+
+``ContainerStats`` aggregates per-record medians/MADs (median-of-medians
+across records), so one pathological read cannot skew the container's
+calibration and the stream never holds more than one record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal_store import SignalRecord, iter_signals
+
+
+@dataclass(frozen=True)
+class ContainerStats:
+    """Robust sample statistics of one signal container.
+
+    Attributes
+    ----------
+    n_records, n_samples:
+        Container size (records with zero samples contribute to
+        neither statistic).
+    median:
+        Median of the per-record sample medians.
+    mad:
+        Median of the per-record MADs (median absolute deviation from
+        each record's own median) -- the container's typical per-read
+        spread, robust to outlier reads.
+    """
+
+    n_records: int
+    n_samples: int
+    median: float
+    mad: float
+
+    @classmethod
+    def from_records(cls, records: Iterable[SignalRecord]) -> "ContainerStats":
+        """Aggregate statistics over a record stream (one pass)."""
+        medians: list[float] = []
+        mads: list[float] = []
+        n_records = 0
+        n_samples = 0
+        for record in records:
+            n_records += 1
+            samples = np.asarray(record.signal.samples, dtype=np.float64)
+            if samples.size == 0:
+                continue
+            n_samples += samples.size
+            median = float(np.median(samples))
+            medians.append(median)
+            mads.append(float(np.median(np.abs(samples - median))))
+        if not medians:
+            return cls(n_records=n_records, n_samples=0, median=0.0, mad=0.0)
+        return cls(
+            n_records=n_records,
+            n_samples=n_samples,
+            median=float(np.median(medians)),
+            mad=float(np.median(mads)),
+        )
+
+    @classmethod
+    def from_container(cls, path) -> "ContainerStats":
+        """Stream a container once and aggregate (O(one record) memory)."""
+        return cls.from_records(iter_signals(path))
+
+
+@dataclass(frozen=True)
+class SignalCalibration:
+    """An affine map from stored units onto the decoders' pA scale.
+
+    ``calibrated = samples * gain + offset``; a plain picklable value,
+    so a calibrated provider ships to pooled workers unchanged.
+    """
+
+    gain: float
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Calibrated ``float32`` samples (the identity map returns as-is)."""
+        if self.gain == 1.0 and self.offset == 0.0:
+            return np.asarray(samples, dtype=np.float32)
+        calibrated = np.asarray(samples, dtype=np.float64) * self.gain + self.offset
+        return calibrated.astype(np.float32)
+
+
+#: The no-op calibration (container already in pA).
+IDENTITY_CALIBRATION = SignalCalibration(gain=1.0, offset=0.0)
+
+
+def pore_model_stats(pore_model: PoreModel) -> tuple[float, float]:
+    """(median, MAD) of the pore model's expected k-mer levels.
+
+    This is the target distribution calibration maps a container onto:
+    a correctly calibrated signal's typical level and spread match the
+    pore model's, because the signal *is* (noisy dwells of) those
+    levels.
+    """
+    levels = np.asarray(pore_model.levels, dtype=np.float64)
+    median = float(np.median(levels))
+    mad = float(np.median(np.abs(levels - median)))
+    return median, mad
+
+
+def calibrate_to_pore_model(
+    stats: ContainerStats, pore_model: PoreModel
+) -> SignalCalibration:
+    """Solve the gain/offset that maps container units onto pA.
+
+    Matches the container's robust (median, MAD) to the pore model's:
+    ``gain = mad_pore / mad_container``,
+    ``offset = median_pore - median_container * gain``. A container
+    with zero spread (or no samples) cannot be calibrated and raises.
+    """
+    if stats.n_samples == 0 or stats.mad <= 0:
+        raise ValueError(
+            "container has no usable sample spread to calibrate from "
+            f"(n_samples={stats.n_samples}, mad={stats.mad})"
+        )
+    target_median, target_mad = pore_model_stats(pore_model)
+    if target_mad <= 0:  # pragma: no cover - degenerate pore model
+        raise ValueError("pore model levels have zero spread")
+    gain = target_mad / stats.mad
+    return SignalCalibration(gain=gain, offset=target_median - stats.median * gain)
+
+
+def container_calibration(path, pore_model: PoreModel) -> SignalCalibration:
+    """One-call convenience: stream the container, solve the calibration."""
+    return calibrate_to_pore_model(ContainerStats.from_container(path), pore_model)

@@ -78,6 +78,44 @@ class TestSubsequenceDTW:
         banded = subsequence_dtw(query, reference, band=20)
         assert banded >= unbanded - 1e-12
 
+    def test_perfect_match_zero_cost(self):
+        # Query == reference: the diagonal path has zero squared
+        # difference everywhere (identical z-normalisation), so the
+        # subsequence cost is exactly zero.
+        rng = np.random.default_rng(7)
+        reference = rng.normal(size=150)
+        assert subsequence_dtw(reference, reference) == 0.0
+        # Same holds under any affine distortion of the query
+        # (z-normalisation cancels gain and offset).
+        assert subsequence_dtw(3.5 * reference - 11.0, reference) == pytest.approx(0.0, abs=1e-24)
+
+    def test_band_width_monotonicity(self):
+        # Widening the band only adds admissible paths, so the cost is
+        # non-increasing in the band width, and the unbanded cost is
+        # the infimum.
+        rng = np.random.default_rng(8)
+        reference = rng.normal(size=200)
+        query = np.repeat(reference, 2)[50:350]  # warped, full-span-ish
+        costs = [subsequence_dtw(query, reference, band=b) for b in (2, 5, 10, 25, 60)]
+        for narrow, wide in zip(costs, costs[1:]):
+            assert wide <= narrow + 1e-12
+        assert subsequence_dtw(query, reference) <= costs[-1] + 1e-12
+
+    def test_query_longer_than_reference(self):
+        # A query longer than the reference is legal (DTW may dwell on
+        # reference samples); a 2x-stretched copy of the whole
+        # reference still matches cheaply, junk of the same length does
+        # not.
+        rng = np.random.default_rng(9)
+        reference = rng.normal(size=120)
+        stretched = np.repeat(reference, 2)
+        junk = rng.normal(size=stretched.size)
+        matched = subsequence_dtw(stretched, reference)
+        mismatched = subsequence_dtw(junk, reference)
+        assert np.isfinite(matched) and np.isfinite(mismatched)
+        assert matched < 0.05
+        assert mismatched > 3 * matched
+
     def test_cost_normalised_by_length(self):
         rng = np.random.default_rng(3)
         reference = rng.normal(size=300)
