@@ -15,10 +15,16 @@ Two consumers:
   (``"source": "reads"``), the document carries a small **signal-native
   lane** (``"source": "signals"``): a raw-signal container is written
   once, then decoded end-to-end by the Viterbi backend serially and
-  pooled, tracking the throughput of the stored-current path; and a
+  pooled, tracking the throughput of the stored-current path; a
   **signal-ER lane** (``"signal_er": true``) that re-runs the same
   container behind a signal-domain rejection policy, emitting the
-  observed reject rate next to the wall time.
+  observed reject rate next to the wall time; and three **kernel-plane
+  lanes** (``"lane"`` of ``"sdtw-kernel"``, ``"viterbi-events"``,
+  ``"dnn-batch"``) timing the vectorised kernel layer: wavefront vs
+  scalar sDTW behind SER, the event-space Viterbi decode, and per-chunk
+  vs batched DNN inference. Every signal lane asserts the serial ==
+  pooled report identity; the sdtw-kernel lane additionally asserts the
+  two kernels decide identically (their costs are bit-equal).
 
 On a multi-core box the 4-worker run should clear >= 1.5x serial
 throughput: reads are independent, payloads travel through shared
@@ -46,6 +52,14 @@ WORKER_COUNTS = (1, 2, 4)
 BATCHING_MODES = ("fixed", "length-aware")
 GRID_TRANSPORTS = ("pickle", "shm")
 SIGNAL_WORKER_COUNTS = (1, 2)
+#: Pinned work-unit size for the dnn-batch lane: the unit *is* the DNN
+#: batch (prime_chunk_batch stacks one unit's chunks), and pinning it
+#: keeps work-unit composition -- hence batched arithmetic -- identical
+#: across worker counts, preserving serial == pooled byte-identity.
+DNN_LANE_BATCH_SIZE = 4
+#: GRU width for the dnn-batch lane (default 96 is needlessly slow for
+#: a throughput lane that only exercises kernel grouping).
+DNN_LANE_HIDDEN = 48
 
 if pytest is not None:
     pytestmark = pytest.mark.bench
@@ -179,6 +193,162 @@ def collect_signal_grid(signal_system, store_path, repeats: int = 1) -> list[dic
     return records
 
 
+def _assert_reports_identical(reports: dict, label: str) -> None:
+    """Every worker count must produce the byte-identical report."""
+    counts = sorted(reports)
+    first = reports[counts[0]]
+    for workers in counts[1:]:
+        report = reports[workers]
+        assert (
+            report.outcomes == first.outcomes and report.counters == first.counters
+        ), f"{label}: workers={workers} report diverged from workers={counts[0]}"
+
+
+def collect_sdtw_kernel_lane(ser_systems: dict, store_path, repeats: int = 1) -> list[dict]:
+    """Time the SER screen per sDTW kernel (scalar vs wavefront).
+
+    Same container, same policy parameters, different kernels
+    (:data:`repro.kernels.SDTW_KERNELS`). Kernel costs are bit-identical
+    by construction, so besides serial == pooled the lane asserts the
+    *kernels* agree outcome-for-outcome -- the wavefront entry is purely
+    a wall-time win.
+    """
+    from repro.runtime import SignalStoreSource
+
+    records = []
+    kernel_outcomes = {}
+    for kernel, system in ser_systems.items():
+        reports = {}
+        for workers in SIGNAL_WORKER_COUNTS:
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                engine = DatasetEngine(system.pipeline, workers=workers)
+                report = engine.run(SignalStoreSource(store_path))
+                elapsed = time.perf_counter() - started
+                stats = engine.last_stats
+                assert stats.signal_er
+                assert report.n_reads == stats.n_reads > 0
+                rps = report.n_reads / elapsed if elapsed > 0 else 0.0
+                if best is None or rps > best["reads_per_sec"]:
+                    best = {
+                        "source": "signals",
+                        "lane": "sdtw-kernel",
+                        "kernel": kernel,
+                        "signal_er": True,
+                        "reject_rate": round(report.ser_rejection_ratio, 4),
+                        "workers": workers,
+                        "batching": stats.batching,
+                        "transport": stats.transport,
+                        "mode": stats.mode,
+                        "batch_size": stats.batch_size,
+                        "n_shards": stats.n_shards,
+                        "reads": stats.n_reads,
+                        "elapsed_s": round(elapsed, 4),
+                        "reads_per_sec": round(rps, 2),
+                    }
+                reports[workers] = report
+            records.append(best)
+        _assert_reports_identical(reports, f"sdtw-kernel[{kernel}]")
+        kernel_outcomes[kernel] = reports[SIGNAL_WORKER_COUNTS[0]].outcomes
+    outcomes = list(kernel_outcomes.values())
+    assert all(o == outcomes[0] for o in outcomes), (
+        "sDTW kernels must produce identical SER decisions"
+    )
+    return records
+
+
+def collect_viterbi_events_lane(event_system, store_path, repeats: int = 1) -> list[dict]:
+    """Time the event-space Viterbi decode of the signal container.
+
+    The plain signal lane decodes the same container sample-by-sample;
+    this lane segments each chunk into events first
+    (``decode="events"``), shrinking the trellis ~``dwell_mean``x. One
+    record per worker count, with serial == pooled asserted.
+    """
+    from repro.runtime import SignalStoreSource
+
+    records = []
+    reports = {}
+    for workers in SIGNAL_WORKER_COUNTS:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            engine = DatasetEngine(event_system.pipeline, workers=workers)
+            report = engine.run(SignalStoreSource(store_path))
+            elapsed = time.perf_counter() - started
+            stats = engine.last_stats
+            assert report.n_reads == stats.n_reads > 0
+            rps = report.n_reads / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "signals",
+                    "lane": "viterbi-events",
+                    "decode": "events",
+                    "workers": workers,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                }
+            reports[workers] = report
+        records.append(best)
+    _assert_reports_identical(reports, "viterbi-events")
+    return records
+
+
+def collect_dnn_batch_lane(dnn_systems: dict, store_path, repeats: int = 1) -> list[dict]:
+    """Time the DNN decode of the signal container, per-chunk vs batched.
+
+    ``dnn_systems`` maps ``False``/``True`` (batched?) to systems that
+    differ only in the backend's ``batched`` flag. The batch size is
+    pinned so serial and pooled runs compose identical work units --
+    the serial == pooled identity the lane asserts per variant. (The
+    two variants are *not* compared to each other: batched matmuls
+    reassociate floats, so their outcomes may differ at rounding level.)
+    """
+    from repro.runtime import SignalStoreSource
+
+    records = []
+    for batched, system in dnn_systems.items():
+        reports = {}
+        for workers in SIGNAL_WORKER_COUNTS:
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                engine = DatasetEngine(
+                    system.pipeline, workers=workers, batch_size=DNN_LANE_BATCH_SIZE
+                )
+                report = engine.run(SignalStoreSource(store_path))
+                elapsed = time.perf_counter() - started
+                stats = engine.last_stats
+                assert report.n_reads == stats.n_reads > 0
+                rps = report.n_reads / elapsed if elapsed > 0 else 0.0
+                if best is None or rps > best["reads_per_sec"]:
+                    best = {
+                        "source": "signals",
+                        "lane": "dnn-batch",
+                        "dnn_batched": batched,
+                        "workers": workers,
+                        "batching": stats.batching,
+                        "transport": stats.transport,
+                        "mode": stats.mode,
+                        "batch_size": stats.batch_size,
+                        "n_shards": stats.n_shards,
+                        "reads": stats.n_reads,
+                        "elapsed_s": round(elapsed, 4),
+                        "reads_per_sec": round(rps, 2),
+                    }
+                reports[workers] = report
+            records.append(best)
+        _assert_reports_identical(reports, f"dnn-batch[batched={batched}]")
+    return records
+
+
 def write_bench_json(path, records: list[dict], context: dict) -> None:
     document = {
         "schema": "genpip-bench-runtime/1",
@@ -201,7 +371,7 @@ if pytest is not None:
         from repro.experiments.context import get_context
 
         context = get_context("ecoli-like", scale=bench_scale["ecoli-like"], seed=bench_seed)
-        context.index  # force index construction outside the timed region
+        _ = context.index  # force index construction outside the timed region
         return context
 
     @pytest.fixture(scope="module")
@@ -337,6 +507,55 @@ def main(argv=None) -> int:
             .build()
         )
         records += collect_signal_er_lane(ser_system, store_path, repeats=args.repeats)
+
+        # Kernel-plane lanes (PR 6): the same container decoded through
+        # the vectorised kernel layer's three planes.
+        from repro.basecalling.engines import DNNBackendConfig, ViterbiBackendConfig
+        from repro.kernels import SDTW_KERNELS
+
+        ser_systems = {}
+        for kernel in SDTW_KERNELS:
+            kernel_policy = SignalRejectionPolicy.from_reference(
+                signal_system.pipeline.basecaller.pore_model,
+                signal_dataset.reference.codes,
+                n_templates=4,
+                prefix_bases=100,
+                kernel=kernel,
+            )
+            ser_systems[kernel] = (
+                GenPIP.build()
+                .index(signal_index)
+                .config(preset_config(args.profile))
+                .basecaller("viterbi")
+                .align(False)
+                .signal_rejection(kernel_policy)
+                .build()
+            )
+        records += collect_sdtw_kernel_lane(ser_systems, store_path, repeats=args.repeats)
+
+        event_system = (
+            GenPIP.build()
+            .index(signal_index)
+            .config(preset_config(args.profile))
+            .basecaller("viterbi", ViterbiBackendConfig(decode="events"))
+            .align(False)
+            .build()
+        )
+        records += collect_viterbi_events_lane(
+            event_system, store_path, repeats=args.repeats
+        )
+
+        dnn_systems = {}
+        for batched in (False, True):
+            dnn_systems[batched] = (
+                GenPIP.build()
+                .index(signal_index)
+                .config(preset_config(args.profile))
+                .basecaller("dnn", DNNBackendConfig(hidden=DNN_LANE_HIDDEN, batched=batched))
+                .align(False)
+                .build()
+            )
+        records += collect_dnn_batch_lane(dnn_systems, store_path, repeats=args.repeats)
 
     context = {
         "profile": profile.name,

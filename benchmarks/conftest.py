@@ -33,5 +33,5 @@ def primed_contexts():
     """Build both datasets/indices once for the whole bench session."""
     for name, scale in BENCH_SCALE.items():
         context = get_context(name, scale=scale, seed=BENCH_SEED)
-        context.index  # force index construction
+        _ = context.index  # force index construction
     return None

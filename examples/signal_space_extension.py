@@ -77,7 +77,7 @@ def main() -> None:
     print(f"\npre-filter: {prefilter.n_templates} expected-signal templates (target panel)")
     print(f"{'read':<10} {'truth':<10} {'cost':>7} {'decision':<8}")
     correct = 0
-    for record, label in zip(records, labels):
+    for record, label in zip(records, labels, strict=True):
         decision = prefilter.classify_signal(record.signal, prefix_bases=150)
         verdict = "accept" if decision.accept else "reject"
         expected = "accept" if label == "on-target" else "reject"

@@ -31,9 +31,6 @@ interchangeable inside the CP/ER pipeline and selectable by name
 :mod:`repro.core.registry`.
 """
 
-from repro.basecalling.types import BasecalledChunk, BasecalledRead
-from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig
-from repro.basecalling.viterbi import ViterbiBasecaller, ViterbiConfig
 from repro.basecalling.chunked import chunk_bounds, reassemble_chunks
 from repro.basecalling.engines import (
     CarriedSignalProvider,
@@ -46,6 +43,9 @@ from repro.basecalling.engines import (
     ViterbiChunkBasecaller,
     synthesize_read_signal,
 )
+from repro.basecalling.surrogate import SurrogateBasecaller, SurrogateConfig
+from repro.basecalling.types import BasecalledChunk, BasecalledRead
+from repro.basecalling.viterbi import ViterbiBasecaller, ViterbiConfig
 
 __all__ = [
     "BasecalledChunk",

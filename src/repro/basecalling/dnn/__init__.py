@@ -26,10 +26,10 @@ a trained basecaller -- training is out of scope offline, and pipeline
 accuracy comes from the Viterbi/surrogate engines instead.
 """
 
-from repro.basecalling.dnn.layers import Conv1d, Dense, LayerNorm, relu, sigmoid, swish, tanh
-from repro.basecalling.dnn.rnn import BiGRU, GRULayer
 from repro.basecalling.dnn.ctc import ctc_beam_decode, ctc_greedy_decode
-from repro.basecalling.dnn.model import BonitoLikeModel, MVMWorkload, MVMOp
+from repro.basecalling.dnn.layers import Conv1d, Dense, LayerNorm, relu, sigmoid, swish, tanh
+from repro.basecalling.dnn.model import BonitoLikeModel, MVMOp, MVMWorkload
+from repro.basecalling.dnn.rnn import BiGRU, GRULayer
 
 __all__ = [
     "Conv1d",

@@ -93,6 +93,18 @@ class BonitoLikeModel:
         """Greedy-CTC basecall of one signal chunk."""
         return ctc_greedy_decode(self.forward(samples))
 
+    def forward_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Batched :meth:`forward`: ``[B, T] -> [B, T_out, 5]``.
+
+        Stacks same-length chunk windows into one tensor pass
+        (:func:`repro.kernels.batched_dnn.model_forward_batch`); equal
+        to per-window :meth:`forward` to rounding -- the matmuls are
+        reassociated, not reordered semantically.
+        """
+        from repro.kernels.batched_dnn import model_forward_batch
+
+        return model_forward_batch(self, windows)
+
     def output_length(self, n_samples: int) -> int:
         """Temporal length after the conv downsampling stack."""
         return self.conv2.output_length(self.conv1.output_length(n_samples))

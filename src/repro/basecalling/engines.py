@@ -33,8 +33,9 @@ the performance model treat all engines uniformly.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -43,11 +44,28 @@ from repro.basecalling.dnn.model import BonitoLikeModel
 from repro.basecalling.types import BasecalledChunk, BasecalledRead
 from repro.basecalling.viterbi import ViterbiBasecaller, ViterbiConfig
 from repro.genomics.quality import phred_to_error_prob
+from repro.kernels.batched_dnn import batched_basecall
+from repro.kernels.viterbi import event_features, viterbi_state_ops
+from repro.kernels.workload import KernelWorkload
 from repro.nanopore.pore_model import PoreModel
 from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
 from repro.nanopore.signal_read import SignalRead
 from repro.nanopore.signal_store import SignalRecord
+from repro.signal.segmentation import SegmentationConfig, detect_events
+
+#: Decode observation grids the Viterbi backend supports.
+VITERBI_DECODE_MODES = ("samples", "events")
+
+#: Default segmentation for event-space decoding: deliberately
+#: over-sensitive (low threshold, tight window, no dwell floor).
+#: A split dwell costs one stay transition -- recoverable -- while a
+#: merged dwell deletes a base outright, so event decoding segments
+#: aggressively and lets the trellis' stay prior absorb the splits.
+#: (The chunk-grid segmentation default in
+#: :class:`repro.signal.segmentation.SegmentationConfig` stays
+#: conservative: grids want ~one event per base, not more.)
+EVENT_SEGMENTATION = SegmentationConfig(window=2, threshold=0.8, min_dwell=1)
 
 #: Second word of the per-read rng seed sequence, so the signal stream
 #: never collides with the surrogate's (read.seed, chunk_size, index)
@@ -255,6 +273,11 @@ class SignalSpaceBasecaller:
         self._providers: tuple[SignalProvider, ...] = tuple(providers) + (
             self._synthesis,
         )
+        # Chunk results primed by a batched decode pass (see
+        # prime_chunk_batch on the DNN backend); consumed -- and
+        # removed -- by basecall_chunk. Never pickled: priming happens
+        # inside whichever process runs the decode.
+        self._primed_chunks: dict[tuple[str, int, int], tuple[str, np.ndarray]] = {}
 
     @property
     def pore_model(self) -> PoreModel:
@@ -310,9 +333,13 @@ class SignalSpaceBasecaller:
                 f"chunk index {index} out of range (read has {len(bounds)} chunks)"
             )
         start, end = bounds[index]
-        signal = self.read_signal(read)
-        samples = signal.clamped_slice(start, end)
-        bases, qualities = self._decode(samples, read.read_id)
+        primed = self._primed_chunks.pop((read.read_id, index, chunk_size), None)
+        if primed is not None:
+            bases, qualities = primed
+        else:
+            signal = self.read_signal(read)
+            samples = signal.clamped_slice(start, end)
+            bases, qualities = self._decode(samples, read.read_id)
         return BasecalledChunk(
             chunk_index=index,
             bases=bases,
@@ -330,6 +357,11 @@ class SignalSpaceBasecaller:
 
     def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
         raise NotImplementedError
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_primed_chunks"] = {}
+        return state
 
 
 @dataclass(frozen=True)
@@ -355,6 +387,14 @@ class ViterbiBackendConfig:
         Median/MAD-normalise carried (signal-native) reads before
         decoding; for containers whose samples are not in picoampere
         units. Off by default -- this repo's containers store pA.
+    decode:
+        Observation grid of the trellis: ``"samples"`` (one observation
+        per raw sample, the classical decode) or ``"events"`` (samples
+        segmented into events first -- ~``dwell_mean``x fewer
+        observations, see
+        :meth:`~repro.basecalling.viterbi.ViterbiBasecaller.basecall_events`).
+    segmentation:
+        Event-detection parameters for ``decode="events"``.
     """
 
     pore_k: int = 5
@@ -363,10 +403,16 @@ class ViterbiBackendConfig:
     signal: SignalConfig = field(default_factory=SignalConfig)
     quality_noise: float = 6.0
     normalize_carried: bool = False
+    decode: str = "samples"
+    segmentation: SegmentationConfig = EVENT_SEGMENTATION
 
     def __post_init__(self) -> None:
         if self.quality_noise < 0:
             raise ValueError("quality_noise must be non-negative")
+        if self.decode not in VITERBI_DECODE_MODES:
+            raise ValueError(
+                f"unknown decode mode {self.decode!r}; expected one of {VITERBI_DECODE_MODES}"
+            )
 
 
 class ViterbiChunkBasecaller(SignalSpaceBasecaller):
@@ -404,8 +450,33 @@ class ViterbiChunkBasecaller(SignalSpaceBasecaller):
         return self._decoder
 
     def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
-        called = self._decoder.basecall(samples, read_id=read_id)
+        if self._config.decode == "events":
+            samples = np.asarray(samples, dtype=np.float64)
+            starts = detect_events(samples, self._config.segmentation)
+            means, dwells = event_features(samples, starts)
+            called = self._decoder.basecall_events(means, dwells, read_id=read_id)
+        else:
+            called = self._decoder.basecall(samples, read_id=read_id)
         return called.bases, called.qualities
+
+    def kernel_workload(self, n_bases: int) -> KernelWorkload:
+        """Trellis state-space ops for decoding ``n_bases`` worth of signal.
+
+        The sample-space trellis sees ``dwell_mean`` observations per
+        base; the event-space trellis sees ~one (the segmentation's
+        whole point). Both pay :data:`TRANSITIONS_PER_STATE
+        <repro.kernels.viterbi.TRANSITIONS_PER_STATE>` transition
+        evaluations per state per observation.
+        """
+        if self._config.decode == "events":
+            observations = int(n_bases)
+        else:
+            observations = int(round(n_bases * self._config.signal.dwell_mean))
+        return KernelWorkload(
+            kind="viterbi-state",
+            ops=viterbi_state_ops(observations, int(self.pore_model.levels.size)),
+            unit="state-ops",
+        )
 
 
 @dataclass(frozen=True)
@@ -421,6 +492,14 @@ class DNNBackendConfig:
     pore_k, pore_seed, signal, quality_noise, normalize_carried:
         Signal synthesis and carried-signal handling, as for
         :class:`ViterbiBackendConfig`.
+    batched:
+        Decode chunk windows in stacked multi-read forward passes
+        (:func:`repro.kernels.batched_dnn.batched_basecall`) when the
+        pipeline primes a batch. The batched pass reassociates matmuls,
+        so outputs match the per-chunk path to rounding rather than
+        bitwise -- hence opt-in. Serial and pooled runs prime the same
+        batches (work units are composed identically), so the
+        serial == pooled byte-identity of reports is preserved.
     """
 
     model_seed: int = 0
@@ -430,6 +509,7 @@ class DNNBackendConfig:
     signal: SignalConfig = field(default_factory=SignalConfig)
     quality_noise: float = 6.0
     normalize_carried: bool = False
+    batched: bool = False
 
     def __post_init__(self) -> None:
         if self.hidden < 1:
@@ -476,3 +556,53 @@ class DNNChunkBasecaller(SignalSpaceBasecaller):
 
     def _decode(self, samples: np.ndarray, read_id: str) -> tuple[str, np.ndarray]:
         return self._model.basecall(samples)
+
+    def prime_chunk_batch(
+        self, requests: "list[tuple[object, int]]", chunk_size: int
+    ) -> int:
+        """Batch-decode ``(read, chunk_index)`` requests ahead of time.
+
+        Stacks the requested chunk windows into grouped
+        :func:`~repro.kernels.batched_dnn.batched_basecall` forward
+        passes and parks the results where :meth:`basecall_chunk` finds
+        them. A no-op unless the backend was configured ``batched``;
+        out-of-range indices are skipped (the per-chunk path will raise
+        on them as usual). Returns the number of chunks primed.
+        """
+        if not self._config.batched:
+            return 0
+        keys: list[tuple[str, int, int]] = []
+        windows: list[np.ndarray] = []
+        for read, index in requests:
+            bounds = chunk_bounds(len(read), chunk_size)
+            if not 0 <= index < len(bounds):
+                continue
+            key = (read.read_id, index, chunk_size)
+            if key in self._primed_chunks:
+                continue
+            start, end = bounds[index]
+            signal = self.read_signal(read)
+            keys.append(key)
+            windows.append(signal.clamped_slice(start, end))
+        if not windows:
+            return 0
+        for key, result in zip(keys, batched_basecall(self._model, windows), strict=True):
+            self._primed_chunks[key] = result
+        return len(keys)
+
+    def kernel_workload(self, n_bases: int) -> KernelWorkload:
+        """DNN MACs for decoding ``n_bases`` worth of signal.
+
+        Charged from the model's own layer shapes
+        (:meth:`BonitoLikeModel.workload
+        <repro.basecalling.dnn.model.BonitoLikeModel.workload>`) on the
+        ``dwell_mean``-samples-per-base window the chunk grid feeds it.
+        Batching does not change the MAC count -- only how the MACs are
+        grouped into matmuls -- so the workload is batching-agnostic.
+        """
+        n_samples = int(round(n_bases * self._config.signal.dwell_mean))
+        return KernelWorkload(
+            kind="dnn-mvm",
+            ops=int(self._model.workload(n_samples).total_macs),
+            unit="macs",
+        )

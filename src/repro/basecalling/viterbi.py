@@ -25,8 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
 from repro.basecalling.types import BasecalledChunk, BasecalledRead
 from repro.genomics import alphabet
+from repro.kernels.viterbi import (
+    event_emissions,
+    viterbi_forward,
+    viterbi_traceback,
+)
 from repro.nanopore.pore_model import PoreModel
 from repro.nanopore.signal import RawSignal
 
@@ -46,15 +52,25 @@ class ViterbiConfig:
         the pore model's per-k-mer spread.
     max_quality:
         Phred cap for emitted per-base qualities.
+    event_stay_prob:
+        Stay prior for *event-space* decoding (:meth:`basecall_events`).
+        Events are ~one per base-dwell, so this prior only absorbs
+        over-segmentation (split dwells), not dwell runs; with the
+        deliberately over-sensitive event segmentation the backends use
+        (splits are recoverable, merges are not) roughly half the
+        events are splits, hence the default.
     """
 
     stay_prob: float = 0.8
     extra_noise_std: float = 1.0
     max_quality: float = 30.0
+    event_stay_prob: float = 0.5
 
     def __post_init__(self) -> None:
         if not 0.0 < self.stay_prob < 1.0:
             raise ValueError("stay_prob must be in (0, 1)")
+        if not 0.0 < self.event_stay_prob < 1.0:
+            raise ValueError("event_stay_prob must be in (0, 1)")
         if self.extra_noise_std < 0:
             raise ValueError("extra_noise_std must be non-negative")
 
@@ -74,6 +90,10 @@ class ViterbiBasecaller:
         self._log_sigma = np.log(self._sigma)
         self._log_stay = float(np.log(self._config.stay_prob))
         self._log_move = float(np.log1p(-self._config.stay_prob) - np.log(4.0))
+        self._log_stay_event = float(np.log(self._config.event_stay_prob))
+        self._log_move_event = float(
+            np.log1p(-self._config.event_stay_prob) - np.log(4.0)
+        )
 
     @property
     def pore_model(self) -> PoreModel:
@@ -97,46 +117,63 @@ class ViterbiBasecaller:
     def _viterbi(self, samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Viterbi DP; returns (state path, full score matrix).
 
-        The score matrix is kept (``float32[T, S]``) so that per-base
-        confidence margins can be read off during traceback; memory is
-        ~4 MB per 1000 samples with k=5, i.e. this decoder is meant for
+        Forward pass and traceback run on the shared trellis kernels
+        (:func:`repro.kernels.viterbi.viterbi_forward` /
+        :func:`~repro.kernels.viterbi.viterbi_traceback`). The score
+        matrix is kept (``float32[T, S]``) so that per-base confidence
+        margins can be read off during traceback; memory is ~4 MB per
+        1000 samples with k=5, i.e. this decoder is meant for
         chunk-scale signals, which is how GenPIP feeds its basecaller.
         """
         samples = np.asarray(samples, dtype=np.float64)
-        t_total = samples.size
-        n_states = self._model.levels.size
-        if t_total == 0:
+        if samples.size == 0:
+            n_states = self._model.levels.size
             return np.empty(0, dtype=np.int64), np.empty((0, n_states), dtype=np.float32)
-        backptr = np.empty((t_total, n_states), dtype=np.uint8)
-        scores = np.empty((t_total, n_states), dtype=np.float32)
         emissions = self._emission_loglik(samples)
-        dp = emissions[0].copy()  # uniform state prior
-        backptr[0] = 0
-        scores[0] = dp
-        state_range = np.arange(n_states)
-        for t in range(1, t_total):
-            stay = dp + self._log_stay
-            from_pred = dp[self._pred]  # (S, 4)
-            move_arg = np.argmax(from_pred, axis=1)
-            move = from_pred[state_range, move_arg] + self._log_move
-            use_move = move > stay
-            dp = np.where(use_move, move, stay) + emissions[t]
-            backptr[t] = np.where(use_move, move_arg + 1, 0).astype(np.uint8)
-            scores[t] = dp
-        # Traceback.
-        path = np.empty(t_total, dtype=np.int64)
-        state = int(np.argmax(dp))
-        path[-1] = state
-        for t in range(t_total - 1, 0, -1):
-            choice = backptr[t, state]
-            if choice != 0:
-                state = int(self._pred[state, choice - 1])
-            path[t - 1] = state
-        return path, scores
+        backptr, scores, dp = viterbi_forward(
+            emissions, self._pred, self._log_stay, self._log_move
+        )
+        return viterbi_traceback(backptr, self._pred, dp), scores
 
     def basecall(self, samples: np.ndarray, read_id: str = "viterbi-read") -> BasecalledRead:
         """Basecall a raw-signal array into bases + per-base qualities."""
         path, scores = self._viterbi(samples)
+        return self._read_from_path(path, scores, read_id)
+
+    def basecall_events(
+        self,
+        means: np.ndarray,
+        dwells: np.ndarray,
+        read_id: str = "viterbi-read",
+    ) -> BasecalledRead:
+        """Basecall pre-segmented events (means + dwells) instead of samples.
+
+        The trellis is the same k-mer HMM, but each observation is one
+        detected event (:func:`repro.signal.segmentation.detect_events`
+        grid) instead of one raw sample -- ~``dwell_mean``x fewer
+        observations, the event-space decode's speed source. Emissions
+        weight each event's Gaussian log-likelihood by its dwell
+        (:func:`repro.kernels.viterbi.event_emissions`), so score
+        magnitudes -- and hence the quality margins -- stay commensurate
+        with the sample-space decode.
+        """
+        means = np.asarray(means, dtype=np.float64)
+        dwells = np.asarray(dwells, dtype=np.float64)
+        if means.size == 0:
+            return BasecalledRead(read_id=read_id, bases="", qualities=np.empty(0), n_chunks=1)
+        emissions = event_emissions(
+            means, dwells, self._model.levels, self._sigma, self._log_sigma
+        )
+        backptr, scores, dp = viterbi_forward(
+            emissions, self._pred, self._log_stay_event, self._log_move_event
+        )
+        path = viterbi_traceback(backptr, self._pred, dp)
+        return self._read_from_path(path, scores, read_id)
+
+    def _read_from_path(
+        self, path: np.ndarray, scores: np.ndarray, read_id: str
+    ) -> BasecalledRead:
+        """Collapse a state path + score matrix into a BasecalledRead."""
         if path.size == 0:
             return BasecalledRead(read_id=read_id, bases="", qualities=np.empty(0), n_chunks=1)
         k = self._model.k

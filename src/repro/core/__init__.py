@@ -40,19 +40,19 @@ from repro.core.config import (
     GenPIPConfig,
     variant_config,
 )
+from repro.core.controller import AQSCalculator, ControllerTrace
 from repro.core.early_rejection import (
     CMRPolicy,
     QSRPolicy,
     qsr_sample_indices,
 )
+from repro.core.genpip import GenPIP, GenPIPReport
 from repro.core.pipeline import (
     ConventionalPipeline,
     GenPIPPipeline,
     ReadOutcome,
     ReadStatus,
 )
-from repro.core.genpip import GenPIP, GenPIPReport
-from repro.core.controller import AQSCalculator, ControllerTrace
 from repro.core.registry import (
     BackendRegistration,
     BasecallerRef,

@@ -47,6 +47,8 @@ from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal_read import SignalRead
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (keeps repro.signal lazy)
+    from collections.abc import Iterable
+
     from repro.signal.rejection import SERDecision
 
 #: Anything the chunk pipeline can process: a base-space simulated read
@@ -188,9 +190,52 @@ class GenPIPPipeline:
 
         Reads are independent -- the pipeline keeps no cross-read state
         -- so batching exists purely to amortise scheduling and IPC in
-        :mod:`repro.runtime`.
+        :mod:`repro.runtime`. Backends that batch-decode across reads
+        (``prime_chunk_batch``) are handed the batch's first-stage
+        chunk set up front; outcomes are unchanged, only the kernel
+        grouping differs.
         """
+        self._prime_basecalls(reads)
         return [self.process_read(read) for read in reads]
+
+    def _prime_basecalls(self, reads: "list[PipelineRead]") -> int:
+        """Offer the batch's first-stage chunks to a batching backend.
+
+        Collects exactly the chunks stage 1 of :meth:`process_read`
+        deterministically decodes for each read -- the QSR sample when
+        QSR will run, else the CMR merge set, else every chunk -- and
+        passes them to the backend's ``prime_chunk_batch`` in one call,
+        so a batched engine stacks them into multi-read forward passes.
+        Reads SER might reject are skipped (their chunks may never be
+        decoded at all). Backends without the hook cost nothing.
+        Returns the number of chunks primed.
+        """
+        prime = getattr(self._basecaller, "prime_chunk_batch", None)
+        if prime is None:
+            return 0
+        cfg = self._config
+        chunk_size = cfg.chunk_size
+        requests: list[tuple[PipelineRead, int]] = []
+        for read in reads:
+            n_chunks = self._basecaller.n_chunks(read, chunk_size)
+            er_eligible = n_chunks >= cfg.min_chunks_for_er
+            if (
+                cfg.enable_ser
+                and self._ser is not None
+                and er_eligible
+                and isinstance(read, SignalRead)
+            ):
+                continue
+            if cfg.enable_qsr and er_eligible:
+                indices: "Iterable[int]" = self._qsr.sample_indices(n_chunks)
+            elif cfg.enable_cmr and er_eligible:
+                indices = self._cmr.merged_chunk_indices(n_chunks)
+            else:
+                indices = range(n_chunks)
+            requests.extend((read, index) for index in indices)
+        if not requests:
+            return 0
+        return prime(requests, chunk_size)
 
     def process_read(self, read: PipelineRead) -> ReadOutcome:
         """Run one read through CP (+ ER if enabled).

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import importlib.metadata
 import warnings
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.basecalling.engines import (
     DNNBackendConfig,
@@ -118,7 +119,9 @@ def load_entry_point_backends(*, force: bool = False) -> tuple[str, ...]:
         # Leave the loaded flag unset so a transient metadata failure
         # does not permanently disable discovery for the process.
         warnings.warn(
-            f"cannot scan {ENTRY_POINT_GROUP!r} entry points: {exc!r}", RuntimeWarning
+            f"cannot scan {ENTRY_POINT_GROUP!r} entry points: {exc!r}",
+            RuntimeWarning,
+            stacklevel=2,
         )
         return ()
     _ENTRY_POINTS_LOADED = True
@@ -145,6 +148,7 @@ def load_entry_point_backends(*, force: bool = False) -> tuple[str, ...]:
                     f"entry point {entry_point.name!r} overrides the existing "
                     f"basecaller backend {registration.name!r}",
                     RuntimeWarning,
+                    stacklevel=2,
                 )
             register_basecaller(registration)
             _ENTRY_POINT_NAMES[registration.name] = entry_point.value
@@ -153,6 +157,7 @@ def load_entry_point_backends(*, force: bool = False) -> tuple[str, ...]:
             warnings.warn(
                 f"skipping basecaller entry point {entry_point.name!r}: {exc!r}",
                 RuntimeWarning,
+                stacklevel=2,
             )
     return tuple(loaded)
 

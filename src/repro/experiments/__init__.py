@@ -11,18 +11,18 @@ variant) in :mod:`repro.experiments.context` so that the benchmark
 suite can re-enter experiments cheaply.
 """
 
-from repro.experiments.context import ExperimentContext
 from repro.experiments import paper_values
-from repro.experiments.table1 import run_table1
-from repro.experiments.figure4 import run_figure4
-from repro.experiments.figure7 import run_figure7
+from repro.experiments.accuracy import run_accuracy
+from repro.experiments.context import ExperimentContext
 from repro.experiments.figure10 import run_figure10
 from repro.experiments.figure11 import run_figure11
 from repro.experiments.figure12 import run_figure12
 from repro.experiments.figure13 import run_figure13
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.useless_reads import run_useless_reads
-from repro.experiments.accuracy import run_accuracy
 
 __all__ = [
     "run_accuracy",

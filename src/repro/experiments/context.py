@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import GenPIP, GenPIPConfig, ECOLI_PARAMS, HUMAN_PARAMS
+from repro.core import ECOLI_PARAMS, HUMAN_PARAMS, GenPIP, GenPIPConfig
 from repro.core.config import VARIANTS, variant_config
 from repro.core.genpip import GenPIPReport
 from repro.mapping.index import MinimizerIndex
-from repro.nanopore.datasets import Dataset, PRESETS, generate_dataset
+from repro.nanopore.datasets import PRESETS, Dataset, generate_dataset
 from repro.perf.workload import PipelineWorkload
 
 __all__ = [

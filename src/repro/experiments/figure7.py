@@ -49,17 +49,16 @@ class Figure7Result:
         paper_high = paper_values.FIGURE7_HIGH_READ_RANGE
         lines = ["Figure 7: chunk quality scores of representative reads (chunk = 300)"]
         lines.append(f"{'series':<20} {'min':>7} {'mean':>7} {'max':>7}   paper range")
-        for (name, lo, mean, hi), paper in zip(self.rows(), (paper_low, paper_high)):
+        for (name, lo, mean, hi), paper in zip(self.rows(), (paper_low, paper_high), strict=True):
             lines.append(
                 f"{name:<20} {lo:>7.1f} {mean:>7.1f} {hi:>7.1f}   {paper[0]:.0f}..{paper[1]:.0f}"
             )
         lines.append(
-            "neighbour-chunk correlation: low %.2f, high %.2f (both positive => "
-            "consecutive chunks are similar, so QSR samples non-consecutive chunks)"
-            % (
-                self.neighbour_correlation(self.low_chunk_scores),
-                self.neighbour_correlation(self.high_chunk_scores),
-            )
+            f"neighbour-chunk correlation: "
+            f"low {self.neighbour_correlation(self.low_chunk_scores):.2f}, "
+            f"high {self.neighbour_correlation(self.high_chunk_scores):.2f} "
+            f"(both positive => consecutive chunks are similar, "
+            f"so QSR samples non-consecutive chunks)"
         )
         return "\n".join(lines)
 

@@ -4,16 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.table1 import run_table1
-from repro.experiments.figure4 import run_figure4
-from repro.experiments.figure7 import run_figure7
+from repro.experiments.accuracy import run_accuracy
 from repro.experiments.figure10 import run_figure10
 from repro.experiments.figure11 import run_figure11
 from repro.experiments.figure12 import run_figure12
 from repro.experiments.figure13 import run_figure13
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.useless_reads import run_useless_reads
-from repro.experiments.accuracy import run_accuracy
 
 
 @dataclass(frozen=True)

@@ -22,26 +22,26 @@ from repro.genomics.alphabet import (
     CODE_TO_BASE,
     decode,
     encode,
-    kmer_to_int,
     int_to_kmer,
+    is_valid_dna,
+    kmer_to_int,
     random_bases,
     reverse_complement,
-    is_valid_dna,
 )
+from repro.genomics.io_fasta import FastaRecord, read_fasta, write_fasta
+from repro.genomics.io_fastq import FastqRecord, read_fastq, write_fastq
+from repro.genomics.mutate import ErrorProfile, MutationResult, apply_errors
 from repro.genomics.quality import (
     PHRED_OFFSET,
     decode_phred,
+    effective_quality,
     encode_phred,
     error_prob_to_phred,
     mean_quality,
-    effective_quality,
     phred_to_error_prob,
 )
-from repro.genomics.sequence import Sequence
 from repro.genomics.reference import ReferenceGenome
-from repro.genomics.mutate import ErrorProfile, MutationResult, apply_errors
-from repro.genomics.io_fasta import FastaRecord, read_fasta, write_fasta
-from repro.genomics.io_fastq import FastqRecord, read_fastq, write_fastq
+from repro.genomics.sequence import Sequence
 
 __all__ = [
     "BASES",

@@ -8,9 +8,9 @@ headers.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -27,7 +27,7 @@ def read_fasta(path) -> Iterator[FastaRecord]:
     name = None
     description = ""
     parts: list[str] = []
-    with open(Path(path), "r", encoding="ascii") as handle:
+    with open(Path(path), encoding="ascii") as handle:
         for line in handle:
             line = line.rstrip("\n")
             if not line:

@@ -8,9 +8,9 @@ data-movement volumes modelled in :mod:`repro.perf` are tangible.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class FastqRecord:
 
 def read_fastq(path) -> Iterator[FastqRecord]:
     """Iterate over the records of a FASTQ file."""
-    with open(Path(path), "r", encoding="ascii") as handle:
+    with open(Path(path), encoding="ascii") as handle:
         while True:
             header = handle.readline()
             if not header:

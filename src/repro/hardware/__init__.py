@@ -14,19 +14,19 @@ basecaller and DP units). This package rebuilds that modelling layer:
   area/power budget by :mod:`repro.hardware.area_power`.
 """
 
-from repro.hardware.nvm_crossbar import CrossbarArray, CrossbarConfig, MVMEngine
-from repro.hardware.cam import CamArray, CamConfig
-from repro.hardware.edram import EDramBuffer, EDRAM_AREA_MM2_PER_MB, EDRAM_POWER_W_PER_MB
-from repro.hardware.pim_cqs import PimCqsUnit
-from repro.hardware.seeding_unit import InMemorySeedingUnit, SeedingUnitConfig
-from repro.hardware.dp_unit import DpUnit, DpUnitConfig
-from repro.hardware.helix import HelixModel
-from repro.hardware.parc import ParcModel
 from repro.hardware.area_power import (
     ComponentBudget,
     GenPIPBudget,
     genpip_table2_budget,
 )
+from repro.hardware.cam import CamArray, CamConfig
+from repro.hardware.dp_unit import DpUnit, DpUnitConfig
+from repro.hardware.edram import EDRAM_AREA_MM2_PER_MB, EDRAM_POWER_W_PER_MB, EDramBuffer
+from repro.hardware.helix import HelixModel
+from repro.hardware.nvm_crossbar import CrossbarArray, CrossbarConfig, MVMEngine
+from repro.hardware.parc import ParcModel
+from repro.hardware.pim_cqs import PimCqsUnit
+from repro.hardware.seeding_unit import InMemorySeedingUnit, SeedingUnitConfig
 
 __all__ = [
     "CrossbarArray",

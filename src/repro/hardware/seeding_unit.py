@@ -123,7 +123,7 @@ class InMemorySeedingUnit:
         n_hits = 0
         n_locations = 0
         searches = 0
-        for key, q_pos, q_strand in zip(keys, positions, strands):
+        for key, q_pos, q_strand in zip(keys, positions, strands, strict=True):
             searches += len(self._cams)
             entry = self.lookup(int(key))
             searches += len(self._cams)  # lookup() searches again
@@ -131,7 +131,7 @@ class InMemorySeedingUnit:
                 continue
             n_hits += 1
             n_locations += entry.positions.size
-            for r_pos, r_strand in zip(entry.positions, entry.strands):
+            for r_pos, r_strand in zip(entry.positions, entry.strands, strict=True):
                 row = (int(r_pos), int(q_pos))
                 if int(r_strand) == int(q_strand):
                     fwd_rows.append(row)

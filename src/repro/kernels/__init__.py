@@ -1,0 +1,80 @@
+"""The vectorised kernel plane: batched arithmetic for the hot loops.
+
+The paper's thesis is that basecalling and mapping should share one
+tightly integrated, minimally-moving data path; this package is the
+software expression of that idea for the repo's three hot kernels,
+which previously iterated sample-by-sample in interpreted Python:
+
+* :mod:`repro.kernels.sdtw` -- subsequence DTW as an **anti-diagonal
+  wavefront**: every cell on one anti-diagonal depends only on the two
+  previous diagonals, so each diagonal is a single numpy vector op.
+  Produces bit-identical costs to the scalar reference (same float64
+  operations, reassociated only across independent cells), so it is a
+  drop-in behind :class:`~repro.nanopore.signal_filter.SignalPrefilter`
+  and :class:`~repro.signal.rejection.SignalRejectionPolicy`.
+* :mod:`repro.kernels.viterbi` -- the HMM trellis forward pass
+  (vectorised across the state dimension) extracted from
+  :class:`~repro.basecalling.viterbi.ViterbiBasecaller`, plus a
+  triple-loop scalar reference for equivalence testing, plus the
+  **event-space** front-end: dwell-segmented event means/dwells
+  (~6x fewer observations than raw samples) decoded on the same
+  trellis.
+* :mod:`repro.kernels.batched_dnn` -- batched inference for
+  :class:`~repro.basecalling.dnn.model.BonitoLikeModel`: chunk windows
+  stacked across reads into ``[batch, time, features]`` tensors so the
+  conv/GRU/head matmuls amortise across the whole work unit (the
+  pepper-style DataLoader idiom). Variable-length windows run packed
+  (sorted by length, active batch shrinking per time step), so real
+  dwell-ragged chunk windows still batch.
+
+Every kernel reports its own workload (:mod:`repro.kernels.workload`)
+so :mod:`repro.perf` can charge the *real* arithmetic -- Viterbi
+state-space ops, DNN MVM MACs -- instead of a generic per-base price.
+
+Kernel selection is by name (``"wavefront"`` / ``"scalar"`` for sDTW,
+``"vectorised"`` / ``"scalar"`` for the trellis); the scalar references
+stay first-class because CI's kernel-equivalence lane replays both on
+fixed seeds and fails on any mismatch.
+"""
+
+from repro.kernels.batched_dnn import (
+    batched_basecall,
+    model_forward_batch,
+    model_forward_ragged,
+)
+from repro.kernels.sdtw import (
+    SDTW_KERNELS,
+    resolve_sdtw_kernel,
+    sdtw_cost,
+    sdtw_cost_scalar,
+    sdtw_cost_wavefront,
+)
+from repro.kernels.viterbi import (
+    TRANSITIONS_PER_STATE,
+    event_emissions,
+    event_features,
+    viterbi_forward,
+    viterbi_forward_scalar,
+    viterbi_state_ops,
+    viterbi_traceback,
+)
+from repro.kernels.workload import KernelWorkload
+
+__all__ = [
+    "SDTW_KERNELS",
+    "TRANSITIONS_PER_STATE",
+    "KernelWorkload",
+    "batched_basecall",
+    "event_emissions",
+    "event_features",
+    "model_forward_batch",
+    "model_forward_ragged",
+    "resolve_sdtw_kernel",
+    "sdtw_cost",
+    "sdtw_cost_scalar",
+    "sdtw_cost_wavefront",
+    "viterbi_forward",
+    "viterbi_forward_scalar",
+    "viterbi_state_ops",
+    "viterbi_traceback",
+]

@@ -1,0 +1,252 @@
+"""Batched DNN inference: chunk windows stacked into one tensor pass.
+
+The per-chunk path pushes one ``[T, features]`` sequence at a time
+through :class:`~repro.basecalling.dnn.model.BonitoLikeModel`; a pooled
+worker processing a whole work unit therefore pays the full
+interpreter + dispatch overhead once per chunk. This module stacks the
+unit's same-length chunk windows into ``[batch, T, features]`` tensors
+so every conv, GRU projection, and head matmul amortises across the
+batch -- the way pepper's ``predict.py`` DataLoader loop batches chunk
+windows before each forward call.
+
+The batched pass computes the same mathematical function as the
+per-chunk path (per-window normalisation, identical weights, identical
+layer semantics) but reassociates the matmuls, so outputs are equal to
+rounding, not bitwise -- which is why the batched decode path is
+**opt-in** per backend and, once enabled, is used identically by serial
+and pooled runs (the serial == pooled byte-identity invariant is about
+worker counts, not kernels, and survives because both consume the same
+work-unit composition).
+
+Chunk windows cut on the base grid have *variable* sample lengths (the
+dwell per base is random), so same-length grouping would degenerate to
+singleton batches. :func:`batched_basecall` therefore batches **ragged**
+windows the way PyTorch packs padded sequences: the cheap convs run per
+window (position-independent, identical to the per-chunk path), the
+recurrent layers run packed -- rows sorted by length, the active batch
+shrinking as shorter sequences finish, each sequence seeing exactly the
+arithmetic it would see alone (up to matmul rounding) -- and the head
+runs over all valid frames as one matmul.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# NOTE: repro.basecalling imports this package (engines use the kernels),
+# so the dnn layer helpers are imported inside the functions -- kernels
+# stay a leaf package with no import-time dependency on the callers.
+
+
+def conv1d_forward_batch(layer, x: np.ndarray) -> np.ndarray:
+    """Batched :class:`~repro.basecalling.dnn.layers.Conv1d`.
+
+    ``x[B, T, in_channels] -> y[B, T_out, out_channels]`` via one
+    im2col matmul over the whole batch.
+    """
+    if x.ndim != 3 or x.shape[2] != layer.in_channels:
+        raise ValueError(f"expected input [B, T, {layer.in_channels}]")
+    n_batch, t, _ = x.shape
+    if layer.padding:
+        pad = np.zeros((n_batch, layer.padding, layer.in_channels))
+        x = np.concatenate([pad, x, pad], axis=1)
+    t_out = layer.output_length(t)
+    if t_out <= 0:
+        return np.empty((n_batch, 0, layer.out_channels))
+    idx = np.arange(layer.kernel_size)[None, :] + layer.stride * np.arange(t_out)[:, None]
+    windows = x[:, idx, :]  # (B, T_out, kernel, in)
+    flat = windows.reshape(n_batch * t_out, -1)
+    w = layer.weight.transpose(0, 2, 1).reshape(layer.out_channels, -1)
+    out = flat @ w.T + layer.bias
+    return out.reshape(n_batch, t_out, layer.out_channels)
+
+
+def gru_forward_batch(layer, x: np.ndarray) -> np.ndarray:
+    """Batched :class:`~repro.basecalling.dnn.rnn.GRULayer`.
+
+    The recurrence still walks time, but each step's two projections
+    run over the whole batch: the input projection as one big matmul up
+    front, the recurrent projection as a ``[B, hidden] @ [hidden, 3*hidden]``
+    matmul per step instead of a matrix-vector product per sequence.
+    """
+    from repro.basecalling.dnn.layers import sigmoid, tanh
+
+    if x.ndim != 3 or x.shape[2] != layer.input_size:
+        raise ValueError(f"expected input [B, T, {layer.input_size}]")
+    n_batch, t_total, _ = x.shape
+    hs = layer.hidden_size
+    xw = (x.reshape(n_batch * t_total, -1) @ layer.w.T + layer.b).reshape(
+        n_batch, t_total, 3 * hs
+    )
+    h = np.zeros((n_batch, hs))
+    out = np.empty((n_batch, t_total, hs))
+    time_order = range(t_total - 1, -1, -1) if layer.reverse else range(t_total)
+    for t in time_order:
+        uh = h @ layer.u.T  # (B, 3*hidden)
+        r = sigmoid(xw[:, t, :hs] + uh[:, :hs])
+        z = sigmoid(xw[:, t, hs : 2 * hs] + uh[:, hs : 2 * hs])
+        n = tanh(xw[:, t, 2 * hs :] + r * uh[:, 2 * hs :])
+        h = (1.0 - z) * n + z * h
+        out[:, t] = h
+    return out
+
+
+def bigru_forward_batch(layer, x: np.ndarray) -> np.ndarray:
+    """Batched :class:`~repro.basecalling.dnn.rnn.BiGRU` (concatenated)."""
+    return np.concatenate(
+        [gru_forward_batch(layer.fwd, x), gru_forward_batch(layer.bwd, x)], axis=2
+    )
+
+
+def model_forward_batch(model, windows: np.ndarray) -> np.ndarray:
+    """Batched :meth:`BonitoLikeModel.forward`: ``[B, T] -> [B, T_out, 5]``.
+
+    Normalisation is per window (each row normalised by its own
+    mean/std), exactly as the per-chunk path normalises each chunk.
+    """
+    from repro.basecalling.dnn.layers import swish
+
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 2:
+        raise ValueError("windows must be [batch, samples]")
+    n_batch, _ = windows.shape
+    mean = windows.mean(axis=1, keepdims=True)
+    std = windows.std(axis=1, keepdims=True)
+    x = ((windows - mean) / (std + 1e-6))[:, :, None]
+    x = swish(conv1d_forward_batch(model.conv1, x))
+    x = swish(conv1d_forward_batch(model.conv2, x))
+    if x.shape[1] == 0:
+        return np.empty((n_batch, 0, 5))
+    x = bigru_forward_batch(model.gru1, x)
+    x = bigru_forward_batch(model.gru2, x)
+    n_frames = x.shape[1]
+    logits = (x.reshape(n_batch * n_frames, -1) @ model.head.weight.T + model.head.bias).reshape(
+        n_batch, n_frames, 5
+    )
+    logits = logits - logits.max(axis=2, keepdims=True)
+    log_norm = np.log(np.exp(logits).sum(axis=2, keepdims=True))
+    return logits - log_norm
+
+
+def _flip_valid(x: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Reverse each row's first ``lengths[i]`` frames (padding stays put)."""
+    out = np.zeros_like(x)
+    for i, length in enumerate(lengths):
+        if length:
+            out[i, :length] = x[i, length - 1 :: -1]
+    return out
+
+
+def _gru_packed_core(layer, x: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Forward-direction packed GRU over zero-padded ``x[B, T_max, C]``.
+
+    Rows are sorted by length so the active batch is always a prefix;
+    step ``t`` projects only the ``lengths > t`` rows, exactly the
+    arithmetic each sequence would see alone. Output rows beyond a
+    sequence's length are zero.
+    """
+    from repro.basecalling.dnn.layers import sigmoid, tanh
+
+    n_batch, t_max, _ = x.shape
+    hs = layer.hidden_size
+    order = np.argsort(-lengths, kind="stable")
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(n_batch)
+    xs = x[order]
+    sorted_lengths = lengths[order]
+    n_active = np.sum(sorted_lengths[:, None] > np.arange(t_max)[None, :], axis=0)
+    xw = (xs.reshape(n_batch * t_max, -1) @ layer.w.T + layer.b).reshape(
+        n_batch, t_max, 3 * hs
+    )
+    h = np.zeros((n_batch, hs))
+    out = np.zeros((n_batch, t_max, hs))
+    for t in range(t_max):
+        active = int(n_active[t])
+        if active == 0:
+            break
+        uh = h[:active] @ layer.u.T
+        xwt = xw[:active, t]
+        r = sigmoid(xwt[:, :hs] + uh[:, :hs])
+        z = sigmoid(xwt[:, hs : 2 * hs] + uh[:, hs : 2 * hs])
+        n = tanh(xwt[:, 2 * hs :] + r * uh[:, 2 * hs :])
+        h[:active] = (1.0 - z) * n + z * h[:active]
+        out[:active, t] = h[:active]
+    return out[inverse]
+
+
+def gru_forward_packed(layer, x: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Packed :class:`~repro.basecalling.dnn.rnn.GRULayer` over ragged rows.
+
+    ``x[B, T_max, C]`` is zero-padded at the tail; ``lengths`` gives
+    each row's valid frame count. A reverse-direction layer flips each
+    row's valid region, runs the forward core, and flips back -- the
+    recurrence walks each sequence end-to-start exactly as the
+    per-sequence path does.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if layer.reverse:
+        return _flip_valid(
+            _gru_packed_core(layer, _flip_valid(x, lengths), lengths), lengths
+        )
+    return _gru_packed_core(layer, x, lengths)
+
+
+def bigru_forward_packed(layer, x: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Packed :class:`~repro.basecalling.dnn.rnn.BiGRU` (concatenated)."""
+    return np.concatenate(
+        [gru_forward_packed(layer.fwd, x, lengths), gru_forward_packed(layer.bwd, x, lengths)],
+        axis=2,
+    )
+
+
+def model_forward_ragged(model, windows: "list[np.ndarray]") -> "list[np.ndarray]":
+    """Batched :meth:`BonitoLikeModel.forward` over variable-length windows.
+
+    Returns one ``[T_out_i, 5]`` log-probability array per window, in
+    input order. Normalisation and the conv stack run per window
+    (identical to the per-chunk path); the recurrent layers run packed
+    across the whole batch and the head as one matmul over every valid
+    frame.
+    """
+    from repro.basecalling.dnn.layers import swish
+
+    seqs = []
+    for window in windows:
+        x = np.asarray(window, dtype=np.float64).reshape(-1, 1)
+        if x.size:
+            x = (x - x.mean()) / (x.std() + 1e-6)
+        x = swish(model.conv1.forward(x))
+        x = swish(model.conv2.forward(x))
+        seqs.append(x)
+    lengths = np.array([s.shape[0] for s in seqs], dtype=np.int64)
+    t_max = int(lengths.max()) if lengths.size else 0
+    if t_max == 0:
+        return [np.empty((0, 5)) for _ in seqs]
+    x = np.zeros((len(seqs), t_max, model.gru1.fwd.input_size))
+    for i, seq in enumerate(seqs):
+        x[i, : lengths[i]] = seq
+    x = bigru_forward_packed(model.gru1, x, lengths)
+    x = bigru_forward_packed(model.gru2, x, lengths)
+    frames = np.concatenate([x[i, :length] for i, length in enumerate(lengths)], axis=0)
+    logits = frames @ model.head.weight.T + model.head.bias
+    logits = logits - logits.max(axis=1, keepdims=True)
+    log_norm = np.log(np.exp(logits).sum(axis=1, keepdims=True))
+    log_probs = logits - log_norm
+    results = []
+    offset = 0
+    for length in lengths:
+        results.append(log_probs[offset : offset + int(length)])
+        offset += int(length)
+    return results
+
+
+def batched_basecall(model, windows: list[np.ndarray]) -> list[tuple[str, np.ndarray]]:
+    """Greedy-CTC basecall a list of chunk windows with batched forwards.
+
+    One :func:`model_forward_ragged` pass over the whole window list
+    (any mix of lengths), then per-window CTC decoding; results come
+    back in input order as ``(bases, qualities)`` pairs.
+    """
+    from repro.basecalling.dnn.ctc import ctc_greedy_decode
+
+    return [ctc_greedy_decode(log_probs) for log_probs in model_forward_ragged(model, windows)]

@@ -1,0 +1,189 @@
+"""Viterbi trellis kernels: vectorised forward pass + event-space front-end.
+
+The k-mer HMM decoder's hot loop is the trellis forward pass: per
+observation, every state picks the best of *stay* (same k-mer) and four
+*move* predecessors. :func:`viterbi_forward` evaluates one observation
+as a handful of whole-state-vector numpy ops (the kernel extracted from
+:class:`~repro.basecalling.viterbi.ViterbiBasecaller`);
+:func:`viterbi_forward_scalar` is the triple-loop reference performing
+the *same float operations per state*, so the two produce bit-identical
+score matrices and backpointers -- CI's kernel-equivalence lane replays
+both on fixed seeds and fails on any mismatch.
+
+The **event-space** front-end shrinks the trellis itself:
+:func:`event_features` collapses raw samples into per-event means and
+dwells on a segmentation grid (one event per detected dwell, ~6x fewer
+observations at this repo's synthesis rate), and
+:func:`event_emissions` scores each event against the pore model with
+its dwell as the evidence weight (an event of ``w`` samples whose mean
+sits ``z`` sigmas from a level contributes ``w`` samples' worth of
+log-likelihood). The same forward/traceback kernels then run on a
+trellis that is ~6x shorter *and* needs no stay-heavy transition prior,
+which is where the event-space decode gets its speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Transition work per state per observation: one stay candidate plus
+#: four move predecessors (what the state-space op count charges).
+TRANSITIONS_PER_STATE = 5
+
+
+def viterbi_state_ops(n_observations: int, n_states: int) -> int:
+    """State-space transition ops of one trellis forward pass."""
+    if n_observations < 0 or n_states < 0:
+        raise ValueError("n_observations and n_states must be non-negative")
+    return n_observations * n_states * TRANSITIONS_PER_STATE
+
+
+def viterbi_forward(
+    emissions: np.ndarray,
+    pred: np.ndarray,
+    log_stay: float,
+    log_move: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised trellis forward pass.
+
+    Parameters
+    ----------
+    emissions:
+        ``float64[T, S]`` per-observation state log-likelihoods.
+    pred:
+        ``int64[S, 4]`` move-predecessor table (state ``s`` on a move
+        was ``pred[s, c]`` with ``c`` the shifted-in base).
+    log_stay, log_move:
+        Log transition priors.
+
+    Returns
+    -------
+    (backptr, scores, dp):
+        ``uint8[T, S]`` backpointers (0 = stay, ``c+1`` = move from
+        ``pred[s, c]``), the ``float32[T, S]`` cumulative score matrix
+        (kept for confidence margins), and the final ``float64[S]``
+        scores.
+    """
+    t_total, n_states = emissions.shape
+    backptr = np.empty((t_total, n_states), dtype=np.uint8)
+    scores = np.empty((t_total, n_states), dtype=np.float32)
+    if t_total == 0:
+        return backptr, scores, np.empty(0, dtype=np.float64)
+    dp = emissions[0].copy()  # uniform state prior
+    backptr[0] = 0
+    scores[0] = dp
+    state_range = np.arange(n_states)
+    for t in range(1, t_total):
+        stay = dp + log_stay
+        from_pred = dp[pred]  # (S, 4)
+        move_arg = np.argmax(from_pred, axis=1)
+        move = from_pred[state_range, move_arg] + log_move
+        use_move = move > stay
+        dp = np.where(use_move, move, stay) + emissions[t]
+        backptr[t] = np.where(use_move, move_arg + 1, 0).astype(np.uint8)
+        scores[t] = dp
+    return backptr, scores, dp
+
+
+def viterbi_forward_scalar(
+    emissions: np.ndarray,
+    pred: np.ndarray,
+    log_stay: float,
+    log_move: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scalar (per-state loop) reference of :func:`viterbi_forward`.
+
+    Performs the identical float64 operations cell by cell -- the same
+    adds, the same strict-greater argmax tie-breaking (first maximum
+    wins, matching ``np.argmax``) -- so results are bit-identical to
+    the vectorised kernel. Quadratically slower; exists for the
+    equivalence trail, not for production decoding.
+    """
+    t_total, n_states = emissions.shape
+    backptr = np.empty((t_total, n_states), dtype=np.uint8)
+    scores = np.empty((t_total, n_states), dtype=np.float32)
+    if t_total == 0:
+        return backptr, scores, np.empty(0, dtype=np.float64)
+    dp = emissions[0].copy()
+    backptr[0] = 0
+    scores[0] = dp
+    for t in range(1, t_total):
+        new_dp = np.empty(n_states, dtype=np.float64)
+        for s in range(n_states):
+            stay = dp[s] + log_stay
+            move_arg = 0
+            move_best = dp[pred[s, 0]]
+            for c in range(1, 4):
+                value = dp[pred[s, c]]
+                if value > move_best:  # first maximum wins, as np.argmax
+                    move_best = value
+                    move_arg = c
+            move = move_best + log_move
+            if move > stay:
+                new_dp[s] = move + emissions[t, s]
+                backptr[t, s] = move_arg + 1
+            else:
+                new_dp[s] = stay + emissions[t, s]
+                backptr[t, s] = 0
+        dp = new_dp
+        scores[t] = dp
+    return backptr, scores, dp
+
+
+def viterbi_traceback(backptr: np.ndarray, pred: np.ndarray, dp: np.ndarray) -> np.ndarray:
+    """Most-likely state path from backpointers and final scores."""
+    t_total = backptr.shape[0]
+    path = np.empty(t_total, dtype=np.int64)
+    if t_total == 0:
+        return path
+    state = int(np.argmax(dp))
+    path[-1] = state
+    for t in range(t_total - 1, 0, -1):
+        choice = backptr[t, state]
+        if choice != 0:
+            state = int(pred[state, choice - 1])
+        path[t - 1] = state
+    return path
+
+
+def event_features(samples: np.ndarray, starts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-event means and dwells over a segmentation grid (vectorised).
+
+    ``starts`` is an increasing array of event start indices with
+    ``starts[0] == 0`` (the contract of
+    :func:`repro.signal.segmentation.detect_events`); event ``e`` spans
+    ``samples[starts[e] : starts[e + 1]]``. Returns ``(means, dwells)``
+    as float64 arrays of one entry per event.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    if samples.size == 0 or starts.size == 0:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+    dwells = np.diff(np.append(starts, samples.size)).astype(np.float64)
+    if np.any(dwells <= 0) or starts[0] != 0:
+        raise ValueError("starts must increase from 0 within the sample range")
+    sums = np.add.reduceat(samples, starts)
+    return sums / dwells, dwells
+
+
+def event_emissions(
+    means: np.ndarray,
+    dwells: np.ndarray,
+    levels: np.ndarray,
+    sigma: np.ndarray,
+    log_sigma: np.ndarray,
+) -> np.ndarray:
+    """``float64[E, S]`` dwell-weighted Gaussian state log-likelihoods.
+
+    An event is ``dwell`` samples of evidence for its mean: the
+    emission is the per-sample Gaussian log-likelihood scaled by the
+    dwell, which keeps event-trellis score magnitudes commensurate with
+    the sample trellis (so confidence margins, and hence per-base
+    qualities, stay on the same scale).
+    """
+    means = np.asarray(means, dtype=np.float64)
+    dwells = np.asarray(dwells, dtype=np.float64)
+    if means.shape != dwells.shape:
+        raise ValueError("means and dwells must have matching shapes")
+    z = (means[:, None] - levels[None, :]) / sigma[None, :]
+    return dwells[:, None] * (-0.5 * z * z - log_sigma[None, :])

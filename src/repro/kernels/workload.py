@@ -1,0 +1,45 @@
+"""Kernel workload accounting: what the perf model charges for.
+
+The performance models historically priced basecalling as a generic
+bases-per-second throughput. The kernel plane makes the real arithmetic
+visible -- a Viterbi decode is ``observations x states x transitions``
+state-space ops, a DNN decode is the model's MVM MACs -- and backends
+that know their kernel report it through
+:class:`KernelWorkload` (see ``kernel_workload`` on the signal-space
+engines), which :class:`~repro.perf.workload.PipelineWorkload` carries
+into :mod:`repro.perf.systems`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Kernel kinds the cost database knows per-op anchors for.
+KERNEL_KINDS = ("viterbi-state", "dnn-mvm")
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """Arithmetic one basecalling kernel performs for a span of bases.
+
+    Attributes
+    ----------
+    kind:
+        Kernel family (``"viterbi-state"`` or ``"dnn-mvm"``); selects
+        the per-op cost anchor in
+        :class:`~repro.perf.costs.CostDatabase`.
+    ops:
+        Operation count in the kind's native unit.
+    unit:
+        Human-readable unit name (``"state-ops"``, ``"macs"``).
+    """
+
+    kind: str
+    ops: int
+    unit: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in KERNEL_KINDS:
+            raise ValueError(f"unknown kernel kind {self.kind!r}; expected one of {KERNEL_KINDS}")
+        if self.ops < 0:
+            raise ValueError("ops must be non-negative")

@@ -20,10 +20,6 @@ and chunk-mapping early rejection (CMR) are built on:
   incremental chunk-level mapper.
 """
 
-from repro.mapping.minimizers import Minimizer, MinimizerConfig, extract_minimizers
-from repro.mapping.index import MinimizerIndex
-from repro.mapping.seeding import Anchor, collect_anchors
-from repro.mapping.chaining import Chain, ChainingConfig, chain_anchors
 from repro.mapping.alignment import (
     AlignmentConfig,
     AlignmentResult,
@@ -31,13 +27,17 @@ from repro.mapping.alignment import (
     align_chain,
     cigar_to_string,
 )
+from repro.mapping.chaining import Chain, ChainingConfig, chain_anchors
 from repro.mapping.edit_distance import edit_distance
+from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import (
     IncrementalChunkMapper,
     Mapper,
     MapperConfig,
     MappingResult,
 )
+from repro.mapping.minimizers import Minimizer, MinimizerConfig, extract_minimizers
+from repro.mapping.seeding import Anchor, collect_anchors
 
 __all__ = [
     "Minimizer",

@@ -63,7 +63,7 @@ class MinimizerIndex:
         boundaries = np.nonzero(np.diff(keys))[0] + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [keys.size])) if keys.size else np.empty(0, np.int64)
-        for start, end in zip(starts, ends):
+        for start, end in zip(starts, ends, strict=True):
             if end - start > max_occurrences:
                 continue
             key = int(keys[start])

@@ -130,5 +130,5 @@ def extract_minimizers(codes: np.ndarray, config: MinimizerConfig | None = None)
     keys, positions, strands = minimizer_arrays(codes, config or MinimizerConfig())
     return [
         Minimizer(key=int(k), position=int(p), strand=int(s))
-        for k, p, s in zip(keys, positions, strands)
+        for k, p, s in zip(keys, positions, strands, strict=True)
     ]

@@ -74,12 +74,12 @@ def collect_anchor_arrays(
 
     fwd_rows: list[tuple[int, int]] = []
     rev_rows: list[tuple[int, int]] = []
-    for key, q_pos, q_strand in zip(keys, positions, strands):
+    for key, q_pos, q_strand in zip(keys, positions, strands, strict=True):
         entry = index.lookup(int(key))
         if entry is None:
             continue
         global_q = read_offset + int(q_pos)
-        for r_pos, r_strand in zip(entry.positions, entry.strands):
+        for r_pos, r_strand in zip(entry.positions, entry.strands, strict=True):
             if int(r_strand) == int(q_strand):
                 fwd_rows.append((int(r_pos), global_q))
             else:

@@ -16,8 +16,17 @@ NA12878). Raw nanopore data is not available offline, so this subpackage
   match Table 1 of the paper.
 """
 
+from repro.nanopore.datasets import (
+    ECOLI_LIKE,
+    HUMAN_LIKE,
+    Dataset,
+    DatasetProfile,
+    DatasetStats,
+    generate_dataset,
+    iter_dataset_reads,
+    profile_reference,
+)
 from repro.nanopore.pore_model import PoreModel
-from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
 from repro.nanopore.read_simulator import (
     QualityProcessConfig,
     ReadClass,
@@ -25,16 +34,9 @@ from repro.nanopore.read_simulator import (
     SimulatedRead,
     SimulatorConfig,
 )
-from repro.nanopore.datasets import (
-    Dataset,
-    DatasetProfile,
-    DatasetStats,
-    ECOLI_LIKE,
-    HUMAN_LIKE,
-    generate_dataset,
-    iter_dataset_reads,
-    profile_reference,
-)
+from repro.nanopore.signal import RawSignal, SignalConfig, synthesize_signal
+from repro.nanopore.signal_filter import SignalPrefilter, subsequence_dtw
+from repro.nanopore.signal_read import SignalRead
 from repro.nanopore.signal_store import (
     SignalRecord,
     iter_read_store,
@@ -47,8 +49,6 @@ from repro.nanopore.signal_store import (
     write_read_store,
     write_signals,
 )
-from repro.nanopore.signal_filter import SignalPrefilter, subsequence_dtw
-from repro.nanopore.signal_read import SignalRead
 
 __all__ = [
     "PoreModel",

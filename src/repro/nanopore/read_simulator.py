@@ -23,8 +23,8 @@ byte-identical results to the conventional pipeline).
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Iterator
 
 import numpy as np
 

@@ -14,6 +14,12 @@ expected pore-model signal of reference segments, plus a
 :class:`SignalPrefilter` that classifies reads as plausibly-genomic or
 junk from their first ~few hundred samples. The DTW is banded and
 z-normalised, the standard squiggle-matching recipe.
+
+The DTW arithmetic itself lives in :mod:`repro.kernels.sdtw`: the
+anti-diagonal wavefront kernel evaluates each band diagonal as one
+numpy vector op and is the default; the original row-major scalar
+recurrence remains selectable (``kernel="scalar"``) as the reference
+the wavefront is checked bit-for-bit against.
 """
 
 from __future__ import annotations
@@ -22,23 +28,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.sdtw import sdtw_cost, znormalise
 from repro.nanopore.pore_model import PoreModel
 from repro.nanopore.signal import RawSignal
 
-
-def znormalise(values: np.ndarray) -> np.ndarray:
-    """Zero-mean, unit-variance normalisation (squiggle matching's
-    standard preprocessing; gain/offset differences cancel)."""
-    values = np.asarray(values, dtype=np.float64)
-    if values.size == 0:
-        return values
-    std = values.std()
-    if std == 0:
-        return np.zeros_like(values)
-    return (values - values.mean()) / std
+__all__ = [
+    "PrefilterDecision",
+    "SignalPrefilter",
+    "subsequence_dtw",
+    "znormalise",
+]
 
 
-def subsequence_dtw(query: np.ndarray, reference: np.ndarray, band: int | None = None) -> float:
+def subsequence_dtw(
+    query: np.ndarray,
+    reference: np.ndarray,
+    band: int | None = None,
+    kernel: str = "wavefront",
+) -> float:
     """Subsequence DTW cost of ``query`` against any span of ``reference``.
 
     Classic sDTW: the query must be consumed in full, but may start and
@@ -58,35 +65,12 @@ def subsequence_dtw(query: np.ndarray, reference: np.ndarray, band: int | None =
         reference, which defeats the free-start/free-end property --
         useful only when query and reference cover the same region.
         The pre-filter therefore matches unbanded.
+    kernel:
+        sDTW kernel name (:data:`repro.kernels.SDTW_KERNELS`); all
+        kernels return bit-identical costs, so this is purely a speed
+        knob.
     """
-    q = znormalise(query)
-    r = znormalise(reference)
-    n, m = q.size, r.size
-    if n == 0:
-        return 0.0
-    if m == 0:
-        return float("inf")
-    inf = np.inf
-    prev = np.zeros(m + 1)
-    for i in range(1, n + 1):
-        row = np.full(m + 1, inf)
-        if band is None:
-            lo, hi = 1, m
-        else:
-            centre = int(round(i * m / n))
-            lo = max(1, centre - band)
-            hi = min(m, centre + band)
-        cost = (q[i - 1] - r[lo - 1 : hi]) ** 2
-        # row[j] = cost + min(prev[j-1], prev[j], row[j-1]), evaluated
-        # left-to-right over the banded span only.
-        diag_or_up = np.minimum(prev[lo - 1 : hi], prev[lo : hi + 1])
-        left = inf
-        for k in range(hi - lo + 1):
-            value = cost[k] + min(diag_or_up[k], left)
-            row[lo + k] = value
-            left = value
-        prev = row
-    return float(prev[1:].min() / n)
+    return sdtw_cost(query, reference, band=band, kernel=kernel)
 
 
 @dataclass(frozen=True)
@@ -120,14 +104,19 @@ class SignalPrefilter:
         pore_model: PoreModel,
         templates: list[np.ndarray],
         threshold: float = 0.17,
+        kernel: str = "wavefront",
     ):
         if threshold <= 0:
             raise ValueError("threshold must be positive")
         if not templates:
             raise ValueError("at least one template is required")
+        from repro.kernels.sdtw import resolve_sdtw_kernel
+
+        resolve_sdtw_kernel(kernel)  # fail fast on unknown names
         self._model = pore_model
         self._templates = [np.asarray(t, dtype=np.float64) for t in templates]
         self._threshold = threshold
+        self._kernel = kernel
 
     @classmethod
     def from_reference_segments(
@@ -137,6 +126,7 @@ class SignalPrefilter:
         segment_starts: list[int],
         segment_bases: int = 250,
         threshold: float = 0.17,
+        kernel: str = "wavefront",
     ) -> "SignalPrefilter":
         """Build templates from reference segments' expected signals."""
         templates = []
@@ -145,11 +135,16 @@ class SignalPrefilter:
             levels = pore_model.expected_levels(segment)
             if levels.size:
                 templates.append(levels)
-        return cls(pore_model, templates, threshold=threshold)
+        return cls(pore_model, templates, threshold=threshold, kernel=kernel)
 
     @property
     def n_templates(self) -> int:
         return len(self._templates)
+
+    @property
+    def kernel(self) -> str:
+        """Name of the sDTW kernel matching runs on."""
+        return self._kernel
 
     def classify_prefix(self, samples: np.ndarray) -> PrefilterDecision:
         """Accept/reject a raw-signal prefix.
@@ -166,7 +161,7 @@ class SignalPrefilter:
             compressed = samples
         best = float("inf")
         for template in self._templates:
-            cost = subsequence_dtw(compressed, template)
+            cost = subsequence_dtw(compressed, template, kernel=self._kernel)
             best = min(best, cost)
             if best < self._threshold:
                 break

@@ -55,9 +55,10 @@ import contextlib
 import os
 import struct
 import tempfile
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO
 
 import numpy as np
 

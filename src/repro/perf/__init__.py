@@ -19,16 +19,16 @@ GenPIP); :mod:`repro.perf.potential` reproduces the Fig. 4
 potential-benefit study (Systems A-D).
 """
 
-from repro.perf.costs import CostDatabase, DEFAULT_COSTS
-from repro.perf.workload import PipelineWorkload
+from repro.perf.costs import DEFAULT_COSTS, CostDatabase
 from repro.perf.pipeline_sim import FlowShopResult, simulate_flow_shop
+from repro.perf.potential import PotentialStudyResult, potential_study
 from repro.perf.systems import (
     SYSTEM_NAMES,
     SystemEstimate,
     evaluate_all_systems,
     evaluate_system,
 )
-from repro.perf.potential import PotentialStudyResult, potential_study
+from repro.perf.workload import PipelineWorkload
 
 __all__ = [
     "CostDatabase",

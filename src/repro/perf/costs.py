@@ -105,6 +105,24 @@ class CostDatabase:
     #: minimap2's rough profile on ONT reads.
     map_align_fraction: float = 0.6
 
+    # ------------------------------------------------------------------
+    # Kernel-op anchors: how many native kernel operations one base of
+    # *reference-shape* basecalling performs. A backend that reports its
+    # own :class:`~repro.kernels.workload.KernelWorkload` is charged
+    # ``ops / (anchor x basecall_bps)`` -- the engine's bases/s
+    # throughput re-expressed as ops/s, so a backend doing fewer ops
+    # per base (event-space decoding, a narrower model) runs
+    # proportionally faster on the same engine.
+    # ------------------------------------------------------------------
+    #: Sample-space k-mer Viterbi: dwell_mean (6) observations per base
+    #: x 4^5 states x 5 transitions per state = 30720 state-ops/base.
+    viterbi_state_ops_per_base: float = 6.0 * 4**5 * 5
+    #: Bonito-like CTC model (hidden=96): total MACs of a 300-base
+    #: (1800-sample) chunk / 300 bases = 317433.6 MACs/base, from
+    #: ``BonitoLikeModel(hidden=96).workload(1800).total_macs`` (conv
+    #: im2col + 4 GRU directions x input/recurrent projections + head).
+    dnn_macs_per_base: float = 317433.6
+
     def __post_init__(self) -> None:
         numeric = [
             self.cpu_basecall_bps,
@@ -128,6 +146,14 @@ class CostDatabase:
             raise ValueError("all cost constants must be positive")
 
     # -- helpers -------------------------------------------------------
+
+    def kernel_ops_per_base(self, kind: str) -> float:
+        """Anchor ops-per-base of a kernel kind (see the anchors above)."""
+        if kind == "viterbi-state":
+            return self.viterbi_state_ops_per_base
+        if kind == "dnn-mvm":
+            return self.dnn_macs_per_base
+        raise ValueError(f"unknown kernel kind {kind!r}")
 
     def movement_time_s(self, n_bytes: float) -> float:
         """Transfer time of a payload over the lab-to-cluster link."""

@@ -96,7 +96,7 @@ def chunk_pipeline_jobs(
         raise ValueError("service times must be non-negative")
     rows: list[tuple[float, float]] = []
     for n_chunks, n_seeded, aligned in zip(
-        chunks_per_read, seeded_chunks_per_read, aligned_per_read
+        chunks_per_read, seeded_chunks_per_read, aligned_per_read, strict=True
     ):
         for c in range(n_chunks):
             rows.append(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perf.costs import CostDatabase, DEFAULT_COSTS
+from repro.perf.costs import DEFAULT_COSTS, CostDatabase
 from repro.perf.workload import PipelineWorkload
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.perf.costs import CostDatabase, DEFAULT_COSTS
+from repro.perf.costs import DEFAULT_COSTS, CostDatabase
 from repro.perf.pipeline_sim import chunk_pipeline_jobs, simulate_flow_shop
 from repro.perf.workload import PipelineWorkload
 
@@ -148,10 +148,40 @@ def _signal_filter_time_s(workload: PipelineWorkload, costs: CostDatabase) -> fl
     return workload.ser_screened_bases / costs.ser_filter_bps
 
 
+def _basecall_time_s(
+    workload: PipelineWorkload, engines: _Engines, costs: CostDatabase
+) -> float:
+    """Basecalling time: kernel-op accounting when the workload has it.
+
+    A workload distilled with a kernel-plane backend carries that
+    backend's native op count (Viterbi state-ops, DNN MACs). The
+    engine's bases/s throughput, anchored at the reference backend
+    shape, converts to ops/s via the matching
+    :meth:`CostDatabase.kernel_ops_per_base` anchor -- so a backend
+    that does fewer ops per base runs proportionally faster on the
+    same engine. Workloads without kernel accounting keep the original
+    per-base formula bit-identically.
+    """
+    if workload.basecall_kind and workload.basecall_ops > 0:
+        ops_per_s = costs.kernel_ops_per_base(workload.basecall_kind) * engines.basecall_bps
+        return workload.basecall_ops / ops_per_s
+    return workload.basecalled_bases / engines.basecall_bps
+
+
+def _basecall_s_per_chunk(
+    workload: PipelineWorkload, engines: _Engines, costs: CostDatabase
+) -> float:
+    """Flow-shop basecall stage time of one chunk (same accounting)."""
+    if workload.basecall_kind and workload.basecall_ops_per_chunk > 0:
+        ops_per_s = costs.kernel_ops_per_base(workload.basecall_kind) * engines.basecall_bps
+        return workload.basecall_ops_per_chunk / ops_per_s
+    return workload.chunk_size / engines.basecall_bps
+
+
 def _estimate_batch(name: str, workload: PipelineWorkload, costs: CostDatabase) -> SystemEstimate:
     engines = _engines_for(name, costs)
     f_align = costs.map_align_fraction
-    t_basecall = workload.basecalled_bases / engines.basecall_bps
+    t_basecall = _basecall_time_s(workload, engines, costs)
     t_qc = workload.qc_bases / costs.cpu_qc_bps if engines.qc_on_cpu else 0.0
     t_map = (
         workload.mapped_bases_batch * (1.0 - f_align) + workload.aligned_bases * f_align
@@ -186,7 +216,7 @@ def _estimate_pipelined(
         workload.chunks_per_read,
         workload.seeded_chunks_per_read,
         workload.aligned_per_read,
-        basecall_s_per_chunk=chunk / engines.basecall_bps,
+        basecall_s_per_chunk=_basecall_s_per_chunk(workload, engines, costs),
         seedchain_s_per_chunk=chunk * (1.0 - f_align) / engines.map_bps,
         align_s_per_chunk=chunk * f_align / engines.map_bps,
     )

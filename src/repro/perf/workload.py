@@ -59,10 +59,26 @@ class PipelineWorkload:
     #: prefix of every screened read, rejected or not) -- what the
     #: filter hardware itself is charged for.
     ser_screened_bases: int = 0
+    #: Kernel kind the basecalling backend reported ("viterbi-state",
+    #: "dnn-mvm", or "" when the backend has no kernel accounting -- the
+    #: per-base formula is used then).
+    basecall_kind: str = ""
+    #: Native kernel ops the basecalled bases cost on this backend.
+    basecall_ops: float = 0.0
+    #: Native kernel ops one chunk costs (flow-shop stage time).
+    basecall_ops_per_chunk: float = 0.0
 
     @classmethod
-    def from_report(cls, report: GenPIPReport) -> "PipelineWorkload":
-        """Distil a functional report into workload statistics."""
+    def from_report(cls, report: GenPIPReport, basecaller=None) -> "PipelineWorkload":
+        """Distil a functional report into workload statistics.
+
+        When ``basecaller`` exposes ``kernel_workload(n_bases)`` (the
+        kernel-plane backends do), the workload also carries the
+        backend's *native* op counts, and the system models charge
+        basecalling by ops instead of the generic per-base price -- so
+        an event-space Viterbi decode or a narrower DNN is rewarded for
+        the arithmetic it actually skips.
+        """
         chunk_size = report.config.chunk_size
         mapped_batch = 0
         aligned = 0
@@ -75,7 +91,7 @@ class PipelineWorkload:
         aligned_flags = tuple(
             o.aligned or o.status is ReadStatus.MAPPED for o in report.outcomes
         )
-        for outcome, was_aligned in zip(report.outcomes, aligned_flags):
+        for outcome, was_aligned in zip(report.outcomes, aligned_flags, strict=True):
             if outcome.ser is not None:
                 ser_screened += outcome.ser.prefix_bases
             if outcome.status is ReadStatus.REJECTED_SIGNAL:
@@ -93,6 +109,16 @@ class PipelineWorkload:
                     mapped_batch += outcome.read_length
             if was_aligned:
                 aligned += outcome.read_length
+        basecall_kind = ""
+        basecall_ops = 0.0
+        basecall_ops_per_chunk = 0.0
+        kernel_workload = getattr(basecaller, "kernel_workload", None)
+        if kernel_workload is not None:
+            total = kernel_workload(report.bases_basecalled)
+            per_chunk = kernel_workload(chunk_size)
+            basecall_kind = total.kind
+            basecall_ops = float(total.ops)
+            basecall_ops_per_chunk = float(per_chunk.ops)
         return cls(
             n_reads=report.n_reads,
             total_bases=report.total_bases,
@@ -110,6 +136,9 @@ class PipelineWorkload:
             ser_rejected_reads=ser_rejected,
             ser_skipped_bases=ser_skipped,
             ser_screened_bases=ser_screened,
+            basecall_kind=basecall_kind,
+            basecall_ops=basecall_ops,
+            basecall_ops_per_chunk=basecall_ops_per_chunk,
         )
 
     @property
@@ -140,4 +169,7 @@ class PipelineWorkload:
             ser_rejected_reads=int(self.ser_rejected_reads * factor),
             ser_skipped_bases=int(self.ser_skipped_bases * factor),
             ser_screened_bases=int(self.ser_screened_bases * factor),
+            basecall_kind=self.basecall_kind,
+            basecall_ops=self.basecall_ops * factor,
+            basecall_ops_per_chunk=self.basecall_ops_per_chunk,
         )

@@ -61,8 +61,8 @@ import argparse
 import dataclasses
 import json
 import sys
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Sequence
 
 from repro.core.config import VARIANTS, variant_config
 from repro.core.genpip import GenPIP, GenPIPReport
@@ -86,7 +86,6 @@ from repro.nanopore.signal_store import (
     write_read_store,
     write_signals,
 )
-from repro.signal import SegmentationConfig, SignalRejectionPolicy
 from repro.runtime.engine import TRANSPORTS, DatasetEngine
 from repro.runtime.sink import (
     JSONLSink,
@@ -95,6 +94,7 @@ from repro.runtime.sink import (
     replay_report,
 )
 from repro.runtime.source import SignalStoreSource, SimulatorSource, StoreSource
+from repro.signal import SegmentationConfig, SignalRejectionPolicy
 
 SOURCES = ("memory", "generator", "store", "signals")
 SINKS = ("memory", "jsonl", "parquet")

@@ -44,10 +44,10 @@ from __future__ import annotations
 import itertools
 import time
 import warnings
+from collections.abc import Callable, Iterator
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterator
 
 from repro.core.genpip import GenPIPReport
 from repro.core.pipeline import GenPIPPipeline

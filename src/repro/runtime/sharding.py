@@ -28,8 +28,8 @@ batching modes exist:
 from __future__ import annotations
 
 import os
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
 
 from repro.nanopore.read_simulator import SimulatedRead
 

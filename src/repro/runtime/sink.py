@@ -33,9 +33,10 @@ through :func:`outcome_to_record` / :func:`outcome_from_record`
 from __future__ import annotations
 
 import json
+from collections.abc import Iterator, Sequence
 from dataclasses import asdict
 from pathlib import Path
-from typing import IO, Iterator, Protocol, Sequence, runtime_checkable
+from typing import IO, Protocol, runtime_checkable
 
 from repro.core.config import GenPIPConfig
 from repro.core.early_rejection import CMRDecision, QSRDecision
@@ -412,7 +413,7 @@ def outcome_to_json(outcome: ReadOutcome) -> str:
 
 def iter_outcomes_jsonl(path) -> Iterator[ReadOutcome]:
     """Stream outcomes back from a JSONL sink file, one at a time."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:

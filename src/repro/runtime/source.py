@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
-from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 from repro.nanopore.datasets import DatasetProfile, iter_dataset_reads
 from repro.nanopore.read_simulator import SimulatedRead

@@ -24,8 +24,8 @@ calibration and the stream never holds more than one record.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 

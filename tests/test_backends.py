@@ -35,8 +35,8 @@ from repro.basecalling import (
     chunk_bounds,
 )
 from repro.core import (
-    CMRPolicy,
     ECOLI_PARAMS,
+    CMRPolicy,
     GenPIP,
     GenPIPConfig,
     QSRPolicy,

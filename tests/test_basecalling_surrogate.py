@@ -52,7 +52,7 @@ class TestChunkBounds:
         # Contiguous, ordered, covering partition of [0, total).
         assert bounds[0][0] == 0
         assert bounds[-1][1] == total
-        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+        for (a0, a1), (b0, _b1) in zip(bounds, bounds[1:], strict=False):
             assert a1 == b0
             assert a1 - a0 == chunk
         assert all(end > start for start, end in bounds)

@@ -52,13 +52,13 @@ class TestEquivalence:
     def test_identical_statuses(self, dataset, index, conventional_outcomes):
         cp = GenPIP(index, GenPIPConfig(enable_qsr=False, enable_cmr=False))
         report = cp.run(dataset)
-        for conv, chunked in zip(conventional_outcomes, report.outcomes):
+        for conv, chunked in zip(conventional_outcomes, report.outcomes, strict=True):
             assert conv.status == chunked.status
 
     def test_identical_mappings(self, dataset, index, conventional_outcomes):
         cp = GenPIP(index, GenPIPConfig(enable_qsr=False, enable_cmr=False))
         report = cp.run(dataset)
-        for conv, chunked in zip(conventional_outcomes, report.outcomes):
+        for conv, chunked in zip(conventional_outcomes, report.outcomes, strict=True):
             if conv.mapping is None:
                 assert chunked.mapping is None
                 continue

@@ -8,12 +8,12 @@ roughly what factor, which direction trends point).
 import pytest
 
 from repro.experiments import (
-    run_figure4,
-    run_figure7,
     run_figure10,
     run_figure11,
     run_figure12,
     run_figure13,
+    run_figure4,
+    run_figure7,
     run_table1,
     run_table2,
     run_useless_reads,

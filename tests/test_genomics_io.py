@@ -99,5 +99,5 @@ class TestFastq:
         write_fastq(path, records)
         back = list(read_fastq(path))
         assert [(r.name, r.sequence) for r in back] == items
-        for orig, readback in zip(records, back):
+        for orig, readback in zip(records, back, strict=True):
             np.testing.assert_allclose(readback.qualities, orig.qualities)

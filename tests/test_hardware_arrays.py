@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.basecalling.dnn.model import BonitoLikeModel
 from repro.hardware.cam import CamArray, CamConfig
 from repro.hardware.edram import EDramBuffer, chunk_buffer, read_queue_buffer
 from repro.hardware.nvm_crossbar import CrossbarArray, CrossbarConfig, MVMEngine
 from repro.hardware.pim_cqs import PimCqsUnit
-from repro.basecalling.dnn.model import BonitoLikeModel
 
 
 class TestCrossbarArray:

@@ -1,0 +1,426 @@
+"""Tests for the vectorised kernel plane (:mod:`repro.kernels`).
+
+Three equivalence families, mirroring CI's kernel-equivalence lane:
+
+* the anti-diagonal wavefront sDTW must be **bit-identical** to the
+  scalar row-major reference (same float64 ops per cell, reassociated
+  only across independent cells);
+* the vectorised Viterbi forward pass must be bit-identical to the
+  triple-loop scalar reference, and the event-space decode must agree
+  with the sample-space decode on synthesized signal;
+* the batched/packed DNN paths must match the per-chunk path to
+  rounding (matmul reassociation), with byte-equal base strings.
+
+Plus the perf hooks: each backend's ``kernel_workload`` must report the
+op counts the system models charge.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+import numpy as np
+import pytest
+
+from repro.basecalling import (
+    DNNBackendConfig,
+    DNNChunkBasecaller,
+    ViterbiBackendConfig,
+    ViterbiChunkBasecaller,
+)
+from repro.basecalling.dnn.model import BonitoLikeModel
+from repro.basecalling.engines import EVENT_SEGMENTATION
+from repro.basecalling.viterbi import ViterbiBasecaller
+from repro.core import GenPIP, GenPIPConfig
+from repro.genomics import alphabet
+from repro.kernels import (
+    SDTW_KERNELS,
+    TRANSITIONS_PER_STATE,
+    KernelWorkload,
+    batched_basecall,
+    event_emissions,
+    event_features,
+    model_forward_batch,
+    model_forward_ragged,
+    resolve_sdtw_kernel,
+    sdtw_cost,
+    sdtw_cost_scalar,
+    sdtw_cost_wavefront,
+    viterbi_forward,
+    viterbi_forward_scalar,
+    viterbi_state_ops,
+    viterbi_traceback,
+)
+from repro.kernels.batched_dnn import gru_forward_packed
+from repro.mapping.index import MinimizerIndex
+from repro.nanopore.datasets import ECOLI_LIKE, generate_dataset, small_profile
+from repro.nanopore.pore_model import PoreModel
+from repro.nanopore.signal import SignalConfig, synthesize_signal
+from repro.nanopore.signal_filter import subsequence_dtw
+from repro.perf.costs import DEFAULT_COSTS
+from repro.perf.workload import PipelineWorkload
+from repro.signal.segmentation import detect_events
+
+#: Small pore (64 Viterbi states) keeps trellis tests fast.
+FAST_VITERBI = ViterbiBackendConfig(pore_k=3)
+FAST_DNN = DNNBackendConfig(hidden=16, pore_k=3)
+
+
+def identity(a: str, b: str) -> float:
+    """Sequence identity via difflib (autojunk must be off for DNA)."""
+    if not a and not b:
+        return 1.0
+    return difflib.SequenceMatcher(None, a, b, autojunk=False).ratio()
+
+
+class TestSdtwEquivalence:
+    """Wavefront and scalar kernels are bit-identical, not merely close."""
+
+    @pytest.mark.parametrize(
+        "n, m, band",
+        [
+            (120, 900, None),
+            (150, 1200, 40),
+            (100, 800, 4),  # band much narrower than the warp
+            (300, 200, None),  # query longer than the reference
+            (1, 500, None),
+            (64, 64, 1),
+        ],
+    )
+    def test_bitwise_equal_costs(self, n, m, band):
+        rng = np.random.default_rng(20)
+        query = rng.normal(size=n)
+        reference = rng.normal(size=m)
+        a = sdtw_cost_wavefront(query, reference, band=band)
+        b = sdtw_cost_scalar(query, reference, band=band)
+        assert a == b  # exact float64 equality
+        assert np.isfinite(a)
+
+    def test_infeasible_band_is_inf_on_both(self):
+        rng = np.random.default_rng(3)
+        query = rng.normal(size=100)
+        reference = rng.normal(size=800)
+        # band=2 around the global diagonal cannot consume a 100-sample
+        # query against an 8x longer reference.
+        a = sdtw_cost_wavefront(query, reference, band=2)
+        b = sdtw_cost_scalar(query, reference, band=2)
+        assert np.isinf(a) and np.isinf(b)
+
+    def test_empty_query_costs_zero(self):
+        empty = np.empty(0)
+        reference = np.arange(10.0)
+        assert sdtw_cost_wavefront(empty, reference) == 0.0
+        assert sdtw_cost_scalar(empty, reference) == 0.0
+
+    def test_empty_reference_is_inf(self):
+        query = np.arange(5.0)
+        empty = np.empty(0)
+        assert np.isinf(sdtw_cost_wavefront(query, empty))
+        assert np.isinf(sdtw_cost_scalar(query, empty))
+
+    def test_constant_signal_znormalises_to_zero(self):
+        # std == 0 maps to an all-zero z-normalised array on both paths.
+        query = np.full(30, 7.0)
+        reference = np.full(200, -2.0)
+        a = sdtw_cost_wavefront(query, reference)
+        b = sdtw_cost_scalar(query, reference)
+        assert a == b == 0.0
+
+    def test_dispatch_and_kernel_registry(self):
+        rng = np.random.default_rng(9)
+        query, reference = rng.normal(size=50), rng.normal(size=300)
+        for kernel in SDTW_KERNELS:
+            assert sdtw_cost(query, reference, kernel=kernel) == sdtw_cost_scalar(
+                query, reference
+            )
+        assert resolve_sdtw_kernel("wavefront") is sdtw_cost_wavefront
+        assert resolve_sdtw_kernel("scalar") is sdtw_cost_scalar
+        with pytest.raises(ValueError, match="unknown sDTW kernel"):
+            resolve_sdtw_kernel("simd")
+
+    def test_signal_filter_entry_point_matches_kernels(self):
+        """The public subsequence_dtw wrapper dispatches to the kernels."""
+        rng = np.random.default_rng(14)
+        query, reference = rng.normal(size=80), rng.normal(size=600)
+        for kernel in SDTW_KERNELS:
+            assert subsequence_dtw(query, reference, band=25, kernel=kernel) == (
+                sdtw_cost_scalar(query, reference, band=25)
+            )
+
+
+class TestViterbiTrellisEquivalence:
+    """Vectorised forward pass == scalar reference, bit for bit."""
+
+    @staticmethod
+    def _trellis(k=3, t=40, seed=11):
+        pore = PoreModel.synthetic(k=k, seed=7)
+        decoder = ViterbiBasecaller(pore)
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(loc=pore.levels.mean(), scale=10.0, size=t)
+        emissions = decoder._emission_loglik(samples)
+        return decoder, emissions
+
+    def test_bitwise_equal_forward(self):
+        decoder, emissions = self._trellis()
+        fast = viterbi_forward(emissions, decoder._pred, decoder._log_stay, decoder._log_move)
+        slow = viterbi_forward_scalar(
+            emissions, decoder._pred, decoder._log_stay, decoder._log_move
+        )
+        for a, b in zip(fast, slow, strict=True):
+            np.testing.assert_array_equal(a, b)
+
+    def test_traceback_paths_agree(self):
+        decoder, emissions = self._trellis(t=60, seed=2)
+        backptr_f, _, dp_f = viterbi_forward(
+            emissions, decoder._pred, decoder._log_stay, decoder._log_move
+        )
+        backptr_s, _, dp_s = viterbi_forward_scalar(
+            emissions, decoder._pred, decoder._log_stay, decoder._log_move
+        )
+        np.testing.assert_array_equal(
+            viterbi_traceback(backptr_f, decoder._pred, dp_f),
+            viterbi_traceback(backptr_s, decoder._pred, dp_s),
+        )
+
+    def test_empty_trellis(self):
+        decoder, emissions = self._trellis(t=1)
+        empty = emissions[:0]
+        backptr, scores, dp = viterbi_forward(
+            empty, decoder._pred, decoder._log_stay, decoder._log_move
+        )
+        assert backptr.shape == (0, emissions.shape[1])
+        assert scores.shape == (0, emissions.shape[1])
+        assert dp.size == 0
+        assert viterbi_traceback(backptr, decoder._pred, dp).size == 0
+
+    def test_state_ops_accounting(self):
+        assert viterbi_state_ops(10, 64) == 10 * 64 * TRANSITIONS_PER_STATE
+        assert viterbi_state_ops(0, 64) == 0
+        with pytest.raises(ValueError):
+            viterbi_state_ops(-1, 64)
+
+
+class TestEventFrontEnd:
+    def test_event_features_match_manual_segments(self):
+        samples = np.array([1.0, 2.0, 3.0, 10.0, 20.0, 5.0])
+        starts = np.array([0, 3, 5])
+        means, dwells = event_features(samples, starts)
+        np.testing.assert_allclose(means, [2.0, 15.0, 5.0])
+        np.testing.assert_allclose(dwells, [3.0, 2.0, 1.0])
+
+    def test_event_features_rejects_bad_grid(self):
+        samples = np.arange(6.0)
+        with pytest.raises(ValueError):
+            event_features(samples, np.array([1, 3]))  # must start at 0
+        with pytest.raises(ValueError):
+            event_features(samples, np.array([0, 3, 3]))  # zero-dwell event
+
+    def test_event_features_empty(self):
+        means, dwells = event_features(np.empty(0), np.empty(0, dtype=np.int64))
+        assert means.size == 0 and dwells.size == 0
+
+    def test_unit_dwell_emissions_equal_sample_emissions(self):
+        """A dwell-1 event is exactly one sample of evidence."""
+        pore = PoreModel.synthetic(k=3, seed=7)
+        decoder = ViterbiBasecaller(pore)
+        rng = np.random.default_rng(5)
+        samples = rng.normal(loc=pore.levels.mean(), scale=8.0, size=12)
+        per_sample = decoder._emission_loglik(samples)
+        per_event = event_emissions(
+            samples,
+            np.ones(samples.size),
+            pore.levels,
+            decoder._sigma,
+            decoder._log_sigma,
+        )
+        np.testing.assert_array_equal(per_event, per_sample)
+
+    def test_dwell_scales_evidence_linearly(self):
+        pore = PoreModel.synthetic(k=3, seed=7)
+        decoder = ViterbiBasecaller(pore)
+        means = np.array([pore.levels[0], pore.levels[1]])
+        ones = event_emissions(
+            means, np.ones(2), pore.levels, decoder._sigma, decoder._log_sigma
+        )
+        tripled = event_emissions(
+            means, np.full(2, 3.0), pore.levels, decoder._sigma, decoder._log_sigma
+        )
+        np.testing.assert_allclose(tripled, 3.0 * ones)
+
+    def test_event_decode_agrees_with_sample_decode(self):
+        """Event-space decoding stays within striking distance of the
+        classical sample-space decode on clean synthetic signal."""
+        pore = PoreModel.synthetic(k=3, seed=7)
+        decoder = ViterbiBasecaller(pore)
+        rng = np.random.default_rng(33)
+        codes = rng.integers(0, 4, size=200).astype(np.uint8)
+        truth = alphabet.decode(codes)
+        signal = synthesize_signal(codes, pore, SignalConfig(noise_std=1.0), rng)
+        sample_read = decoder.basecall(signal.samples)
+        starts = detect_events(signal.samples, EVENT_SEGMENTATION)
+        means, dwells = event_features(signal.samples, starts)
+        event_read = decoder.basecall_events(means, dwells)
+        sample_identity = identity(sample_read.bases, truth)
+        event_identity = identity(event_read.bases, truth)
+        assert sample_identity > 0.8
+        assert event_identity >= sample_identity - 0.15
+        # The speed source: far fewer trellis observations than samples.
+        assert means.size < 0.5 * signal.samples.size
+
+
+class TestBatchedDnn:
+    @staticmethod
+    def _model():
+        return BonitoLikeModel(seed=1, hidden=16)
+
+    def test_equal_length_batch_matches_per_window(self):
+        model = self._model()
+        rng = np.random.default_rng(25)
+        windows = rng.normal(loc=90.0, scale=12.0, size=(4, 600))
+        batched = model_forward_batch(model, windows)
+        for row, window in zip(batched, windows, strict=True):
+            np.testing.assert_allclose(row, model.forward(window), atol=1e-8)
+
+    def test_ragged_batch_matches_per_window(self):
+        model = self._model()
+        rng = np.random.default_rng(26)
+        lengths = [500, 700, 340, 601, 700]
+        windows = [rng.normal(loc=90.0, scale=12.0, size=n) for n in lengths]
+        for got, window in zip(
+            model_forward_ragged(model, windows), windows, strict=True
+        ):
+            np.testing.assert_allclose(got, model.forward(window), atol=1e-8)
+
+    def test_packed_gru_matches_per_sequence(self):
+        """Both directions of the packed GRU see per-sequence arithmetic."""
+        model = self._model()
+        rng = np.random.default_rng(27)
+        layer_fwd = model.gru1.fwd
+        layer_bwd = model.gru1.bwd
+        lengths = np.array([7, 19, 12], dtype=np.int64)
+        feats = layer_fwd.input_size
+        seqs = [rng.normal(size=(n, feats)) for n in lengths]
+        padded = np.zeros((len(seqs), int(lengths.max()), feats))
+        for i, seq in enumerate(seqs):
+            padded[i, : lengths[i]] = seq
+        for layer in (layer_fwd, layer_bwd):
+            packed = gru_forward_packed(layer, padded, lengths)
+            for i, seq in enumerate(seqs):
+                np.testing.assert_allclose(
+                    packed[i, : lengths[i]], layer.forward(seq), atol=1e-10
+                )
+                # Padding frames stay zero.
+                assert not packed[i, lengths[i] :].any()
+
+    def test_batched_basecall_matches_per_window_decode(self):
+        model = self._model()
+        rng = np.random.default_rng(28)
+        windows = [rng.normal(loc=90.0, scale=12.0, size=n) for n in (450, 620, 330)]
+        solo = [model.basecall(w) for w in windows]
+        for (bases_b, quals_b), (bases_s, quals_s) in zip(
+            batched_basecall(model, windows), solo, strict=True
+        ):
+            assert bases_b == bases_s
+            np.testing.assert_allclose(quals_b, quals_s, atol=1e-8)
+
+    def test_empty_windows(self):
+        model = self._model()
+        out = model_forward_ragged(model, [np.empty(0)])
+        assert len(out) == 1 and out[0].shape == (0, 5)
+
+
+@pytest.fixture(scope="module")
+def micro_read():
+    dataset = generate_dataset(
+        small_profile(ECOLI_LIKE, max_read_length=1_200), scale=0.0001, seed=21
+    )
+    return min(dataset.reads, key=len)
+
+
+class TestPrimedBatchIdentity:
+    """The opt-in batched decode path returns what the per-chunk path does."""
+
+    def test_primed_chunks_match_per_chunk_decode(self, micro_read):
+        batched = DNNChunkBasecaller(
+            DNNBackendConfig(hidden=16, pore_k=3, batched=True)
+        )
+        plain = DNNChunkBasecaller(FAST_DNN)
+        requests = [(micro_read, 0), (micro_read, 1)]
+        assert batched.prime_chunk_batch(requests, 300) == 2
+        for index in (0, 1):
+            got = batched.basecall_chunk(micro_read, index, 300)
+            want = plain.basecall_chunk(micro_read, index, 300)
+            assert got.bases == want.bases
+            np.testing.assert_allclose(got.qualities, want.qualities, atol=1e-8)
+
+    def test_priming_is_noop_unless_opted_in(self, micro_read):
+        plain = DNNChunkBasecaller(FAST_DNN)
+        assert plain.prime_chunk_batch([(micro_read, 0)], 300) == 0
+
+    def test_out_of_range_requests_are_skipped(self, micro_read):
+        batched = DNNChunkBasecaller(
+            DNNBackendConfig(hidden=16, pore_k=3, batched=True)
+        )
+        assert batched.prime_chunk_batch([(micro_read, 10_000)], 300) == 0
+
+
+class TestKernelWorkloadHooks:
+    def test_viterbi_sample_space_ops(self):
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        n_bases = 600
+        observations = int(round(n_bases * FAST_VITERBI.signal.dwell_mean))
+        workload = engine.kernel_workload(n_bases)
+        assert workload.kind == "viterbi-state"
+        assert workload.ops == viterbi_state_ops(observations, 4**3)
+
+    def test_viterbi_event_space_ops_are_dwell_mean_cheaper(self):
+        samples = ViterbiChunkBasecaller(FAST_VITERBI)
+        events = ViterbiChunkBasecaller(
+            ViterbiBackendConfig(pore_k=3, decode="events")
+        )
+        n_bases = 600
+        ratio = samples.kernel_workload(n_bases).ops / events.kernel_workload(n_bases).ops
+        assert ratio == pytest.approx(FAST_VITERBI.signal.dwell_mean)
+
+    def test_dnn_ops_come_from_the_model_workload(self):
+        engine = DNNChunkBasecaller(FAST_DNN)
+        n_bases = 300
+        n_samples = int(round(n_bases * FAST_DNN.signal.dwell_mean))
+        workload = engine.kernel_workload(n_bases)
+        assert workload.kind == "dnn-mvm"
+        assert workload.ops == engine.model.workload(n_samples).total_macs
+
+    def test_kernel_workload_validation(self):
+        with pytest.raises(ValueError, match="unknown kernel kind"):
+            KernelWorkload(kind="quantum", ops=1, unit="qubits")
+        with pytest.raises(ValueError, match="non-negative"):
+            KernelWorkload(kind="viterbi-state", ops=-1, unit="state-ops")
+
+    def test_cost_database_anchors(self):
+        assert DEFAULT_COSTS.kernel_ops_per_base("viterbi-state") == 6.0 * 4**5 * 5
+        assert DEFAULT_COSTS.kernel_ops_per_base("dnn-mvm") > 0
+        with pytest.raises(ValueError, match="unknown kernel kind"):
+            DEFAULT_COSTS.kernel_ops_per_base("fpga-lut")
+
+    def test_workload_carries_kernel_ops_from_report(self):
+        """from_report charges the backend's native ops; scaled() keeps them."""
+        dataset = generate_dataset(
+            small_profile(ECOLI_LIKE, max_read_length=1_200), scale=0.0001, seed=21
+        )
+        index = MinimizerIndex.build(dataset.reference)
+        report = GenPIP(index, GenPIPConfig(), align=False).run(dataset)
+
+        plain = PipelineWorkload.from_report(report)
+        assert plain.basecall_kind == "" and plain.basecall_ops == 0.0
+
+        engine = ViterbiChunkBasecaller(FAST_VITERBI)
+        kerneled = PipelineWorkload.from_report(report, basecaller=engine)
+        assert kerneled.basecall_kind == "viterbi-state"
+        assert kerneled.basecall_ops == engine.kernel_workload(report.bases_basecalled).ops
+        assert kerneled.basecall_ops_per_chunk == (
+            engine.kernel_workload(report.config.chunk_size).ops
+        )
+        doubled = kerneled.scaled(2.0)
+        assert doubled.basecall_kind == "viterbi-state"
+        assert doubled.basecall_ops == pytest.approx(2.0 * kerneled.basecall_ops)
+        assert doubled.basecall_ops_per_chunk == kerneled.basecall_ops_per_chunk

@@ -145,7 +145,7 @@ class TestIncrementalChunkMapper:
             mapper.add_chunk(read[start : start + 1_500], start)
             primary, _ = mapper.chain_prefix()
             scores.append(primary.score if primary else 0.0)
-        assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:], strict=False))
         assert scores[-1] > scores[0]
 
     def test_junk_prefix_has_no_chain(self, index):

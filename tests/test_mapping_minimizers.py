@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.genomics.alphabet import encode, reverse_complement
 from repro.genomics.reference import ReferenceGenome
+from repro.mapping.index import MinimizerIndex
 from repro.mapping.minimizers import (
     MinimizerConfig,
     _mix64,
@@ -14,7 +15,6 @@ from repro.mapping.minimizers import (
     extract_minimizers,
     minimizer_arrays,
 )
-from repro.mapping.index import MinimizerIndex
 
 dna = st.text(alphabet="ACGT", min_size=0, max_size=400)
 CFG = MinimizerConfig(k=13, w=10)
@@ -111,7 +111,7 @@ class TestMinimizerIndex:
         """Every indexed key's positions really carry that minimizer."""
         ref = index.reference
         keys, positions, _ = minimizer_arrays(ref.codes, CFG)
-        for key, pos in list(zip(keys.tolist(), positions.tolist()))[:200]:
+        for key, pos in list(zip(keys.tolist(), positions.tolist(), strict=True))[:200]:
             entry = index.lookup(key)
             if entry is not None:  # may have been dropped as repetitive
                 assert pos in entry.positions.tolist()

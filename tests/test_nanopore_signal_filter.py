@@ -97,7 +97,7 @@ class TestSubsequenceDTW:
         reference = rng.normal(size=200)
         query = np.repeat(reference, 2)[50:350]  # warped, full-span-ish
         costs = [subsequence_dtw(query, reference, band=b) for b in (2, 5, 10, 25, 60)]
-        for narrow, wide in zip(costs, costs[1:]):
+        for narrow, wide in zip(costs, costs[1:], strict=False):
             assert wide <= narrow + 1e-12
         assert subsequence_dtw(query, reference) <= costs[-1] + 1e-12
 

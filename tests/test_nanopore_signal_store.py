@@ -50,7 +50,7 @@ class TestRoundTrip:
         write_signals(path, records)
         back = read_signals(path)
         assert [r.read_id for r in back] == [r.read_id for r in records]
-        for original, restored in zip(records, back):
+        for original, restored in zip(records, back, strict=True):
             assert restored.signal.n_bases == original.signal.n_bases
 
     def test_empty_store(self, tmp_path):
@@ -105,7 +105,7 @@ class TestStreamingReader:
         streamed = list(iter_signals(path))
         bulk = read_signals(path)
         assert [r.read_id for r in streamed] == [r.read_id for r in bulk]
-        for a, b in zip(streamed, bulk):
+        for a, b in zip(streamed, bulk, strict=True):
             np.testing.assert_array_equal(a.signal.samples, b.signal.samples)
 
     def test_truncated_record_raises(self, tmp_path):
@@ -150,7 +150,7 @@ class TestReadStore:
         assert read_store_count(path) == len(tiny_reads)
         restored = read_read_store(path)
         assert len(restored) == len(tiny_reads)
-        for original, back in zip(tiny_reads, restored):
+        for original, back in zip(tiny_reads, restored, strict=True):
             assert back.read_id == original.read_id
             assert back.read_class is original.read_class
             assert back.strand == original.strand

@@ -31,7 +31,7 @@ class TestReadSampling:
         ref = ReferenceGenome.random(50_000, seed=1)
         a = ReadSimulator(ref, SimulatorConfig(), seed=5).sample_reads(10)
         b = ReadSimulator(ref, SimulatorConfig(), seed=5).sample_reads(10)
-        for ra, rb in zip(a, b):
+        for ra, rb in zip(a, b, strict=True):
             assert ra.read_id == rb.read_id
             np.testing.assert_array_equal(ra.true_codes, rb.true_codes)
             np.testing.assert_allclose(ra.qualities, rb.qualities)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import GenPIP, GenPIPConfig, ECOLI_PARAMS
+from repro.core import ECOLI_PARAMS, GenPIP, GenPIPConfig
 from repro.mapping import MinimizerIndex
 from repro.nanopore.datasets import ECOLI_LIKE, generate_dataset, small_profile
 from repro.perf import (

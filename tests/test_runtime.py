@@ -109,7 +109,7 @@ class TestParallelEquivalence:
         engine.run(tiny_dataset)
         assert seen[-1] == (len(tiny_dataset), len(tiny_dataset))
         # The ordered prefix only ever grows.
-        assert all(a[0] <= b[0] for a, b in zip(seen, seen[1:]))
+        assert all(a[0] <= b[0] for a, b in zip(seen, seen[1:], strict=False))
 
 
 class TestReportMerge:

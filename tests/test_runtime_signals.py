@@ -289,7 +289,7 @@ class TestSignalMatrix:
         first = list(source)
         second = list(source)  # re-iterable
         assert [r.read_id for r in first] == [r.read_id for r in short_reads]
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             np.testing.assert_array_equal(a.signal.samples, b.signal.samples)
 
     @pytest.mark.parametrize("transport", ["shm", "pickle"])
@@ -358,7 +358,7 @@ class TestSignalTransport:
         finally:
             release_unit(shared.segment)
         assert len(back) == len(reads)
-        for original, rebuilt in zip(reads, back):
+        for original, rebuilt in zip(reads, back, strict=True):
             assert isinstance(rebuilt, SignalRead)
             assert rebuilt.read_id == original.read_id
             assert len(rebuilt) == len(original)

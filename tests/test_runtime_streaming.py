@@ -258,7 +258,7 @@ class TestFailurePaths:
             raise OSError("disk on fire")
 
         engine = DatasetEngine(tiny_system.pipeline, workers=2, batch_size=2)
-        with pytest.raises(Exception, match="disk on fire|prefetch"):
+        with pytest.raises((OSError, PrefetchError), match="disk on fire|prefetch"):
             engine.run(IterableSource(exploding()))
         assert _no_leaked_segments()
 
@@ -310,7 +310,7 @@ class TestSources:
         first = list(source)
         second = list(source)
         assert [read.read_id for read in first] == [read.read_id for read in tiny_dataset.reads]
-        for a, b, c in zip(first, second, tiny_dataset.reads):
+        for a, b, c in zip(first, second, tiny_dataset.reads, strict=True):
             assert a.read_id == b.read_id == c.read_id
             assert a.seed == b.seed == c.seed
             np.testing.assert_array_equal(a.true_codes, c.true_codes)
@@ -321,7 +321,7 @@ class TestSources:
         assert source.size_hint() == len(tiny_dataset)
         restored = list(source)
         assert len(restored) == len(tiny_dataset)
-        for original, back in zip(tiny_dataset.reads, restored):
+        for original, back in zip(tiny_dataset.reads, restored, strict=True):
             assert back.read_id == original.read_id
             assert back.read_class is original.read_class
             assert back.strand == original.strand

@@ -549,7 +549,7 @@ class TestCalibration:
             calibration.apply(record.signal.samples)
             for record in iter_signals(dac_store)
         ]
-        for recovered, original in zip(restored, pa_records):
+        for recovered, original in zip(restored, pa_records, strict=True):
             # Robust stats differ slightly between the container and the
             # pore model, so the map is accurate to a few percent in
             # gain -- tight enough to land inside the decoder's noise
