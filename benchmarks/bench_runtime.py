@@ -24,7 +24,21 @@ Two consumers:
   scalar sDTW behind SER, the event-space Viterbi decode, and per-chunk
   vs batched DNN inference. Every signal lane asserts the serial ==
   pooled report identity; the sdtw-kernel lane additionally asserts the
-  two kernels decide identically (their costs are bit-equal).
+  two kernels decide identically (their costs are bit-equal). A
+  **sessions lane** (``"lane": "sessions"``) drives the serving layer
+  (:mod:`repro.serving`): N concurrent loopback sessions stream the
+  grid dataset read-by-read through the warm pool, emitting verdict
+  throughput, sessions/sec, and p50/p95/p99 enqueue->verdict latency,
+  with the merged verdict stream asserted byte-identical to the serial
+  batch records. Grid records also carry per-batch completion-latency
+  percentiles (``batch_p50_ms``/.../``batch_p99_ms``) measured by a
+  sink wrapper -- measurement columns only, never lane identity.
+
+The document's expected composition is a function of the module's lane
+constants, not a hardcoded count: :func:`expected_lane_counts` is the
+registry, and ``--verify BENCH_runtime.json`` checks a document against
+it (that is what CI's sanity step runs, so adding a lane here is a
+one-place change).
 
 On a multi-core box the 4-worker run should clear >= 1.5x serial
 throughput: reads are independent, payloads travel through shared
@@ -46,12 +60,16 @@ except ImportError:  # pragma: no cover - standalone grid mode
     pytest = None
 
 from repro.core import GenPIP
-from repro.runtime import DatasetEngine
+from repro.perf import LatencyHistogram
+from repro.runtime import DatasetEngine, MemorySink
 
 WORKER_COUNTS = (1, 2, 4)
 BATCHING_MODES = ("fixed", "length-aware")
 GRID_TRANSPORTS = ("pickle", "shm")
 SIGNAL_WORKER_COUNTS = (1, 2)
+#: The serving sessions lane: concurrent-session counts x pool workers.
+SESSION_COUNTS = (1, 3)
+SESSION_WORKERS = (2,)
 #: Pinned work-unit size for the dnn-batch lane: the unit *is* the DNN
 #: batch (prime_chunk_batch stacks one unit's chunks), and pinning it
 #: keeps work-unit composition -- hence batched arithmetic -- identical
@@ -73,12 +91,41 @@ def _run(system, dataset, workers, batching="fixed", transport="auto"):
     return report, engine.last_stats
 
 
+class _TimingSink(MemorySink):
+    """MemorySink that clocks batch completions into a latency histogram.
+
+    Each ``emit`` is one finished work unit arriving at the parent; the
+    interval since the previous arrival (or since ``begin``) is that
+    batch's completion latency. The histogram feeds the grid records'
+    ``batch_p50_ms``/``batch_p95_ms``/``batch_p99_ms`` columns --
+    measurement only, never part of a lane's identity.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.latency = LatencyHistogram()
+        self._last: float | None = None
+
+    def begin(self, config) -> None:
+        super().begin(config)
+        self.latency = LatencyHistogram()
+        self._last = time.perf_counter()
+
+    def emit(self, outcomes) -> None:
+        super().emit(outcomes)
+        now = time.perf_counter()
+        if self._last is not None:
+            self.latency.record(now - self._last)
+        self._last = now
+
+
 def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
     """Time every worker x batching x transport configuration.
 
     Serial runs move no payloads, so the transport axis only applies to
     pooled configurations. Each record carries the best (max
-    throughput) of ``repeats`` passes.
+    throughput) of ``repeats`` passes, including that pass's per-batch
+    completion-latency percentiles.
     """
     records = []
     for workers in WORKER_COUNTS:
@@ -88,15 +135,22 @@ def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
                 engine_transport = "auto" if transport == "none" else transport
                 best = None
                 for _ in range(repeats):
-                    started = time.perf_counter()
-                    report, stats = _run(
-                        system, dataset, workers, batching=batching,
-                        transport=engine_transport,
+                    sink = _TimingSink()
+                    engine = DatasetEngine(
+                        system.pipeline, workers=workers, batching=batching,
+                        transport=engine_transport, sink=sink,
                     )
+                    started = time.perf_counter()
+                    report = engine.run(dataset)
                     elapsed = time.perf_counter() - started
+                    stats = engine.last_stats
                     assert report.n_reads == len(dataset)
                     rps = len(dataset) / elapsed if elapsed > 0 else 0.0
                     if best is None or rps > best["reads_per_sec"]:
+                        batch_latency = {
+                            f"batch_{key}": value
+                            for key, value in sink.latency.percentiles_ms().items()
+                        }
                         best = {
                             "source": "reads",
                             "workers": workers,
@@ -108,9 +162,121 @@ def collect_grid(system, dataset, repeats: int = 1) -> list[dict]:
                             "reads": stats.n_reads,
                             "elapsed_s": round(elapsed, 4),
                             "reads_per_sec": round(rps, 2),
+                            **batch_latency,
                         }
                 records.append(best)
     return records
+
+
+def collect_sessions_lane(system, dataset, repeats: int = 1) -> list[dict]:
+    """Drive the serving layer: concurrent sessions over the warm pool.
+
+    Each configuration stands up a fresh dispatcher + loopback server,
+    partitions the dataset round-robin across ``sessions`` concurrent
+    clients, and streams every read individually -- the adaptive-
+    sampling shape, where tail latency matters as much as throughput.
+    The merged verdict stream must reproduce the serial batch records
+    exactly (the serving layer's standing equivalence invariant), and
+    every configuration must publish the shared index exactly once.
+    """
+    from repro.runtime.sink import outcome_to_record
+    from repro.serving import merged_outcomes, serve_and_drive
+
+    reads = list(dataset.reads)
+    serial = [outcome_to_record(o) for o in system.pipeline.process_batch(reads)]
+    records = []
+    for workers in SESSION_WORKERS:
+        for sessions in SESSION_COUNTS:
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                results, stats = serve_and_drive(
+                    system.pipeline, reads, sessions=sessions, workers=workers
+                )
+                elapsed = time.perf_counter() - started
+                assert merged_outcomes(results) == serial, (
+                    f"sessions={sessions}: served verdicts diverged from serial batch"
+                )
+                assert stats.index_publications == 1, stats.index_publications
+                assert stats.verdicts == len(reads)
+                rps = len(reads) / elapsed if elapsed > 0 else 0.0
+                if best is None or rps > best["reads_per_sec"]:
+                    best = {
+                        "source": "serving",
+                        "lane": "sessions",
+                        "sessions": sessions,
+                        "workers": workers,
+                        "transport": stats.transport,
+                        "mode": stats.mode,
+                        "reads": stats.verdicts,
+                        "elapsed_s": round(elapsed, 4),
+                        "reads_per_sec": round(rps, 2),
+                        "sessions_per_sec": round(stats.sessions_per_sec, 3),
+                        **stats.latency.percentiles_ms(),
+                    }
+            records.append(best)
+    return records
+
+
+def expected_lane_counts() -> dict[str, int]:
+    """Lane name -> record count, derived from the module's constants.
+
+    This is the registry CI's sanity check runs against (via
+    ``--verify``); a new lane or a widened axis changes the expectation
+    here automatically instead of in a hardcoded count.
+    """
+    from repro.kernels import SDTW_KERNELS
+
+    pooled_counts = sum(1 for workers in WORKER_COUNTS if workers > 1)
+    serial_counts = len(WORKER_COUNTS) - pooled_counts
+    return {
+        "reads-grid": len(BATCHING_MODES)
+        * (serial_counts + pooled_counts * len(GRID_TRANSPORTS)),
+        "signals": len(SIGNAL_WORKER_COUNTS),
+        "signal-er": len(SIGNAL_WORKER_COUNTS),
+        "sdtw-kernel": len(SDTW_KERNELS) * len(SIGNAL_WORKER_COUNTS),
+        "viterbi-events": len(SIGNAL_WORKER_COUNTS),
+        "dnn-batch": 2 * len(SIGNAL_WORKER_COUNTS),  # per-chunk and batched variants
+        "sessions": len(SESSION_COUNTS) * len(SESSION_WORKERS),
+    }
+
+
+def _classify(record: dict) -> str:
+    """Map one result record back to its registry lane name."""
+    lane = record.get("lane")
+    if lane is not None:
+        return lane
+    if record.get("signal_er"):
+        return "signal-er"
+    return "signals" if record["source"] == "signals" else "reads-grid"
+
+
+def verify_document(path) -> list[str]:
+    """Check a BENCH_runtime.json against the lane registry.
+
+    Returns a list of problems (empty when the document is sound):
+    wrong schema, lane counts diverging from :func:`expected_lane_counts`,
+    unknown lanes, or non-positive throughput anywhere.
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = []
+    if document.get("schema") != "genpip-bench-runtime/1":
+        problems.append(f"unexpected schema {document.get('schema')!r}")
+        return problems
+    expected = expected_lane_counts()
+    observed: dict[str, int] = {}
+    for record in document.get("results", ()):
+        observed[_classify(record)] = observed.get(_classify(record), 0) + 1
+        if not record.get("reads_per_sec", 0) > 0:
+            problems.append(f"non-positive reads_per_sec in {record}")
+    for lane in sorted(set(expected) | set(observed)):
+        if observed.get(lane, 0) != expected.get(lane, 0):
+            problems.append(
+                f"lane {lane!r}: expected {expected.get(lane, 0)} records, "
+                f"found {observed.get(lane, 0)}"
+            )
+    return problems
 
 
 def collect_signal_er_lane(ser_system, store_path, repeats: int = 1) -> list[dict]:
@@ -417,9 +583,10 @@ if pytest is not None:
         write_bench_json(path, records, {"profile": "ecoli-like"})
         document = json.loads(path.read_text())
         assert document["schema"] == "genpip-bench-runtime/1"
-        # serial: 2 batching modes; pooled (2 counts): 2 modes x 2 transports.
-        assert len(document["results"]) == 2 + 2 * 4
+        # The registry, not a hardcoded count, says how many grid records.
+        assert len(document["results"]) == expected_lane_counts()["reads-grid"]
         assert all(record["reads_per_sec"] > 0 for record in document["results"])
+        assert all("batch_p50_ms" in record for record in document["results"])
 
 
 # --- standalone grid entry point -------------------------------------------
@@ -440,7 +607,24 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--signal-max-read-length", type=int, default=900, metavar="BASES")
     parser.add_argument("--out", default="BENCH_runtime.json")
+    parser.add_argument(
+        "--verify", metavar="JSON", default=None,
+        help="verify an existing bench document against the lane registry "
+        "(schema + per-lane record counts + positive throughput) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.verify is not None:
+        problems = verify_document(args.verify)
+        for problem in problems:
+            print(f"verify: {problem}", file=sys.stderr)
+        if not problems:
+            expected = expected_lane_counts()
+            print(
+                f"{args.verify}: {sum(expected.values())} records across "
+                f"{len(expected)} lanes, as registered"
+            )
+        return 1 if problems else 0
 
     import tempfile
     from pathlib import Path
@@ -557,6 +741,10 @@ def main(argv=None) -> int:
             )
         records += collect_dnn_batch_lane(dnn_systems, store_path, repeats=args.repeats)
 
+    # Serving sessions lane: the grid dataset streamed read-by-read
+    # through the warm serving layer by concurrent loopback sessions.
+    records += collect_sessions_lane(system, dataset, repeats=args.repeats)
+
     context = {
         "profile": profile.name,
         "scale": args.scale,
@@ -568,16 +756,19 @@ def main(argv=None) -> int:
     }
     write_bench_json(args.out, records, context)
     for record in records:
-        ser = (
-            f" signal-er reject={record['reject_rate']:.0%}"
-            if record.get("signal_er")
-            else ""
-        )
+        extra = ""
+        if record.get("signal_er"):
+            extra = f" signal-er reject={record['reject_rate']:.0%}"
+        elif record.get("lane") == "sessions":
+            extra = (
+                f" sessions={record['sessions']} p50={record['p50_ms']:.1f}ms "
+                f"p99={record['p99_ms']:.1f}ms"
+            )
         print(
             f"source={record['source']:<7} workers={record['workers']} "
-            f"batching={record['batching']:<12} "
+            f"batching={record.get('batching') or '-':<12} "
             f"transport={record['transport']:<6} mode={record['mode']:<12} "
-            f"{record['reads_per_sec']:8.1f} reads/s{ser}",
+            f"{record['reads_per_sec']:8.1f} reads/s{extra}",
             file=sys.stderr,
         )
     print(f"wrote {args.out}", file=sys.stderr)

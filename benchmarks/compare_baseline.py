@@ -41,6 +41,8 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_runtime_baseline.json"
 
 #: Fields that identify a lane (everything else is measurement).
+#: ``sessions`` distinguishes the serving lane's concurrency points --
+#: without it the N-session records would collide as duplicates.
 IDENTITY_FIELDS = (
     "source",
     "lane",
@@ -52,6 +54,7 @@ IDENTITY_FIELDS = (
     "decode",
     "dnn_batched",
     "signal_er",
+    "sessions",
 )
 
 

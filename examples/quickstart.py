@@ -21,7 +21,12 @@ This walks the whole public API surface once:
 9. go fully raw: strip the container down to samples only (the real
    FAST5/SLOW5 shape), recover every read's chunk grid by event
    segmentation, and reject junk in *signal space* -- before a single
-   chunk is basecalled (signal-domain early rejection).
+   chunk is basecalled (signal-domain early rejection);
+10. peek at the vectorised kernel plane: wavefront sDTW bit-identical
+    to its scalar reference, and event-space trellis decoding;
+11. serve: keep the pool warm and the index published across many
+    concurrent client sessions, streaming per-read verdicts with
+    latency percentiles -- the adaptive-sampling ("read until") shape.
 
 Run with: ``python examples/quickstart.py``
 """
@@ -309,6 +314,35 @@ def main() -> None:
         f"viterbi trellis for 1000 bases: {per_base[0].ops:,} state-ops "
         f"(samples) vs {per_base[1].ops:,} (events) -- the perf model "
         f"charges whichever the backend actually runs"
+    )
+
+    # 11. Serving: batch runs answer "process this dataset"; the serving
+    #     layer (repro.serving) answers "keep the pipeline hot and
+    #     verdict reads as they arrive" -- the adaptive-sampling shape,
+    #     where a sequencer-side client streams raw reads and needs
+    #     accept/eject decisions inside a latency budget. One warm
+    #     dispatcher owns the worker pool and publishes the minimizer
+    #     index into shared memory exactly once; an asyncio server
+    #     multiplexes any number of concurrent sessions onto it over a
+    #     newline-delimited-JSON loopback protocol, and every verdict
+    #     streams back the moment its read resolves (no batch barrier).
+    #     The merged, dataset-order verdict stream is byte-identical to
+    #     the serial batch report -- the same records, served. From a
+    #     shell: `python -m repro.serving serve ...` and
+    #     `python -m repro.serving drive ...`.
+    from repro.serving import merged_outcomes, serve_and_drive
+    from repro.runtime import outcome_to_record
+
+    results, stats = serve_and_drive(genpip.pipeline, reads, sessions=2, workers=2)
+    served = merged_outcomes(results)
+    assert served == [outcome_to_record(o) for o in report.outcomes]
+    print(
+        f"\nserving run: {stats.sessions} concurrent sessions -> "
+        f"{stats.verdicts} verdicts ({stats.mode} x{stats.workers}, "
+        f"index published {stats.index_publications}x), "
+        f"latency p50 {stats.p50_ms:.1f} ms / p95 {stats.p95_ms:.1f} ms / "
+        f"p99 {stats.p99_ms:.1f} ms, {stats.verdicts_per_sec:.0f} verdicts/s; "
+        f"byte-identical to the batch report: {served == [outcome_to_record(o) for o in report.outcomes]}"
     )
 
 

@@ -33,7 +33,7 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 #: Protocol names re-exported lazily (PEP 562) so that ``import repro``
 #: stays a version-string-only import; the full engine stack loads on

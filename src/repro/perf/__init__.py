@@ -20,6 +20,7 @@ potential-benefit study (Systems A-D).
 """
 
 from repro.perf.costs import DEFAULT_COSTS, CostDatabase
+from repro.perf.latency import LatencyHistogram
 from repro.perf.pipeline_sim import FlowShopResult, simulate_flow_shop
 from repro.perf.potential import PotentialStudyResult, potential_study
 from repro.perf.systems import (
@@ -33,6 +34,7 @@ from repro.perf.workload import PipelineWorkload
 __all__ = [
     "CostDatabase",
     "DEFAULT_COSTS",
+    "LatencyHistogram",
     "PipelineWorkload",
     "FlowShopResult",
     "simulate_flow_shop",

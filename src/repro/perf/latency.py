@@ -1,0 +1,167 @@
+"""Fixed-bucket latency histograms with percentile summaries.
+
+Tail latency is the serving layer's (:mod:`repro.serving`) first-class
+metric -- the adaptive-sampling use case is *latency*-bound, not
+throughput-bound: a verdict that arrives after the sequencer has moved
+on is worthless (the "read until" framing of PAPER.md's early-rejection
+machinery). Percentile accounting therefore needs to be cheap enough to
+run on every read and mergeable across sessions and processes.
+
+:class:`LatencyHistogram` is the classic fixed-layout log-spaced bucket
+histogram (the HdrHistogram/Prometheus idiom):
+
+* buckets are **fixed at construction** -- log-spaced between ``lo`` and
+  ``hi`` -- so recording is O(1) (one log, one clamp, one increment) and
+  two histograms with the same layout :meth:`merge` by elementwise sum;
+* percentiles are read off the cumulative bucket counts and reported as
+  the bucket's **upper edge**, so a reported p99 is a deterministic,
+  conservative bound (never an interpolated value that moves with
+  sample order);
+* :meth:`to_dict` / :meth:`from_dict` round-trip the histogram through
+  JSON for the serving protocol's ``summary`` frame and the bench trail.
+
+Besides serving stats, ``benchmarks/bench_runtime.py`` records each
+work-unit (batch) completion into one of these, putting a per-batch
+latency column next to the classic reads/sec throughput numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Default bucket range: 10 microseconds .. 100 seconds. Anything a
+#: pipeline stage does lands inside; out-of-range samples clamp to the
+#: edge buckets (and are still counted).
+DEFAULT_LO = 1e-5
+DEFAULT_HI = 100.0
+DEFAULT_BUCKETS = 64
+
+
+@dataclass
+class LatencyHistogram:
+    """Log-spaced fixed-bucket histogram over seconds.
+
+    Parameters
+    ----------
+    lo, hi:
+        Bucket range in seconds; samples outside clamp to the edge
+        buckets. The defaults span 10 us .. 100 s.
+    n_buckets:
+        Number of log-spaced buckets (fixed layout; merging requires
+        identical layouts).
+    """
+
+    lo: float = DEFAULT_LO
+    hi: float = DEFAULT_HI
+    n_buckets: int = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0 < self.lo < self.hi):
+            raise ValueError("need 0 < lo < hi for log-spaced buckets")
+        if self.n_buckets < 2:
+            raise ValueError("need at least 2 buckets")
+        if not self.counts:
+            self.counts = [0] * self.n_buckets
+        elif len(self.counts) != self.n_buckets:
+            raise ValueError(
+                f"counts length {len(self.counts)} != n_buckets {self.n_buckets}"
+            )
+        self._log_lo = math.log(self.lo)
+        self._scale = self.n_buckets / (math.log(self.hi) - self._log_lo)
+
+    # --- recording ---------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Count one latency sample (O(1); out-of-range clamps)."""
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        self.counts[self._bucket(seconds)] += 1
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= self.lo:
+            return 0
+        index = int((math.log(seconds) - self._log_lo) * self._scale)
+        return min(index, self.n_buckets - 1)
+
+    def bucket_upper_edge(self, index: int) -> float:
+        """Upper latency bound (seconds) of bucket ``index``."""
+        if not 0 <= index < self.n_buckets:
+            raise ValueError(f"bucket index {index} out of range")
+        return math.exp(self._log_lo + (index + 1) / self._scale)
+
+    # --- reading -----------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total samples recorded."""
+        return sum(self.counts)
+
+    def percentile(self, q: float) -> float:
+        """The latency (seconds) below which ``q`` of samples fall.
+
+        Reported as the covering bucket's upper edge -- a deterministic
+        conservative bound. Returns 0.0 for an empty histogram.
+        """
+        if not 0 < q <= 1:
+            raise ValueError(f"percentile must be in (0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = math.ceil(q * total)
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return self.bucket_upper_edge(index)
+        return self.bucket_upper_edge(self.n_buckets - 1)  # pragma: no cover
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def percentiles_ms(self) -> dict[str, float]:
+        """The standard p50/p95/p99 summary in milliseconds (rounded)."""
+        return {
+            "p50_ms": round(self.p50 * 1e3, 3),
+            "p95_ms": round(self.p95 * 1e3, 3),
+            "p99_ms": round(self.p99 * 1e3, 3),
+        }
+
+    # --- combining / wire format ------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Elementwise-sum another histogram in (same layout required)."""
+        if (self.lo, self.hi, self.n_buckets) != (other.lo, other.hi, other.n_buckets):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (layout + counts; exact round-trip)."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "n_buckets": self.n_buckets,
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            lo=data["lo"],
+            hi=data["hi"],
+            n_buckets=data["n_buckets"],
+            counts=list(data["counts"]),
+        )

@@ -1,0 +1,353 @@
+"""Dispatcher: asyncio sessions -> the warm worker pool, one read at a time.
+
+The batch runtime (:mod:`repro.runtime.engine`) builds a pool per run
+and tears it down with the dataset; a *serving* process cannot afford
+either end of that -- pool start-up (fork + per-worker pipeline build +
+index materialisation) is orders of magnitude above a single read's
+latency budget. :class:`PoolDispatcher` therefore owns one long-lived
+``ProcessPoolExecutor``:
+
+* the minimizer index is published into shared memory **exactly once**,
+  at :meth:`start`, and every worker of every session attaches the same
+  segment (``index_publications`` exposes the count; tests assert it
+  stays 1 across sessions via :func:`repro.runtime.transport
+  .active_segments`);
+* each read is submitted as a single-read work unit over the existing
+  transport (``shm`` handles by default, pickle fallback under
+  ``auto``), so verdicts stream back as soon as *that read* resolves --
+  no batch barrier anywhere on the path;
+* the pool is warmed at start (the same single-threaded fork rationale
+  as :func:`repro.runtime.engine._pool_warmup`), and a pool that cannot
+  be created or breaks mid-serve degrades to a single in-process worker
+  thread -- the service stays up, mirroring the batch engine's resuming
+  serial fallback.
+
+Determinism note: default backends keep no cross-read state
+(:meth:`~repro.core.pipeline.GenPIPPipeline.process_batch` is exactly
+``process_read`` per element), so per-read units produce outcome
+records byte-identical to any batch run over the same reads -- the
+serving layer's standing equivalence invariant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import GenPIPPipeline, ReadOutcome
+from repro.mapping.index import MinimizerIndex
+from repro.perf.latency import LatencyHistogram
+from repro.runtime.engine import (
+    TRANSPORTS,
+    _init_worker,
+    _pool_warmup,
+    _process_shared_unit,
+    _process_unit,
+)
+from repro.runtime.sharding import WorkUnit, resolve_workers
+from repro.runtime.spec import PipelineSpec
+from repro.runtime.transport import (
+    SharedIndexHandle,
+    publish_index,
+    publish_unit,
+    release_unit,
+)
+
+
+def _serving_worker_init(spec: PipelineSpec) -> None:
+    """Worker initializer: batch engine's pipeline build + SIGINT immunity.
+
+    A Ctrl-C on the server reaches the whole process group; the workers
+    must survive it so the parent can drain them through the normal
+    shutdown path instead of them dying mid-read with tracebacks.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _init_worker(spec)
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Bookkeeping of a serving run (the :class:`~repro.runtime.engine
+    .RuntimeStats` idiom, extended with session and tail-latency axes).
+
+    ``latency`` is the merged enqueue->verdict histogram over every
+    closed session; the ``p50_ms``/``p95_ms``/``p99_ms`` properties read
+    the standard percentiles off it. All rate properties use the
+    server's own elapsed clock, so a mostly-idle server honestly reports
+    low sessions/sec rather than the burst rate of its busiest window.
+    """
+
+    mode: str  # "process-pool" | "inline"
+    workers: int
+    transport: str  # "shm" | "pickle" | "none"
+    sessions: int
+    live_sessions: int
+    peak_sessions: int
+    reads: int
+    verdicts: int
+    rejected: int
+    elapsed_s: float
+    index_publications: int
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram, compare=False)
+
+    @property
+    def sessions_per_sec(self) -> float:
+        return self.sessions / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def verdicts_per_sec(self) -> float:
+        return self.verdicts / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency.p50 * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.latency.p95 * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency.p99 * 1e3
+
+    def summary_record(self) -> dict:
+        """JSON-safe server block for ``summary`` frames and CLIs."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "transport": self.transport,
+            "sessions": self.sessions,
+            "live_sessions": self.live_sessions,
+            "peak_sessions": self.peak_sessions,
+            "reads": self.reads,
+            "verdicts": self.verdicts,
+            "rejected": self.rejected,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "index_publications": self.index_publications,
+            "sessions_per_sec": round(self.sessions_per_sec, 3),
+            "verdicts_per_sec": round(self.verdicts_per_sec, 3),
+            **self.latency.percentiles_ms(),
+        }
+
+
+class PoolDispatcher:
+    """The long-lived execution substrate behind the serving front-end.
+
+    Parameters mirror :class:`~repro.runtime.engine.DatasetEngine` where
+    they overlap (``workers``, ``transport``); unlike the engine, the
+    pool and the published index survive across :meth:`process` calls --
+    that persistence *is* the subsystem.
+
+    :meth:`start` must run before the asyncio loop exists (single-
+    threaded fork, exactly the batch engine's warm-up rationale), and
+    :meth:`stop` releases the pool and the index segment.
+    """
+
+    def __init__(
+        self,
+        pipeline: GenPIPPipeline | PipelineSpec,
+        *,
+        workers: int | None = None,
+        transport: str = "auto",
+    ):
+        if isinstance(pipeline, PipelineSpec):
+            self._spec = pipeline
+            self._pipeline: GenPIPPipeline | None = None
+        else:
+            self._spec = PipelineSpec.from_pipeline(pipeline)
+            self._pipeline = pipeline
+        self._workers = resolve_workers(workers)
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+        self._transport = transport
+        self._executor: ProcessPoolExecutor | None = None
+        self._inline: ThreadPoolExecutor | None = None
+        self._index_handle: SharedIndexHandle | None = None
+        self._index_publications = 0
+        self._ticket = 0
+        self._started = False
+
+    # --- lifecycle ---------------------------------------------------
+
+    def start(self) -> "PoolDispatcher":
+        """Warm the pool and publish the index (call before the loop)."""
+        if self._started:
+            raise RuntimeError("dispatcher already started")
+        self._started = True
+        if self._workers > 1:
+            self._start_pool()
+        return self
+
+    def _start_pool(self) -> None:
+        worker_spec = self._spec
+        if self._transport in ("auto", "shm") and isinstance(self._spec.index, MinimizerIndex):
+            try:
+                self._index_handle = publish_index(self._spec.index)
+                self._index_publications += 1
+                worker_spec = self._spec.with_index(self._index_handle)
+            except (OSError, ValueError, ImportError) as exc:
+                if self._transport == "shm":
+                    raise
+                warnings.warn(
+                    f"shared-memory index unavailable ({exc!r}); "
+                    "shipping the pickled index to serving workers",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_serving_worker_init,
+                initargs=(worker_spec,),
+            )
+            executor.submit(_pool_warmup).result()
+        except (
+            ImportError,
+            NotImplementedError,
+            OSError,
+            PermissionError,
+            BrokenProcessPool,
+        ) as exc:
+            warnings.warn(
+                f"serving pool unavailable ({exc!r}); serving inline",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._release_index()
+            return
+        self._executor = executor
+
+    def stop(self) -> None:
+        """Shut the pool down and release the published index segment.
+
+        The index is released *first* (workers keep their attached
+        mappings until they exit, so unlink-before-shutdown is safe on
+        every platform we run on), and a Ctrl-C landing mid-join must
+        not leak it -- the pool shutdown downgrades to non-waiting
+        instead of propagating.
+        """
+        self._release_index()
+        executor, self._executor = self._executor, None
+        inline, self._inline = self._inline, None
+        for pool in (executor, inline):
+            if pool is None:
+                continue
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except KeyboardInterrupt:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _release_index(self) -> None:
+        if self._index_handle is not None:
+            release_unit(self._index_handle.segment)
+            self._index_handle = None
+
+    def __enter__(self) -> "PoolDispatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --- introspection -----------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def mode(self) -> str:
+        return "process-pool" if self._executor is not None else "inline"
+
+    @property
+    def transport(self) -> str:
+        """How read payloads travel ("none" until the first pooled read)."""
+        if self._executor is None:
+            return "none"
+        return "pickle" if self._transport == "pickle" else "shm"
+
+    @property
+    def index_publications(self) -> int:
+        """How many times the index was published (must stay <= 1)."""
+        return self._index_publications
+
+    # --- execution ---------------------------------------------------
+
+    async def process(self, read) -> tuple[ReadOutcome, float]:
+        """Run one read on the warm substrate; returns (outcome, latency_s).
+
+        Latency is the full enqueue->verdict interval as the client
+        experiences it: queueing behind other sessions' reads, payload
+        transport, pipeline execution, and the result's trip back. A
+        pool that breaks mid-read degrades to the inline worker and the
+        read is retried there (the service never drops a read).
+        """
+        enqueued = time.perf_counter()
+        while self._executor is not None:
+            try:
+                future = self._submit_pooled(read)
+            except BrokenProcessPool:
+                self._degrade()
+                break
+            try:
+                result = await asyncio.wrap_future(future)
+                return result.outcomes[0], time.perf_counter() - enqueued
+            except BrokenProcessPool:
+                self._degrade()
+                break
+        outcome = await asyncio.wrap_future(self._submit_inline(read))
+        return outcome, time.perf_counter() - enqueued
+
+    def _submit_pooled(self, read) -> Future:
+        if self._executor is None:  # pragma: no cover - guarded by caller
+            raise BrokenProcessPool("no pool")
+        self._ticket += 1
+        unit = WorkUnit(shard_id=self._ticket, start=0, reads=(read,))
+        if self._transport in ("auto", "shm"):
+            try:
+                shared = publish_unit(unit)
+            except (OSError, ValueError, ImportError) as exc:
+                if self._transport == "shm":
+                    raise BrokenProcessPool(f"shm transport failed: {exc!r}") from exc
+            else:
+                try:
+                    future = self._executor.submit(_process_shared_unit, shared)
+                except BaseException:
+                    release_unit(shared.segment)
+                    raise
+                # Release the per-read segment the moment the worker is
+                # done with it, success or failure -- the long-lived
+                # index segment is the only one that persists.
+                future.add_done_callback(lambda _f: release_unit(shared.segment))
+                return future
+        return self._executor.submit(_process_unit, unit)
+
+    def _submit_inline(self, read) -> Future:
+        if self._inline is None:
+            # One worker thread: reads execute one at a time in-process,
+            # off the event loop, with a pipeline built from the spec.
+            self._inline = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="genpip-serve-inline"
+            )
+        return self._inline.submit(self._process_local, read)
+
+    def _process_local(self, read) -> ReadOutcome:
+        if self._pipeline is None:
+            self._pipeline = self._spec.build()
+        return self._pipeline.process_batch([read])[0]
+
+    def _degrade(self) -> None:
+        """Retire a broken pool; subsequent reads run inline."""
+        if self._executor is None:
+            return
+        warnings.warn(
+            "serving pool broke; continuing inline (single in-process worker)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        executor, self._executor = self._executor, None
+        executor.shutdown(wait=False, cancel_futures=True)

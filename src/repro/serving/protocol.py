@@ -1,0 +1,204 @@
+"""The serving wire protocol: versioned newline-delimited-JSON frames.
+
+One frame per line, each a JSON object with a ``type`` key, over any
+byte stream (the server binds a loopback TCP socket). The vocabulary is
+deliberately tiny -- five frame types carry a whole session:
+
+========== ========== ====================================================
+type       direction  payload
+========== ========== ====================================================
+hello      client ->  ``protocol`` (version), optional ``session`` name
+welcome    server ->  ``session`` id assigned, ``protocol`` echoed
+read       client ->  ``seq`` (client-assigned sequence number) + ``read``
+                      (a base-space or signal-native read record)
+verdict    server ->  ``seq`` echoed, ``accept`` flag, ``latency_ms``, and
+                      the full lossless ``outcome`` record (exactly
+                      :func:`repro.runtime.sink.outcome_to_record`)
+end        client ->  no more reads in this session
+summary    server ->  per-session totals + latency percentiles + server
+                      totals; closes the session
+error      server ->  ``message``; the connection is then closed
+========== ========== ====================================================
+
+Verdicts stream back as each read resolves, so they may arrive in any
+order; ``seq`` is the client's handle to restore submission order. The
+``outcome`` record is byte-for-byte the batch runtime's serialisation,
+which is what lets a client diff its (seq-ordered) verdict stream
+against a serial batch report -- the serving layer's standing
+equivalence invariant.
+
+Read records round-trip losslessly through :func:`read_to_record` /
+:func:`read_from_record`: base-space :class:`SimulatedRead` payloads
+carry codes/qualities, signal-native :class:`SignalRead` payloads carry
+float32 samples (exact via ``float(np.float32)`` repr round-trip)
+and the base-start grid.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.nanopore.read_simulator import ReadClass, SimulatedRead
+from repro.nanopore.signal import RawSignal
+from repro.nanopore.signal_read import SignalRead
+
+#: Protocol version; a ``hello`` carrying any other value is refused.
+PROTOCOL_VERSION = 1
+
+#: Every frame type the protocol knows, by direction.
+CLIENT_FRAMES = ("hello", "read", "end")
+SERVER_FRAMES = ("welcome", "verdict", "summary", "error")
+FRAME_TYPES = CLIENT_FRAMES + SERVER_FRAMES
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol (malformed, wrong type/version)."""
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One NDJSON line (sorted keys, compact, trailing newline)."""
+    if frame.get("type") not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame.get('type')!r}")
+    return (json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+def decode_frame(line: bytes | str, *, expect: tuple[str, ...] | None = None) -> dict:
+    """Parse and validate one frame line.
+
+    ``expect`` restricts the accepted frame types (e.g. a server decoding
+    client input passes :data:`CLIENT_FRAMES`); anything else raises
+    :class:`ProtocolError` instead of a bare KeyError downstream.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {line[:80]!r}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
+    kind = frame.get("type")
+    if kind not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {kind!r}")
+    if expect is not None and kind not in expect:
+        raise ProtocolError(f"unexpected frame type {kind!r}; expected one of {expect}")
+    return frame
+
+
+# --- frame constructors -----------------------------------------------------
+
+
+def hello_frame(session: str | None = None) -> dict:
+    """Client session opener (the only frame carrying the version)."""
+    frame: dict = {"type": "hello", "protocol": PROTOCOL_VERSION}
+    if session is not None:
+        frame["session"] = session
+    return frame
+
+
+def welcome_frame(session: str) -> dict:
+    return {"type": "welcome", "protocol": PROTOCOL_VERSION, "session": session}
+
+
+def read_frame(seq: int, read: SimulatedRead | SignalRead) -> dict:
+    return {"type": "read", "seq": int(seq), "read": read_to_record(read)}
+
+
+def verdict_frame(seq: int, accept: bool, latency_ms: float, outcome: dict) -> dict:
+    return {
+        "type": "verdict",
+        "seq": int(seq),
+        "accept": bool(accept),
+        "latency_ms": round(float(latency_ms), 3),
+        "outcome": outcome,
+    }
+
+
+def end_frame() -> dict:
+    return {"type": "end"}
+
+
+def summary_frame(session: str, totals: dict, latency: dict, server: dict) -> dict:
+    """Session closer: totals, latency percentiles, server-wide stats."""
+    return {
+        "type": "summary",
+        "session": session,
+        "totals": totals,
+        "latency": latency,
+        "server": server,
+    }
+
+
+def error_frame(message: str) -> dict:
+    return {"type": "error", "message": str(message)}
+
+
+def check_hello(frame: dict) -> str | None:
+    """Validate a ``hello`` and return the requested session name."""
+    if frame.get("type") != "hello":
+        raise ProtocolError(f"expected hello, got {frame.get('type')!r}")
+    version = frame.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported (server speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    session = frame.get("session")
+    if session is not None and not isinstance(session, str):
+        raise ProtocolError("session name must be a string")
+    return session
+
+
+# --- read payload (de)serialisation -----------------------------------------
+
+
+def read_to_record(read: SimulatedRead | SignalRead) -> dict:
+    """A JSON-safe record of one read (lossless; see module docstring)."""
+    if isinstance(read, SignalRead):
+        return {
+            "kind": "signal",
+            "read_id": read.read_id,
+            "declared_bases": len(read),
+            # float32 -> float is exact; JSON repr round-trips floats.
+            "samples": [float(sample) for sample in read.signal.samples],
+            "base_starts": [int(start) for start in read.signal.base_starts],
+        }
+    return {
+        "kind": "read",
+        "read_id": read.read_id,
+        "read_class": read.read_class.value,
+        "strand": int(read.strand),
+        "ref_start": read.ref_start,
+        "ref_end": read.ref_end,
+        "seed": int(read.seed),
+        "codes": [int(code) for code in read.true_codes],
+        "qualities": [float(quality) for quality in read.qualities],
+    }
+
+
+def read_from_record(record: dict) -> SimulatedRead | SignalRead:
+    """Inverse of :func:`read_to_record` (exact reconstruction)."""
+    kind = record.get("kind")
+    if kind == "signal":
+        return SignalRead(
+            read_id=record["read_id"],
+            signal=RawSignal(
+                samples=np.asarray(record["samples"], dtype=np.float32),
+                base_starts=np.asarray(record["base_starts"], dtype=np.int64),
+            ),
+            declared_bases=record["declared_bases"],
+        )
+    if kind == "read":
+        return SimulatedRead(
+            read_id=record["read_id"],
+            read_class=ReadClass(record["read_class"]),
+            strand=record["strand"],
+            ref_start=record["ref_start"],
+            ref_end=record["ref_end"],
+            true_codes=np.asarray(record["codes"], dtype=np.uint8),
+            qualities=np.asarray(record["qualities"], dtype=np.float64),
+            seed=record["seed"],
+        )
+    raise ProtocolError(f"unknown read record kind {kind!r}")

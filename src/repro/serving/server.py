@@ -1,0 +1,200 @@
+"""The asyncio serving front-end: sessions in, streamed verdicts out.
+
+:class:`ServingServer` binds a loopback TCP socket and speaks the
+NDJSON protocol of :mod:`repro.serving.protocol`: each accepted
+connection is one session (hello -> welcome), every ``read`` frame is
+dispatched immediately onto the warm pool
+(:class:`~repro.serving.dispatch.PoolDispatcher`), and each verdict is
+written back **the moment its read resolves** -- reads of one session
+overlap each other and every other session's, so there is no batch
+barrier anywhere between the socket and the worker pool. ``end`` waits
+for the session's in-flight reads, then answers with a ``summary``
+frame carrying the session's totals, its enqueue->verdict latency
+percentiles, and the server-wide :class:`~repro.serving.dispatch
+.ServingStats` block.
+
+Concurrency shape: one handler coroutine per connection reads frames;
+each read spawns a task that awaits the dispatcher and writes its
+verdict under the connection's write lock (frames are lines, so the
+lock is what keeps concurrent verdicts from interleaving mid-line).
+Session state lives in the :class:`~repro.serving.session.SessionMux`,
+never in the handler, so the server-wide stats survive the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serving import protocol
+from repro.serving.dispatch import PoolDispatcher, ServingStats
+from repro.serving.session import SessionMux, SessionState
+
+#: Per-line read limit: a signal-native read record is a JSON array of
+#: float samples, far beyond StreamReader's 64 KiB default.
+LINE_LIMIT = 64 * 1024 * 1024
+
+
+class ServingServer:
+    """A long-lived serving endpoint over one started dispatcher.
+
+    The dispatcher must already be :meth:`~repro.serving.dispatch
+    .PoolDispatcher.start`-ed (before the event loop exists -- the
+    single-threaded-fork rationale); the server only multiplexes
+    sessions onto it.
+    """
+
+    def __init__(self, dispatcher: PoolDispatcher, *, host: str = "127.0.0.1", port: int = 0):
+        self._dispatcher = dispatcher
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._mux = SessionMux()
+
+    # --- lifecycle ---------------------------------------------------
+
+    async def start(self) -> "ServingServer":
+        """Bind and start accepting sessions (returns once listening)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port, limit=LINE_LIMIT
+        )
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("start() the server first")
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ServingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # --- stats -------------------------------------------------------
+
+    def stats(self) -> ServingStats:
+        """Server-wide totals over every *closed* session."""
+        mux = self._mux
+        return ServingStats(
+            mode=self._dispatcher.mode,
+            workers=self._dispatcher.workers,
+            transport=self._dispatcher.transport,
+            sessions=mux.sessions_served,
+            live_sessions=mux.live_sessions,
+            peak_sessions=mux.peak_sessions,
+            reads=mux.reads_total,
+            verdicts=mux.verdicts_total,
+            rejected=mux.rejected_total,
+            elapsed_s=mux.elapsed_s,
+            index_publications=self._dispatcher.index_publications,
+            latency=mux.latency,
+        )
+
+    # --- connection handling -----------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+
+        async def send(frame: dict) -> None:
+            async with write_lock:
+                writer.write(protocol.encode_frame(frame))
+                await writer.drain()
+
+        session: SessionState | None = None
+        tasks: set[asyncio.Task] = set()
+        try:
+            hello = await self._read_frame(reader)
+            if hello is None:
+                return
+            name = protocol.check_hello(hello)
+            session = self._mux.open(name)
+            await send(protocol.welcome_frame(session.session_id))
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    # Disconnect without `end`: abandon in-flight reads.
+                    for task in tasks:
+                        task.cancel()
+                    return
+                if frame["type"] == "read":
+                    seq = frame.get("seq")
+                    if not isinstance(seq, int):
+                        raise protocol.ProtocolError(f"read frame needs an int seq, got {seq!r}")
+                    read = protocol.read_from_record(frame.get("read") or {})
+                    session.submit(seq)
+                    task = asyncio.ensure_future(self._run_read(session, send, seq, read))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif frame["type"] == "end":
+                    if tasks:
+                        await asyncio.gather(*tuple(tasks))
+                    # Close first so the summary's server block already
+                    # includes this session in the aggregate.
+                    self._mux.close(session)
+                    await send(
+                        protocol.summary_frame(
+                            session.session_id,
+                            totals=session.totals(),
+                            latency={
+                                "count": session.latency.count,
+                                **session.latency.percentiles_ms(),
+                            },
+                            server=self.stats().summary_record(),
+                        )
+                    )
+                    return
+                elif frame["type"] == "hello":
+                    raise protocol.ProtocolError("duplicate hello on an open session")
+        except protocol.ProtocolError as exc:
+            try:
+                await send(protocol.error_frame(str(exc)))
+            except (ConnectionError, RuntimeError):  # pragma: no cover - peer gone
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError):  # pragma: no cover
+            pass  # peer vanished mid-frame; nothing to answer to
+        finally:
+            if session is not None:
+                self._mux.close(session)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> dict | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        return protocol.decode_frame(line, expect=protocol.CLIENT_FRAMES)
+
+    async def _run_read(self, session: SessionState, send, seq: int, read) -> None:
+        from repro.runtime.sink import outcome_to_record
+
+        outcome, latency_s = await self._dispatcher.process(read)
+        session.resolve(seq, outcome, latency_s)
+        await send(
+            protocol.verdict_frame(
+                seq,
+                accept=not outcome.rejected_early,
+                latency_ms=latency_s * 1e3,
+                outcome=outcome_to_record(outcome),
+            )
+        )

@@ -1,0 +1,123 @@
+"""Session multiplexing: many clients, one warm pipeline substrate.
+
+A *session* is one client connection's lifetime: hello -> reads ->
+verdicts -> summary. The serving layer multiplexes every session's
+in-flight reads onto the same worker pool, so the bookkeeping here is
+what keeps the streams apart: each submitted read is tagged with its
+``(session_id, seq)``; each session accumulates its own verdict
+counters and enqueue->verdict :class:`~repro.perf.latency
+.LatencyHistogram`; and the :class:`SessionMux` folds closed sessions
+into the server-wide totals :class:`repro.serving.dispatch
+.ServingStats` reports.
+
+Nothing here touches sockets or the pool -- the mux is plain state, so
+it is directly unit-testable and the asyncio server
+(:mod:`repro.serving.server`) stays a thin frame loop around it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ReadOutcome
+from repro.perf.latency import LatencyHistogram
+
+
+@dataclass
+class SessionState:
+    """One live client session's bookkeeping.
+
+    ``seq`` numbers are client-assigned and opaque to the server beyond
+    echoing them on verdicts; ``inflight`` holds the seqs submitted but
+    not yet resolved, which is what ``end`` waits on before the summary.
+    """
+
+    session_id: str
+    name: str | None = None
+    started: float = field(default_factory=time.perf_counter)
+    reads_submitted: int = 0
+    verdicts_sent: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    inflight: set[int] = field(default_factory=set)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def submit(self, seq: int) -> None:
+        if seq in self.inflight:
+            raise ValueError(f"duplicate in-flight seq {seq} in {self.session_id}")
+        self.inflight.add(seq)
+        self.reads_submitted += 1
+
+    def resolve(self, seq: int, outcome: ReadOutcome, latency_s: float) -> None:
+        """Fold one resolved read into the session's accounting."""
+        self.inflight.discard(seq)
+        self.verdicts_sent += 1
+        if outcome.rejected_early:
+            self.rejected += 1
+        else:
+            self.accepted += 1
+        self.latency.record(latency_s)
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started
+
+    def totals(self) -> dict:
+        """The ``summary`` frame's per-session totals block."""
+        return {
+            "reads": self.reads_submitted,
+            "verdicts": self.verdicts_sent,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+class SessionMux:
+    """Registry of live sessions plus the merged history of closed ones.
+
+    The server opens a session per accepted connection and closes it when
+    the summary goes out (or the connection drops); the mux keeps the
+    aggregate view -- total sessions served, total verdicts, the merged
+    latency histogram, and the concurrency high-water mark -- that the
+    server-wide :class:`~repro.serving.dispatch.ServingStats` is built
+    from.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._live: dict[str, SessionState] = {}
+        self._started = time.perf_counter()
+        self.sessions_served = 0
+        self.reads_total = 0
+        self.verdicts_total = 0
+        self.rejected_total = 0
+        self.peak_sessions = 0
+        self.latency = LatencyHistogram()
+
+    def open(self, name: str | None = None) -> SessionState:
+        session = SessionState(session_id=f"s{next(self._ids)}", name=name)
+        self._live[session.session_id] = session
+        if len(self._live) > self.peak_sessions:
+            self.peak_sessions = len(self._live)
+        return session
+
+    def close(self, session: SessionState) -> None:
+        """Retire a session, folding its counters into the totals."""
+        if self._live.pop(session.session_id, None) is None:
+            return  # already closed (summary raced a disconnect)
+        self.sessions_served += 1
+        self.reads_total += session.reads_submitted
+        self.verdicts_total += session.verdicts_sent
+        self.rejected_total += session.rejected
+        self.latency.merge(session.latency)
+
+    @property
+    def live_sessions(self) -> int:
+        return len(self._live)
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._started

@@ -1,0 +1,170 @@
+"""Tests for the bench regression gate (``benchmarks/compare_baseline.py``).
+
+The gate is plain stdlib code driven entirely by its CLI, so the tests
+exercise ``main()`` end to end on temp documents: pass, regression,
+missing lane, the exact tolerance boundary, ``--tolerance`` validation,
+duplicate-lane detection (which is what the ``sessions`` identity field
+exists to prevent), and the ``--write-baseline`` promotion flow.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import compare_baseline  # noqa: E402
+
+
+def _document(records: list[dict]) -> dict:
+    return {
+        "schema": "genpip-bench-runtime/1",
+        "python": "3.12.0",
+        "platform": "test",
+        "context": {},
+        "results": records,
+    }
+
+
+def _record(reads_per_sec: float, **identity) -> dict:
+    record = {
+        "source": "reads",
+        "workers": 1,
+        "batching": "fixed",
+        "transport": "none",
+        "mode": "serial",
+        "reads": 10,
+        "elapsed_s": 1.0,
+        "reads_per_sec": reads_per_sec,
+    }
+    record.update(identity)
+    return record
+
+
+def _write(path: Path, records: list[dict]) -> Path:
+    path.write_text(json.dumps(_document(records)) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    return _write(
+        tmp_path / "baseline.json",
+        [_record(100.0), _record(40.0, workers=2, mode="process-pool", transport="shm")],
+    )
+
+
+def test_identical_document_passes(tmp_path, baseline, capsys):
+    current = _write(
+        tmp_path / "current.json",
+        [_record(100.0), _record(40.0, workers=2, mode="process-pool", transport="shm")],
+    )
+    assert compare_baseline.main([str(current), "--baseline", str(baseline)]) == 0
+    assert "all 2 baseline lanes" in capsys.readouterr().out
+
+
+def test_regression_beyond_tolerance_fails(tmp_path, baseline, capsys):
+    current = _write(
+        tmp_path / "current.json",
+        [_record(20.0), _record(40.0, workers=2, mode="process-pool", transport="shm")],
+    )
+    assert compare_baseline.main([str(current), "--baseline", str(baseline)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_tolerance_boundary_is_inclusive(tmp_path, baseline):
+    """Exactly baseline/tolerance passes; one hundredth below fails."""
+    at_floor = _write(
+        tmp_path / "floor.json",
+        [_record(25.0), _record(10.0, workers=2, mode="process-pool", transport="shm")],
+    )
+    assert compare_baseline.main([str(at_floor), "--baseline", str(baseline)]) == 0
+    below = _write(
+        tmp_path / "below.json",
+        [_record(24.99), _record(10.0, workers=2, mode="process-pool", transport="shm")],
+    )
+    assert compare_baseline.main([str(below), "--baseline", str(baseline)]) == 1
+
+
+def test_missing_baseline_lane_fails(tmp_path, baseline, capsys):
+    current = _write(tmp_path / "current.json", [_record(100.0)])
+    assert compare_baseline.main([str(current), "--baseline", str(baseline)]) == 1
+    assert "MISSING" in capsys.readouterr().out
+
+
+def test_new_lane_is_reported_but_not_gated(tmp_path, baseline, capsys):
+    current = _write(
+        tmp_path / "current.json",
+        [
+            _record(100.0),
+            _record(40.0, workers=2, mode="process-pool", transport="shm"),
+            _record(30.0, source="serving", lane="sessions", sessions=3, workers=2),
+        ],
+    )
+    assert compare_baseline.main([str(current), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "new" in out and "sessions=3" in out
+
+
+def test_sessions_field_distinguishes_serving_lanes(tmp_path):
+    """Two serving records differing only in session count must be two
+    lanes, not a duplicate-key error (the IDENTITY_FIELDS regression)."""
+    doc = _write(
+        tmp_path / "doc.json",
+        [
+            _record(30.0, source="serving", lane="sessions", sessions=1, workers=2),
+            _record(28.0, source="serving", lane="sessions", sessions=3, workers=2),
+        ],
+    )
+    results = compare_baseline.load_results(doc)
+    assert len(results) == 2
+
+
+def test_duplicate_lane_rejected(tmp_path):
+    doc = _write(tmp_path / "dupe.json", [_record(10.0), _record(12.0)])
+    with pytest.raises(SystemExit, match="duplicate lane"):
+        compare_baseline.load_results(doc)
+
+
+def test_unexpected_schema_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "something-else", "results": []}))
+    with pytest.raises(SystemExit, match="unexpected schema"):
+        compare_baseline.load_results(path)
+
+
+@pytest.mark.parametrize("tolerance", ["1.0", "0.5", "-2"])
+def test_tolerance_must_exceed_one(tmp_path, baseline, tolerance):
+    current = _write(tmp_path / "current.json", [_record(100.0)])
+    with pytest.raises(SystemExit, match="tolerance"):
+        compare_baseline.main(
+            [str(current), "--baseline", str(baseline), "--tolerance", tolerance]
+        )
+
+
+def test_write_baseline_promotes_document(tmp_path, capsys):
+    current = _write(tmp_path / "current.json", [_record(55.0)])
+    target = tmp_path / "nested" / "baseline.json"
+    assert (
+        compare_baseline.main(
+            [str(current), "--baseline", str(target), "--write-baseline"]
+        )
+        == 0
+    )
+    assert "promoted" in capsys.readouterr().out
+    promoted = compare_baseline.load_results(target)
+    assert len(promoted) == 1
+    # The promoted baseline now gates an identical document.
+    assert compare_baseline.main([str(current), "--baseline", str(target)]) == 0
+
+
+def test_write_baseline_validates_before_promoting(tmp_path):
+    bad = _write(tmp_path / "bad.json", [_record(10.0), _record(10.0)])
+    target = tmp_path / "baseline.json"
+    with pytest.raises(SystemExit, match="duplicate lane"):
+        compare_baseline.main([str(bad), "--baseline", str(target), "--write-baseline"])
+    assert not target.exists()
