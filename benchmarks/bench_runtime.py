@@ -30,9 +30,18 @@ Two consumers:
   grid dataset read-by-read through the warm pool, emitting verdict
   throughput, sessions/sec, and p50/p95/p99 enqueue->verdict latency,
   with the merged verdict stream asserted byte-identical to the serial
-  batch records. Grid records also carry per-batch completion-latency
-  percentiles (``batch_p50_ms``/.../``batch_p99_ms``) measured by a
-  sink wrapper -- measurement columns only, never lane identity.
+  batch records. A **columnar lane** (``"lane": "columnar"``) runs the
+  signal container pooled under the copying shm transport and the
+  zero-copy ``shm-view`` transport, recording each mode's
+  ``bytes_copied_per_read`` (the :mod:`repro.perf.copies` ledger) next
+  to its throughput -- ``--gate-copies`` asserts the view mode moves
+  <= 10% of the copy mode's bytes, which is what CI gates. A
+  **null-sink lane** (``"lane": "null-sink"``) re-runs the reads grid
+  dataset into the counting :class:`~repro.runtime.sink.NullSink`, so
+  the data plane is timed with zero serialisation noise. Grid records
+  also carry per-batch completion-latency percentiles
+  (``batch_p50_ms``/.../``batch_p99_ms``) measured by a sink wrapper --
+  measurement columns only, never lane identity.
 
 The document's expected composition is a function of the module's lane
 constants, not a hardcoded count: :func:`expected_lane_counts` is the
@@ -61,12 +70,17 @@ except ImportError:  # pragma: no cover - standalone grid mode
 
 from repro.core import GenPIP
 from repro.perf import LatencyHistogram
-from repro.runtime import DatasetEngine, MemorySink
+from repro.runtime import DatasetEngine, MemorySink, NullSink
 
 WORKER_COUNTS = (1, 2, 4)
 BATCHING_MODES = ("fixed", "length-aware")
 GRID_TRANSPORTS = ("pickle", "shm")
 SIGNAL_WORKER_COUNTS = (1, 2)
+#: The columnar lane's copy modes: transport -> record's ``copy_mode``.
+COLUMNAR_MODES = (("shm", "copy"), ("shm-view", "view"))
+#: Pool size of the columnar lane (one pooled size; the axis under
+#: test is the copy mode, not scaling).
+COLUMNAR_WORKERS = 2
 #: The serving sessions lane: concurrent-session counts x pool workers.
 SESSION_COUNTS = (1, 3)
 SESSION_WORKERS = (2,)
@@ -218,6 +232,112 @@ def collect_sessions_lane(system, dataset, repeats: int = 1) -> list[dict]:
     return records
 
 
+def collect_columnar_lane(signal_system, store_path, repeats: int = 1) -> list[dict]:
+    """Time the zero-copy plane against the copying shm transport.
+
+    The same signal container runs pooled twice -- classic ``shm``
+    (workers copy every array out of the segment) and ``shm-view``
+    (workers take read-only views under a segment lease) -- and each
+    record carries the worker-side ``bytes_copied_per_read`` from the
+    :mod:`repro.perf.copies` ledger next to its throughput. On noisy
+    1-CPU runners the wall clock is not trustworthy, but the byte ledger
+    is exact: :func:`gate_copy_bytes` (CI's ``--gate-copies`` step)
+    asserts the view mode's figure is <= 10% of the copy mode's. Both
+    modes must reproduce the serial report byte-for-byte.
+    """
+    from repro.runtime import SignalStoreSource
+
+    serial_engine = DatasetEngine(signal_system.pipeline, workers=1)
+    serial = serial_engine.run(SignalStoreSource(store_path))
+    records = []
+    for transport, copy_mode in COLUMNAR_MODES:
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            engine = DatasetEngine(
+                signal_system.pipeline, workers=COLUMNAR_WORKERS, transport=transport
+            )
+            report = engine.run(SignalStoreSource(store_path))
+            elapsed = time.perf_counter() - started
+            stats = engine.last_stats
+            assert report.n_reads == stats.n_reads > 0
+            assert (
+                report.outcomes == serial.outcomes
+                and report.counters == serial.counters
+            ), f"columnar[{copy_mode}]: pooled report diverged from serial"
+            if copy_mode == "view":
+                assert stats.bytes_copied == 0, (
+                    f"zero-copy attach copied {stats.bytes_copied} bytes"
+                )
+            rps = report.n_reads / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "signals",
+                    "lane": "columnar",
+                    "copy_mode": copy_mode,
+                    "workers": COLUMNAR_WORKERS,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                    "bytes_copied": stats.bytes_copied,
+                    "bytes_published": stats.bytes_published,
+                    "bytes_copied_per_read": round(stats.bytes_copied_per_read, 2),
+                }
+        records.append(best)
+    return records
+
+
+def collect_null_sink_lane(system, dataset, repeats: int = 1) -> list[dict]:
+    """Time the data plane with outcomes counted and discarded.
+
+    The reads-grid dataset re-run per worker count into
+    :class:`~repro.runtime.sink.NullSink`: ingest, transport, kernels,
+    and the ordered merge with zero serialisation noise. Counters must
+    match the serial run exactly (the sink changes where outcomes go,
+    never what they are).
+    """
+    serial_counters = None
+    records = []
+    for workers in WORKER_COUNTS:
+        best = None
+        for _ in range(repeats):
+            sink = NullSink()
+            engine = DatasetEngine(system.pipeline, workers=workers, sink=sink)
+            started = time.perf_counter()
+            report = engine.run(dataset)
+            elapsed = time.perf_counter() - started
+            stats = engine.last_stats
+            assert sink.n_emitted == report.n_reads == len(dataset)
+            if serial_counters is None:
+                serial_counters = report.counters
+            assert report.counters == serial_counters, (
+                f"null-sink: workers={workers} counters diverged from serial"
+            )
+            rps = len(dataset) / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "reads",
+                    "lane": "null-sink",
+                    "sink": "null",
+                    "workers": workers,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                }
+        records.append(best)
+    return records
+
+
 def expected_lane_counts() -> dict[str, int]:
     """Lane name -> record count, derived from the module's constants.
 
@@ -238,6 +358,8 @@ def expected_lane_counts() -> dict[str, int]:
         "viterbi-events": len(SIGNAL_WORKER_COUNTS),
         "dnn-batch": 2 * len(SIGNAL_WORKER_COUNTS),  # per-chunk and batched variants
         "sessions": len(SESSION_COUNTS) * len(SESSION_WORKERS),
+        "columnar": len(COLUMNAR_MODES),
+        "null-sink": len(WORKER_COUNTS),
     }
 
 
@@ -276,6 +398,40 @@ def verify_document(path) -> list[str]:
                 f"lane {lane!r}: expected {expected.get(lane, 0)} records, "
                 f"found {observed.get(lane, 0)}"
             )
+    return problems
+
+
+def gate_copy_bytes(path, max_ratio: float = 0.10) -> list[str]:
+    """Assert the zero-copy lane's worker-side bytes beat the copy lane's.
+
+    Reads the columnar lane out of a bench document and checks the view
+    mode's ``bytes_copied_per_read`` is at most ``max_ratio`` of the
+    copy mode's. Wall clock on shared runners is noise; this byte ledger
+    is exact, which is why CI gates on it. Returns a list of problems
+    (empty when the gate passes).
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    by_mode = {
+        record.get("copy_mode"): record
+        for record in document.get("results", ())
+        if record.get("lane") == "columnar"
+    }
+    problems = []
+    for _, mode in COLUMNAR_MODES:
+        if mode not in by_mode:
+            problems.append(f"columnar lane missing copy_mode={mode!r} record")
+    if problems:
+        return problems
+    copied = by_mode["copy"]["bytes_copied_per_read"]
+    viewed = by_mode["view"]["bytes_copied_per_read"]
+    if copied <= 0:
+        problems.append(f"copy mode reports no copied bytes ({copied}); ledger broken")
+    elif viewed > max_ratio * copied:
+        problems.append(
+            f"zero-copy lane copied {viewed} B/read, over {max_ratio:.0%} of the "
+            f"copying lane's {copied} B/read"
+        )
     return problems
 
 
@@ -612,7 +768,20 @@ def main(argv=None) -> int:
         help="verify an existing bench document against the lane registry "
         "(schema + per-lane record counts + positive throughput) and exit",
     )
+    parser.add_argument(
+        "--gate-copies", metavar="JSON", default=None,
+        help="assert the columnar lane's zero-copy bytes_copied_per_read is "
+        "<= 10%% of the copying lane's in an existing bench document and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.gate_copies is not None:
+        problems = gate_copy_bytes(args.gate_copies)
+        for problem in problems:
+            print(f"gate-copies: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.gate_copies}: zero-copy lane within the 10% copy budget")
+        return 1 if problems else 0
 
     if args.verify is not None:
         problems = verify_document(args.verify)
@@ -741,6 +910,15 @@ def main(argv=None) -> int:
             )
         records += collect_dnn_batch_lane(dnn_systems, store_path, repeats=args.repeats)
 
+        # Columnar lane (PR 8): the same container pooled under the
+        # copying and zero-copy shm transports, with the exact byte
+        # ledger recorded next to the wall time.
+        records += collect_columnar_lane(signal_system, store_path, repeats=args.repeats)
+
+    # Null-sink lane: the reads grid dataset with outcomes counted and
+    # discarded -- the data plane without serialisation noise.
+    records += collect_null_sink_lane(system, dataset, repeats=args.repeats)
+
     # Serving sessions lane: the grid dataset streamed read-by-read
     # through the warm serving layer by concurrent loopback sessions.
     records += collect_sessions_lane(system, dataset, repeats=args.repeats)
@@ -759,6 +937,13 @@ def main(argv=None) -> int:
         extra = ""
         if record.get("signal_er"):
             extra = f" signal-er reject={record['reject_rate']:.0%}"
+        elif record.get("lane") == "columnar":
+            extra = (
+                f" copy_mode={record['copy_mode']} "
+                f"{record['bytes_copied_per_read']:.0f} B copied/read"
+            )
+        elif record.get("lane") == "null-sink":
+            extra = " sink=null"
         elif record.get("lane") == "sessions":
             extra = (
                 f" sessions={record['sessions']} p50={record['p50_ms']:.1f}ms "

@@ -42,7 +42,9 @@ DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_runtime_baseline
 
 #: Fields that identify a lane (everything else is measurement).
 #: ``sessions`` distinguishes the serving lane's concurrency points --
-#: without it the N-session records would collide as duplicates.
+#: without it the N-session records would collide as duplicates;
+#: ``copy_mode`` and ``sink`` do the same for the columnar lane's two
+#: transports and the null-sink lane.
 IDENTITY_FIELDS = (
     "source",
     "lane",
@@ -55,6 +57,8 @@ IDENTITY_FIELDS = (
     "dnn_batched",
     "signal_er",
     "sessions",
+    "copy_mode",
+    "sink",
 )
 
 

@@ -27,6 +27,15 @@ recurrent layers run packed -- rows sorted by length, the active batch
 shrinking as shorter sequences finish, each sequence seeing exactly the
 arithmetic it would see alone (up to matmul rounding) -- and the head
 runs over all valid frames as one matmul.
+
+Columnar data plane note: the windows handed in are views
+(``RawSignal.clamped_slice`` slices), so under the zero-copy transport
+(``attach_unit(copy=False)``; see :mod:`repro.runtime.columnar`) this
+pack stage reads shared-segment bytes **directly** -- the gather that
+used to operate on worker-side copies now operates on the parent's
+published buffers, with no intermediate materialisation. Per-window
+normalisation then writes into fresh feature tensors, exactly as in the
+per-chunk path, so the shared bytes are never mutated.
 """
 
 from __future__ import annotations

@@ -59,14 +59,21 @@ def sdtw_cost(
     reference: np.ndarray,
     band: int | None = None,
     kernel: str = "wavefront",
+    reference_normalized: bool = False,
 ) -> float:
     """Subsequence DTW cost of ``query`` against any span of ``reference``.
 
     Dispatches to the named kernel; all kernels return bit-identical
     costs (see the module docstring), so the choice is purely a speed
-    knob.
+    knob. ``reference_normalized=True`` declares that ``reference`` is
+    already the output of :func:`znormalise` (a caller screening many
+    queries against fixed templates normalises each template once);
+    since ``znormalise`` is deterministic, skipping the redundant pass
+    is bit-identical, not merely close.
     """
-    return resolve_sdtw_kernel(kernel)(query, reference, band=band)
+    return resolve_sdtw_kernel(kernel)(
+        query, reference, band=band, reference_normalized=reference_normalized
+    )
 
 
 def _band_bounds(i: int, n: int, m: int, band: int | None) -> tuple[int, int]:
@@ -78,7 +85,10 @@ def _band_bounds(i: int, n: int, m: int, band: int | None) -> tuple[int, int]:
 
 
 def sdtw_cost_scalar(
-    query: np.ndarray, reference: np.ndarray, band: int | None = None
+    query: np.ndarray,
+    reference: np.ndarray,
+    band: int | None = None,
+    reference_normalized: bool = False,
 ) -> float:
     """Row-major scalar reference (the original interpreted recurrence).
 
@@ -87,7 +97,11 @@ def sdtw_cost_scalar(
     reorganisation removes.
     """
     q = znormalise(query)
-    r = znormalise(reference)
+    r = (
+        np.asarray(reference, dtype=np.float64)
+        if reference_normalized
+        else znormalise(reference)
+    )
     n, m = q.size, r.size
     if n == 0:
         return 0.0
@@ -112,7 +126,10 @@ def sdtw_cost_scalar(
 
 
 def sdtw_cost_wavefront(
-    query: np.ndarray, reference: np.ndarray, band: int | None = None
+    query: np.ndarray,
+    reference: np.ndarray,
+    band: int | None = None,
+    reference_normalized: bool = False,
 ) -> float:
     """Anti-diagonal wavefront evaluation: one vector op per diagonal.
 
@@ -124,7 +141,11 @@ def sdtw_cost_wavefront(
     hold ``inf`` exactly as the scalar kernel leaves them unwritten.
     """
     q = znormalise(query)
-    r = znormalise(reference)
+    r = (
+        np.asarray(reference, dtype=np.float64)
+        if reference_normalized
+        else znormalise(reference)
+    )
     n, m = q.size, r.size
     if n == 0:
         return 0.0

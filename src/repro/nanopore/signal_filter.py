@@ -45,6 +45,7 @@ def subsequence_dtw(
     reference: np.ndarray,
     band: int | None = None,
     kernel: str = "wavefront",
+    reference_normalized: bool = False,
 ) -> float:
     """Subsequence DTW cost of ``query`` against any span of ``reference``.
 
@@ -69,8 +70,18 @@ def subsequence_dtw(
         sDTW kernel name (:data:`repro.kernels.SDTW_KERNELS`); all
         kernels return bit-identical costs, so this is purely a speed
         knob.
+    reference_normalized:
+        Declares ``reference`` is already z-normalised (a screening
+        caller normalises each fixed template once instead of per
+        query); bit-identical to normalising again.
     """
-    return sdtw_cost(query, reference, band=band, kernel=kernel)
+    return sdtw_cost(
+        query,
+        reference,
+        band=band,
+        kernel=kernel,
+        reference_normalized=reference_normalized,
+    )
 
 
 @dataclass(frozen=True)
@@ -115,6 +126,11 @@ class SignalPrefilter:
         resolve_sdtw_kernel(kernel)  # fail fast on unknown names
         self._model = pore_model
         self._templates = [np.asarray(t, dtype=np.float64) for t in templates]
+        # Templates are fixed for the filter's lifetime while every read
+        # brings a new query: z-normalise each template exactly once and
+        # tell the kernel so (bit-identical -- znormalise is
+        # deterministic -- but the per-read template passes disappear).
+        self._normalized_templates = [znormalise(t) for t in self._templates]
         self._threshold = threshold
         self._kernel = kernel
 
@@ -160,8 +176,10 @@ class SignalPrefilter:
         else:
             compressed = samples
         best = float("inf")
-        for template in self._templates:
-            cost = subsequence_dtw(compressed, template, kernel=self._kernel)
+        for template in self._normalized_templates:
+            cost = subsequence_dtw(
+                compressed, template, kernel=self._kernel, reference_normalized=True
+            )
             best = min(best, cost)
             if best < self._threshold:
                 break

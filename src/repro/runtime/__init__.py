@@ -14,9 +14,15 @@ supplies the execution layer as a streaming dataflow:
   fixed or length-aware (base-balanced) batching;
 * :mod:`repro.runtime.spec` -- :class:`PipelineSpec`, the picklable
   per-worker pipeline factory;
+* :mod:`repro.runtime.columnar` -- the single columnar batch layout
+  (:class:`ColumnarLayout` / :class:`ColumnarBatch`) shared by the
+  transport, the kernel plane, and the sinks: planned once, packed
+  once, viewed everywhere else;
 * :mod:`repro.runtime.transport` -- shared-memory publication of read
   and signal payloads plus the minimizer index (workers receive
-  handles, not pickles);
+  handles, not pickles); ``attach_unit(copy=False)`` plus
+  :class:`~repro.runtime.transport.SegmentLease` form the zero-copy
+  plane (transport ``"shm-view"``);
 * :mod:`repro.runtime.merge` -- :class:`ShardCollector`, the
   order-preserving streaming merge that releases the completed prefix;
 * :mod:`repro.runtime.sink` -- :class:`ReportSink` consumers of that
@@ -35,6 +41,7 @@ identical to the sequential run's -- same outcomes, same order, same
 counters.
 """
 
+from repro.runtime.columnar import ColumnarBatch, ColumnarLayout
 from repro.runtime.engine import TRANSPORTS, DatasetEngine, RuntimeStats, run_dataset
 from repro.runtime.merge import ShardCollector, ShardResult
 from repro.runtime.sharding import (
@@ -49,6 +56,7 @@ from repro.runtime.sharding import (
 from repro.runtime.sink import (
     JSONLSink,
     MemorySink,
+    NullSink,
     ParquetSink,
     ReportSink,
     iter_outcomes_jsonl,
@@ -70,25 +78,31 @@ from repro.runtime.source import (
 )
 from repro.runtime.spec import PipelineSpec
 from repro.runtime.transport import (
+    SegmentLease,
     SharedIndexHandle,
     active_segments,
     attach_index,
     publish_index,
     release_all,
+    worker_leases,
 )
 
 __all__ = [
     "BATCHING_MODES",
+    "ColumnarBatch",
+    "ColumnarLayout",
     "DatasetEngine",
     "IterableSource",
     "JSONLSink",
     "MemorySink",
+    "NullSink",
     "ParquetSink",
     "PipelineSpec",
     "Prefetcher",
     "ReadSource",
     "ReportSink",
     "RuntimeStats",
+    "SegmentLease",
     "SequenceSource",
     "ShardCollector",
     "ShardResult",
@@ -115,4 +129,5 @@ __all__ = [
     "resolve_batch_size",
     "resolve_workers",
     "run_dataset",
+    "worker_leases",
 ]

@@ -89,6 +89,7 @@ from repro.nanopore.signal_store import (
 from repro.runtime.engine import TRANSPORTS, DatasetEngine
 from repro.runtime.sink import (
     JSONLSink,
+    NullSink,
     ParquetSink,
     replay_parquet_report,
     replay_report,
@@ -97,7 +98,7 @@ from repro.runtime.source import SignalStoreSource, SimulatorSource, StoreSource
 from repro.signal import SegmentationConfig, SignalRejectionPolicy
 
 SOURCES = ("memory", "generator", "store", "signals")
-SINKS = ("memory", "jsonl", "parquet")
+SINKS = ("memory", "jsonl", "parquet", "null")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,15 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--transport", choices=TRANSPORTS, default="auto",
-        help="how pooled read payloads travel: shared memory, pickle, or "
-        "auto (shm with pickle fallback)",
+        help="how pooled read payloads travel: shared memory (shm copies "
+        "arrays out worker-side; shm-view hands workers zero-copy views "
+        "under a segment lease), pickle, or auto (shm with pickle fallback)",
     )
     out = parser.add_argument_group("output")
     out.add_argument(
         "--sink", choices=SINKS, default="memory",
-        help="outcome sink: in-memory report, incremental JSONL, or columnar "
-        "Parquet (both streaming sinks keep O(batch) parent memory and "
-        "require --outcomes; parquet needs the optional pyarrow dependency)",
+        help="outcome sink: in-memory report, incremental JSONL, columnar "
+        "Parquet, or null (count and discard, for throughput measurement). "
+        "The streaming sinks keep O(batch) parent memory and require "
+        "--outcomes; parquet needs the optional pyarrow dependency",
     )
     out.add_argument(
         "--outcomes", default=None, metavar="PATH",
@@ -343,6 +346,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--sink {args.sink} requires --outcomes PATH")
     if args.outcomes and args.sink not in ("jsonl", "parquet"):
         parser.error("--outcomes only makes sense with --sink jsonl or parquet")
+    if args.sink == "null" and args.json_path:
+        parser.error("--sink null discards outcomes; it cannot produce a --json report")
     if args.source != "signals":
         if args.signal_er:
             parser.error("--signal-er only applies to --source signals runs")
@@ -363,6 +368,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             sink = ParquetSink(args.outcomes)
         except ImportError as exc:
             parser.error(str(exc))
+    elif args.sink == "null":
+        sink = NullSink()
     else:
         sink = None
 
@@ -568,7 +575,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"(batch {stats.batch_size}, {stats.batching}, "
             f"source {args.source}, sink {args.sink}, transport {stats.transport}"
             f"{backpressure}): "
-            f"{stats.elapsed_s:.2f}s, {stats.reads_per_sec:.1f} reads/s",
+            f"{stats.elapsed_s:.2f}s, {stats.reads_per_sec:.1f} reads/s"
+            + (
+                f", {stats.bytes_copied_per_read:,.0f} B copied/read"
+                if stats.transport != "none"
+                else ""
+            ),
             file=sys.stderr,
         )
     return 0

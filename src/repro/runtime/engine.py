@@ -52,6 +52,8 @@ from dataclasses import dataclass
 from repro.core.genpip import GenPIPReport
 from repro.core.pipeline import GenPIPPipeline
 from repro.mapping.index import MinimizerIndex
+from repro.perf.copies import copied_bytes, record_copy
+from repro.runtime.columnar import payload_nbytes
 from repro.runtime.merge import ShardCollector, ShardResult
 from repro.runtime.sharding import (
     WorkUnit,
@@ -70,10 +72,15 @@ from repro.runtime.transport import (
     publish_index,
     publish_unit,
     release_unit,
+    unit_lease,
 )
 
-#: Supported transports for pooled payloads.
-TRANSPORTS = ("auto", "shm", "pickle")
+#: Supported transports for pooled payloads. ``"shm-view"`` is the
+#: zero-copy plane: shared-memory publication plus ``copy=False``
+#: worker attach (read-only views into the segment, released via a
+#: :class:`~repro.runtime.transport.SegmentLease` once the batch's
+#: outcomes exist).
+TRANSPORTS = ("auto", "shm", "shm-view", "pickle")
 
 #: In-flight work units per worker (bounds parent memory and keeps the
 #: pool saturated while the source streams).
@@ -96,16 +103,59 @@ def _worker_pipeline() -> GenPIPPipeline:
 
 
 def _process_unit(unit: WorkUnit) -> ShardResult:
-    """Run one pickled work unit on the per-worker pipeline."""
+    """Run one pickled work unit on the per-worker pipeline.
+
+    The unit arrived as a pickle, so its payload bytes were already
+    materialised in this worker by deserialisation; they are charged to
+    the ``"pickle"`` boundary and shipped home as the unit's copy cost.
+    """
+    nbytes = payload_nbytes(unit.reads)
+    record_copy("pickle", nbytes)
     return ShardResult.from_outcomes(
-        unit.shard_id, _worker_pipeline().process_batch(list(unit.reads))
+        unit.shard_id,
+        _worker_pipeline().process_batch(list(unit.reads)),
+        bytes_copied=nbytes,
     )
 
 
 def _process_shared_unit(shared: SharedUnit) -> ShardResult:
-    """Run one shared-memory work unit on the per-worker pipeline."""
+    """Run one shared-memory work unit on the per-worker pipeline.
+
+    Classic copy-out attach: the ``"attach"`` boundary delta taken here
+    is exactly this unit's worker-side copy traffic.
+    """
+    before = copied_bytes("attach")
     reads = attach_unit(shared)
-    return ShardResult.from_outcomes(shared.shard_id, _worker_pipeline().process_batch(reads))
+    return ShardResult.from_outcomes(
+        shared.shard_id,
+        _worker_pipeline().process_batch(reads),
+        bytes_copied=copied_bytes("attach") - before,
+    )
+
+
+def _process_shared_unit_view(shared: SharedUnit) -> ShardResult:
+    """Run one shared-memory work unit over zero-copy segment views.
+
+    The reads' arrays are read-only views into the shared mapping; the
+    lease registered by ``attach_unit(copy=False)`` keeps the mapping
+    open until the outcomes exist, then the views are dropped *before*
+    the release so the close does not have to be deferred. Worker-side
+    copy traffic is zero by construction -- the attach-boundary delta is
+    shipped anyway so the accounting stays uniform (and honest if a
+    future change reintroduces a copy).
+    """
+    before = copied_bytes("attach")
+    reads = attach_unit(shared, copy=False)
+    lease = unit_lease(shared.segment)
+    try:
+        outcomes = _worker_pipeline().process_batch(reads)
+    finally:
+        del reads
+        if lease is not None:
+            lease.release()
+    return ShardResult.from_outcomes(
+        shared.shard_id, outcomes, bytes_copied=copied_bytes("attach") - before
+    )
 
 
 def _pool_warmup() -> None:
@@ -146,7 +196,7 @@ class RuntimeStats:
     n_reads: int
     elapsed_s: float
     batching: str = "fixed"  # "fixed" | "length-aware"
-    transport: str = "none"  # "none" | "pickle" | "shm"
+    transport: str = "none"  # "none" | "pickle" | "shm" | "shm-view"
     #: Whether the run had the signal-domain (pre-basecalling) early
     #: rejection stage active -- a config property surfaced here so the
     #: CLI summary can label SER runs without inspecting the pipeline.
@@ -155,10 +205,24 @@ class RuntimeStats:
     prefetch_peak: int = 0  # high-water mark of that buffer
     inflight_window: int = 0  # max work units submitted concurrently
     inflight_peak: int = 0  # high-water mark of submitted-not-collected units
+    #: Worker-side payload bytes copied to obtain reads (attach copies
+    #: under "shm", deserialised payloads under "pickle", zero under
+    #: "shm-view") -- summed from per-unit ShardResult deltas.
+    bytes_copied: int = 0
+    #: Parent-side payload bytes moved to make units reachable: shm
+    #: publication ("publish" boundary) plus pickled payloads. Paid in
+    #: every pooled mode -- the segment *is* the batch -- so it is
+    #: reported separately from the gated copy figure above.
+    bytes_published: int = 0
 
     @property
     def reads_per_sec(self) -> float:
         return self.n_reads / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def bytes_copied_per_read(self) -> float:
+        """Worker-side copied bytes per read -- the bench's gated metric."""
+        return self.bytes_copied / self.n_reads if self.n_reads > 0 else 0.0
 
 
 class DatasetEngine:
@@ -190,9 +254,12 @@ class DatasetEngine:
         (units balanced by total bases; see
         :mod:`repro.runtime.sharding`).
     transport:
-        How pooled payloads travel: ``"shm"`` (shared memory),
-        ``"pickle"``, or ``"auto"`` (shared memory, degrading to pickle
-        if segments cannot be created). Serial runs move nothing.
+        How pooled payloads travel: ``"shm"`` (shared memory, workers
+        copy arrays out), ``"shm-view"`` (shared memory, workers take
+        zero-copy read-only views held by a segment lease),
+        ``"pickle"``, or ``"auto"`` (shared memory copy mode, degrading
+        to pickle if segments cannot be created). Serial runs move
+        nothing.
     prefetch_depth:
         Reads buffered by the background producer thread ahead of
         planning in pooled runs; ``None`` auto-sizes from the window.
@@ -279,6 +346,7 @@ class DatasetEngine:
         }
         collector = ShardCollector()
         started = time.perf_counter()
+        published_before = copied_bytes("publish") + copied_bytes("pickle")
         sink.begin(self._spec.config)
         try:
             if pool_workers <= 1:
@@ -303,6 +371,10 @@ class DatasetEngine:
             batching=self._batching,
             transport=transport,
             signal_er=self._spec.signal_rejection_enabled(),
+            bytes_copied=collector.bytes_copied,
+            bytes_published=copied_bytes("publish")
+            + copied_bytes("pickle")
+            - published_before,
             **self._backpressure,
         )
         return report
@@ -374,12 +446,14 @@ class DatasetEngine:
         # the index exactly as for unit payloads in _submit.
         index_handle: SharedIndexHandle | None = None
         worker_spec = self._spec
-        if self._transport in ("auto", "shm") and isinstance(self._spec.index, MinimizerIndex):
+        if self._transport in ("auto", "shm", "shm-view") and isinstance(
+            self._spec.index, MinimizerIndex
+        ):
             try:
                 index_handle = publish_index(self._spec.index)
                 worker_spec = self._spec.with_index(index_handle)
             except (OSError, ValueError, ImportError) as exc:
-                if self._transport == "shm":
+                if self._transport in ("shm", "shm-view"):
                     raise
                 warnings.warn(
                     f"shared-memory index unavailable ({exc!r}); "
@@ -475,7 +549,9 @@ class DatasetEngine:
                 if n_submitted == 0:
                     # "auto" never resolved: no payload ever travelled.
                     return "process-pool", "none"
-                return "process-pool", ("pickle" if transport == "pickle" else "shm")
+                if transport == "auto":
+                    transport = "shm"
+                return "process-pool", transport
             except BrokenProcessPool as exc:
                 # Worker processes can die lazily (first task) in
                 # sandboxes that allow pool creation but not process
@@ -516,12 +592,17 @@ class DatasetEngine:
     def _submit(
         self, executor: ProcessPoolExecutor, unit: WorkUnit, transport: str
     ) -> tuple[Future, str | None, str]:
-        """Submit one unit, publishing via shared memory when possible."""
-        if transport in ("auto", "shm"):
+        """Submit one unit, publishing via shared memory when possible.
+
+        ``"shm-view"`` submits the zero-copy worker entry point
+        (``attach_unit(copy=False)`` plus lease release); like ``"shm"``
+        it is a hard contract -- only ``"auto"`` degrades to pickle.
+        """
+        if transport in ("auto", "shm", "shm-view"):
             try:
                 shared = publish_unit(unit)
             except (OSError, ValueError, ImportError) as exc:
-                if transport == "shm":
+                if transport in ("shm", "shm-view"):
                     raise
                 warnings.warn(
                     f"shared-memory transport unavailable ({exc!r}); using pickle",
@@ -530,12 +611,20 @@ class DatasetEngine:
                 )
                 transport = "pickle"
             else:
+                worker_fn = (
+                    _process_shared_unit_view
+                    if transport == "shm-view"
+                    else _process_shared_unit
+                )
                 try:
-                    future = executor.submit(_process_shared_unit, shared)
+                    future = executor.submit(worker_fn, shared)
                 except BaseException:
                     release_unit(shared.segment)
                     raise
                 return future, shared.segment, transport
+        # Parent-side serialisation cost of the pickled payload (the
+        # worker charges its deserialised copy separately).
+        record_copy("pickle", payload_nbytes(unit.reads))
         return executor.submit(_process_unit, unit), None, transport
 
     def _collect_completed(

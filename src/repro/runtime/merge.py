@@ -34,13 +34,20 @@ class ShardResult:
     shard_id: int
     outcomes: tuple[ReadOutcome, ...]
     counters: ReportCounters
+    #: Worker-side payload bytes copied to obtain this unit's reads
+    #: (attach copies / pickled payloads; zero on the zero-copy plane).
+    #: Pure bookkeeping -- never part of the report or its counters.
+    bytes_copied: int = 0
 
     @classmethod
-    def from_outcomes(cls, shard_id: int, outcomes: list[ReadOutcome]) -> "ShardResult":
+    def from_outcomes(
+        cls, shard_id: int, outcomes: list[ReadOutcome], bytes_copied: int = 0
+    ) -> "ShardResult":
         return cls(
             shard_id=shard_id,
             outcomes=tuple(outcomes),
             counters=ReportCounters.from_outcomes(outcomes),
+            bytes_copied=bytes_copied,
         )
 
 
@@ -55,6 +62,7 @@ class ShardCollector:
         self._next_shard = 0
         self._n_ready = 0
         self._drained = 0
+        self._bytes_copied = 0
 
     def set_expected(self, n_shards: int) -> None:
         """Declare the total shard count (streaming plans learn it late)."""
@@ -77,6 +85,7 @@ class ShardCollector:
             raise ValueError(f"shard id {result.shard_id} outside plan of {self._n_shards}")
         if result.shard_id < self._next_shard or result.shard_id in self._pending:
             raise ValueError(f"shard id {result.shard_id} delivered twice")
+        self._bytes_copied += result.bytes_copied
         self._pending[result.shard_id] = result
         while self._next_shard in self._pending:
             ready = self._pending.pop(self._next_shard)
@@ -107,6 +116,11 @@ class ShardCollector:
     def counters(self) -> ReportCounters:
         """Exact merged counters of the completed prefix so far."""
         return self._counters
+
+    @property
+    def bytes_copied(self) -> int:
+        """Summed worker-side copy traffic of every accepted shard."""
+        return self._bytes_copied
 
     def drain(self) -> list[ReadOutcome]:
         """Outcomes newly added to the ordered prefix since last drain.

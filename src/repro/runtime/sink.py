@@ -17,11 +17,16 @@ it, so the parent's peak outcome retention is O(batch):
 * :class:`ParquetSink` -- the columnar sibling for analytics-scale
   outcome files: scalar fields as native Arrow columns, nested
   QSR/CMR/mapping records as JSON-encoded nullable strings, written in
-  row groups as the prefix grows. Requires the optional ``pyarrow``
-  dependency (install ``genpip-repro[parquet]``); construction raises a
-  clear ``ImportError`` without it, and
+  row groups as the prefix grows. Outcomes accumulate directly into
+  per-column buffers, and each flush assembles Arrow arrays zero-copy
+  with ``pa.Array.from_buffers`` over those buffers -- no per-record
+  Python dicts, no ``from_pydict`` boxing. Requires the optional
+  ``pyarrow`` dependency (install ``genpip-repro[parquet]``);
+  construction raises a clear ``ImportError`` without it, and
   :func:`replay_parquet_report` round-trips losslessly like the JSONL
   path.
+* :class:`NullSink` -- counts and discards outcomes, so throughput
+  lanes can measure the data plane itself with zero serialisation cost.
 
 Outcome serialisation is lossless: every field of
 :class:`~repro.core.pipeline.ReadOutcome` -- including the nested
@@ -37,6 +42,8 @@ from collections.abc import Iterator, Sequence
 from dataclasses import asdict
 from pathlib import Path
 from typing import IO, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.core.config import GenPIPConfig
 from repro.core.early_rejection import CMRDecision, QSRDecision
@@ -88,6 +95,41 @@ class MemorySink:
 
     def abort(self) -> None:
         self._outcomes = []
+
+
+class NullSink:
+    """Counts and discards outcomes: the data plane without serialisation.
+
+    The throughput-measurement sink (``--sink null``): a lane that pairs
+    it with any source and transport measures read ingest, payload
+    movement, kernel execution, and the ordered merge with zero
+    serialisation or I/O noise. ``n_emitted`` / ``n_batches`` expose
+    what flowed through; the finished report carries the collector's
+    exact counters and no outcomes.
+    """
+
+    def __init__(self) -> None:
+        self._config: GenPIPConfig | None = None
+        self.n_emitted = 0
+        self.n_batches = 0
+
+    def begin(self, config: GenPIPConfig) -> None:
+        self._config = config
+        self.n_emitted = 0
+        self.n_batches = 0
+
+    def emit(self, outcomes: Sequence[ReadOutcome]) -> None:
+        if outcomes:
+            self.n_batches += 1
+            self.n_emitted += len(outcomes)
+
+    def finish(self, counters: ReportCounters) -> GenPIPReport:
+        if self._config is None:
+            raise RuntimeError("sink finished before begin()")
+        return GenPIPReport(outcomes=[], config=self._config, counters=counters)
+
+    def abort(self) -> None:
+        return None
 
 
 class JSONLSink:
@@ -173,17 +215,82 @@ _PARQUET_COLUMNS = (
 _PARQUET_JSON_FIELDS = tuple(name for name, kind in _PARQUET_COLUMNS if kind == "json")
 
 
+def _validity_buffer(pa, mask: np.ndarray):
+    """(validity buffer, null_count) for a boolean presence mask.
+
+    Arrow validity bitmaps are LSB-ordered bits; an all-present column
+    carries no bitmap at all (``None`` buffer, zero nulls).
+    """
+    null_count = int(mask.size - np.count_nonzero(mask))
+    if null_count == 0:
+        return None, 0
+    return pa.py_buffer(np.packbits(mask, bitorder="little")), null_count
+
+
+def _scalar_column(pa, kind: str, values: list):
+    """One Arrow array built zero-copy over numpy buffers.
+
+    ``int64`` columns are non-null by construction; ``bool`` values are
+    bit-packed (Arrow's layout); ``float64`` is nullable
+    (``mean_quality`` of never-basecalled reads).
+    """
+    n = len(values)
+    if kind == "int64":
+        data = np.asarray(values, dtype=np.int64)
+        return pa.Array.from_buffers(pa.int64(), n, [None, pa.py_buffer(data)])
+    if kind == "bool":
+        bits = np.packbits(np.asarray(values, dtype=bool), bitorder="little")
+        return pa.Array.from_buffers(pa.bool_(), n, [None, pa.py_buffer(bits)])
+    mask = np.fromiter((v is not None for v in values), dtype=bool, count=n)
+    data = np.array([0.0 if v is None else v for v in values], dtype=np.float64)
+    validity, null_count = _validity_buffer(pa, mask)
+    return pa.Array.from_buffers(
+        pa.float64(), n, [validity, pa.py_buffer(data)], null_count=null_count
+    )
+
+
+def _string_column(pa, values: list):
+    """A (nullable) utf8 Arrow array from int32 offsets + one data buffer.
+
+    Offsets repeat at a null (that row spans zero data bytes); the
+    validity bitmap marks it absent rather than empty.
+    """
+    n = len(values)
+    offsets = np.zeros(n + 1, dtype=np.int32)
+    mask = np.ones(n, dtype=bool)
+    chunks: list[bytes] = []
+    position = 0
+    for i, value in enumerate(values):
+        if value is None:
+            mask[i] = False
+        else:
+            encoded = value.encode("utf-8")
+            chunks.append(encoded)
+            position += len(encoded)
+        offsets[i + 1] = position
+    validity, null_count = _validity_buffer(pa, mask)
+    return pa.Array.from_buffers(
+        pa.string(),
+        n,
+        [validity, pa.py_buffer(offsets), pa.py_buffer(b"".join(chunks))],
+        null_count=null_count,
+    )
+
+
 class ParquetSink:
     """Streams outcomes to a columnar Parquet file (optional pyarrow).
 
-    Outcomes accumulate into row groups of ``batch_rows`` and are
-    flushed incrementally through a ``pyarrow.parquet.ParquetWriter``,
-    so parent retention stays O(batch_rows). Serialisation is lossless:
-    scalar fields are native columns, the nested QSR/CMR/mapping
-    records are the same JSON encodings the JSONL sink writes, and
-    :func:`replay_parquet_report` reconstructs the exact in-memory
-    report. On ``abort`` the partially written file is closed and left
-    on disk.
+    Outcomes accumulate **per column** (no per-record dicts) into row
+    groups of ``batch_rows`` and are flushed incrementally through a
+    ``pyarrow.parquet.ParquetWriter``, so parent retention stays
+    O(batch_rows). Each flush assembles the Arrow table zero-copy:
+    every array is built with ``pa.Array.from_buffers`` over numpy /
+    bytes buffers (``pa.py_buffer``), never through ``from_pydict``
+    boxing. Serialisation is lossless: scalar fields are native
+    columns, the nested QSR/CMR/mapping records are the same JSON
+    encodings the JSONL sink writes, and :func:`replay_parquet_report`
+    reconstructs the exact in-memory report. On ``abort`` the partially
+    written file is closed and left on disk.
     """
 
     def __init__(self, path, batch_rows: int = 1024):
@@ -203,7 +310,8 @@ class ParquetSink:
             [self._pa.field(name, arrow_types[kind]) for name, kind in _PARQUET_COLUMNS]
         )
         self._writer = None
-        self._buffer: list[dict] = []
+        self._columns: dict[str, list] = {}
+        self._rows = 0
         self._config: GenPIPConfig | None = None
 
     @property
@@ -213,15 +321,18 @@ class ParquetSink:
     def begin(self, config: GenPIPConfig) -> None:
         self._close()
         self._config = config
-        self._buffer = []
+        self._reset_columns()
         self._writer = self._pq.ParquetWriter(self._path, self._schema)
+
+    def _reset_columns(self) -> None:
+        self._columns = {name: [] for name, _ in _PARQUET_COLUMNS}
+        self._rows = 0
 
     def emit(self, outcomes: Sequence[ReadOutcome]) -> None:
         if self._writer is None:
             raise RuntimeError("sink emitted to before begin()")
         for outcome in outcomes:
             record = outcome_to_record(outcome)
-            row = {}
             for name, kind in _PARQUET_COLUMNS:
                 # "ser" is present in records only for signal-ER runs
                 # (keeping pre-SER JSONL byte-identical); the column is
@@ -229,9 +340,9 @@ class ParquetSink:
                 value = record.get(name)
                 if kind == "json" and value is not None:
                     value = json.dumps(value, sort_keys=True, separators=(",", ":"))
-                row[name] = value
-            self._buffer.append(row)
-        if len(self._buffer) >= self._batch_rows:
+                self._columns[name].append(value)
+            self._rows += 1
+        if self._rows >= self._batch_rows:
             self._flush()
 
     def finish(self, counters: ReportCounters) -> GenPIPReport:
@@ -245,21 +356,26 @@ class ParquetSink:
         self._close()
 
     def _flush(self) -> None:
-        if not self._buffer or self._writer is None:
+        if not self._rows or self._writer is None:
             return
-        columns = {
-            name: [row[name] for row in self._buffer] for name in self._schema.names
-        }
+        pa = self._pa
+        arrays = []
+        for name, kind in _PARQUET_COLUMNS:
+            values = self._columns[name]
+            if kind in ("string", "json"):
+                arrays.append(_string_column(pa, values))
+            else:
+                arrays.append(_scalar_column(pa, kind, values))
         self._writer.write_table(
-            self._pa.Table.from_pydict(columns, schema=self._schema)
+            pa.Table.from_arrays(arrays, schema=self._schema)
         )
-        self._buffer = []
+        self._reset_columns()
 
     def _close(self) -> None:
         if self._writer is not None:
             self._writer.close()
             self._writer = None
-        self._buffer = []
+        self._reset_columns()
 
 
 def iter_outcomes_parquet(path) -> Iterator[ReadOutcome]:

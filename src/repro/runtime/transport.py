@@ -7,30 +7,38 @@ value once per work unit, and each worker deserialises them again. This
 module publishes payloads **once** through
 ``multiprocessing.shared_memory`` instead:
 
-* :func:`publish_unit` lays a unit's payloads into one segment --
-  8-byte-aligned arrays first (float64 quality tracks, int64 base-start
-  tracks), then float32 signal samples, then uint8 base codes -- and
-  returns a :class:`SharedUnit`: shard id, segment name, and one handle
-  per read (:class:`ReadHandle` for base-space reads,
-  :class:`SignalHandle` for signal-native reads carrying raw current).
-  The task message that crosses the process boundary is just this
-  handle bundle (~100 bytes per read).
-* :func:`attach_unit` (worker side) attaches the segment, copies the
-  arrays out (copies, so no view outlives the mapping), rebuilds the
-  :class:`~repro.nanopore.read_simulator.SimulatedRead`\\ s /
-  :class:`~repro.nanopore.signal_read.SignalRead`\\ s, and closes the
-  mapping immediately.
+* :func:`publish_unit` packs a unit's payloads into one segment using
+  the :class:`~repro.runtime.columnar.ColumnarLayout` batch layout
+  (8-byte section first -- float64 quality tracks, int64 base-start
+  tracks -- then float32 signal samples, then uint8 base codes; see the
+  layout diagram in :mod:`repro.runtime.columnar`) and returns a
+  :class:`SharedUnit`: shard id, segment name, and one offset handle
+  per read. The task message that crosses the process boundary is just
+  this handle bundle (~100 bytes per read).
+* :func:`attach_unit` (worker side) rebuilds the reads. ``copy=True``
+  (the classic mode) copies every array out and closes the mapping
+  before returning, charging the bytes to the ``"attach"`` boundary of
+  :mod:`repro.perf.copies`. ``copy=False`` (the zero-copy plane)
+  returns reads whose arrays are **read-only views** into the segment;
+  the mapping is held open by a ref-counted :class:`SegmentLease`
+  (:func:`unit_lease`) that the consumer releases once the batch's
+  outcomes are produced -- the segment-lifetime handoff that lets views
+  safely outlive the parent's eager :func:`release_unit` (POSIX keeps
+  an unlinked segment's pages alive while any mapping remains).
 * :func:`publish_index` / :func:`attach_index` do the same for the
   reference minimizer index: its key/position/strand arrays and the
   reference codes are laid out in **one** segment published once per
   run, so pool initialisation ships a ~100-byte
   :class:`SharedIndexHandle` to each worker instead of pickling the
-  index ``max_workers`` times through the initializer.
+  index ``max_workers`` times through the initializer. The rebuilt
+  index's arrays are zero-copy views (see :func:`attach_index` for the
+  lifetime contract).
 * :func:`release_unit` / :func:`release_all` (parent side) close and
   unlink segments. The engine guarantees a release on every exit path
   -- result collected, worker exception, broken-pool fallback, engine
   crash -- and :func:`active_segments` exposes the outstanding names so
-  tests can assert nothing leaked.
+  tests can assert nothing leaked. :func:`worker_leases` is the
+  worker-side counterpart for the zero-copy plane.
 
 Worker attachment unregisters from the per-process ``resource_tracker``
 (or passes ``track=False`` on Python >= 3.13): the parent owns the
@@ -59,10 +67,34 @@ import numpy as np
 from repro.genomics.reference import ReferenceGenome
 from repro.mapping.index import IndexEntry, MinimizerIndex
 from repro.mapping.minimizers import MinimizerConfig
-from repro.nanopore.read_simulator import ReadClass, SimulatedRead
-from repro.nanopore.signal import RawSignal
+from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal_read import SignalRead
+from repro.runtime.columnar import (
+    ColumnarBatch,
+    ColumnarLayout,
+    ReadHandle,
+    SignalHandle,
+)
 from repro.runtime.sharding import WorkUnit
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ReadHandle",
+    "SignalHandle",
+    "SharedUnit",
+    "SharedIndexHandle",
+    "SegmentLease",
+    "publish_unit",
+    "attach_unit",
+    "publish_index",
+    "attach_index",
+    "release_unit",
+    "release_all",
+    "active_segments",
+    "unit_lease",
+    "worker_leases",
+    "reap_leases",
+]
 
 #: Prefix of every segment name this transport creates (leak checks key on it).
 SEGMENT_PREFIX = "genpip-"
@@ -71,33 +103,6 @@ SEGMENT_PREFIX = "genpip-"
 _ACTIVE: dict[str, shared_memory.SharedMemory] = {}
 
 _COUNTER = itertools.count()
-
-
-@dataclass(frozen=True)
-class ReadHandle:
-    """Where one read's payloads live inside a shared segment."""
-
-    read_id: str
-    read_class: str  # ReadClass value
-    strand: int
-    ref_start: int | None
-    ref_end: int | None
-    seed: int
-    n_bases: int
-    quality_offset: int  # byte offset of the float64 quality track
-    codes_offset: int  # byte offset of the uint8 base codes
-
-
-@dataclass(frozen=True)
-class SignalHandle:
-    """Where one signal-native read's payloads live inside a segment."""
-
-    read_id: str
-    declared_bases: int
-    n_samples: int
-    n_starts: int
-    samples_offset: int  # byte offset of the float32 sample array
-    starts_offset: int  # byte offset of the int64 base-start array
 
 
 @dataclass(frozen=True)
@@ -141,132 +146,160 @@ def _discard_segment(segment: "shared_memory.SharedMemory") -> None:
 def publish_unit(unit: WorkUnit) -> SharedUnit:
     """Publish one work unit's payloads into a fresh shared segment.
 
-    Layout keeps every array naturally aligned: the 8-byte section
-    first (float64 quality tracks of base-space reads, int64 base-start
-    tracks of signal-native reads, in read order), then the float32
-    signal samples, then the uint8 base codes. The segment stays
+    The segment holds exactly one :class:`~repro.runtime.columnar
+    .ColumnarLayout` batch (every array naturally aligned; see the
+    layout diagram in :mod:`repro.runtime.columnar`) and stays
     registered in the parent until :func:`release_unit`.
     """
-    total8 = 0  # f64 qualities + i64 base starts
-    total_samples = 0  # f32 signal samples
-    total_codes = 0  # u8 base codes
-    for read in unit.reads:
-        if isinstance(read, SignalRead):
-            total8 += 8 * read.signal.n_bases
-            total_samples += 4 * read.signal.samples.size
-        else:
-            total8 += 8 * len(read)
-            total_codes += len(read)
-    segment = _create_segment(total8 + total_samples + total_codes)
+    layout = ColumnarLayout.plan(unit.reads)
+    segment = _create_segment(layout.total_bytes)
     try:
-        handles: list[ReadHandle | SignalHandle] = []
-        offset8 = 0
-        samples_offset = total8
-        codes_offset = total8 + total_samples
-        for read in unit.reads:
-            if isinstance(read, SignalRead):
-                n_starts = read.signal.n_bases
-                n_samples = read.signal.samples.size
-                np.frombuffer(
-                    segment.buf, dtype=np.int64, count=n_starts, offset=offset8
-                )[:] = read.signal.base_starts
-                np.frombuffer(
-                    segment.buf, dtype=np.float32, count=n_samples, offset=samples_offset
-                )[:] = read.signal.samples
-                handles.append(
-                    SignalHandle(
-                        read_id=read.read_id,
-                        declared_bases=len(read),
-                        n_samples=n_samples,
-                        n_starts=n_starts,
-                        samples_offset=samples_offset,
-                        starts_offset=offset8,
-                    )
-                )
-                offset8 += 8 * n_starts
-                samples_offset += 4 * n_samples
-            else:
-                n = len(read)
-                np.frombuffer(segment.buf, dtype=np.float64, count=n, offset=offset8)[
-                    :
-                ] = read.qualities
-                np.frombuffer(segment.buf, dtype=np.uint8, count=n, offset=codes_offset)[
-                    :
-                ] = read.true_codes
-                handles.append(
-                    ReadHandle(
-                        read_id=read.read_id,
-                        read_class=read.read_class.value,
-                        strand=read.strand,
-                        ref_start=read.ref_start,
-                        ref_end=read.ref_end,
-                        seed=read.seed,
-                        n_bases=n,
-                        quality_offset=offset8,
-                        codes_offset=codes_offset,
-                    )
-                )
-                offset8 += 8 * n
-                codes_offset += n
+        layout.pack_into(segment.buf, unit.reads)
     except BaseException:
         _discard_segment(segment)
         raise
     _ACTIVE[segment.name] = segment
-    return SharedUnit(shard_id=unit.shard_id, segment=segment.name, handles=tuple(handles))
+    return SharedUnit(
+        shard_id=unit.shard_id, segment=segment.name, handles=layout.handles
+    )
 
 
-def attach_unit(shared: SharedUnit) -> list[SimulatedRead | SignalRead]:
+# --- worker-side segment leases (zero-copy attach) ---------------------------
+
+
+class SegmentLease:
+    """A ref-counted worker-side hold on an attached unit segment.
+
+    The zero-copy attach hands out numpy views into the mapping; the
+    mapping must therefore stay open until every consumer of the batch
+    is done -- *after* the outcomes are produced, which is later than
+    the parent's :func:`release_unit` (safe: POSIX keeps the unlinked
+    segment's pages alive while the mapping exists). Consumers call
+    :meth:`acquire` to extend the hold and :meth:`release` when done;
+    the final release closes the mapping.
+
+    A close attempted while views are still alive (e.g. an exception
+    traceback pinning the batch, or a provider cache holding a
+    normalised copy keyed by the view) raises ``BufferError`` inside
+    CPython's mmap teardown; the lease *defers* such a close instead of
+    propagating, and :func:`reap_leases` retries once the views are
+    garbage (every subsequent attach reaps opportunistically). Process
+    exit reclaims any mapping that never got its retry -- the parent
+    already unlinked the name, so nothing persists in ``/dev/shm``.
+    """
+
+    __slots__ = ("_segment", "_name", "_refs", "_closed", "_deferred")
+
+    def __init__(self, segment: "shared_memory.SharedMemory"):
+        self._segment = segment
+        self._name = segment.name
+        self._refs = 1
+        self._closed = False
+        self._deferred = False
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    @property
+    def closed(self) -> bool:
+        """Whether the mapping has actually been closed."""
+        return self._closed
+
+    @property
+    def deferred(self) -> bool:
+        """Whether the final release is waiting on live views (GC)."""
+        return self._deferred
+
+    def acquire(self) -> "SegmentLease":
+        if self._closed or self._refs <= 0:
+            raise RuntimeError(f"lease on {self._name} already fully released")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one hold; the last drop closes (or defers) the mapping."""
+        if self._closed or self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            self._try_close()
+
+    def _try_close(self) -> None:
+        try:
+            self._segment.close()
+        except BufferError:
+            # numpy views into the mapping are still exported; closing
+            # now would pull the pages out from under them. Retry via
+            # reap_leases() once they are garbage.
+            self._deferred = True
+            return
+        self._deferred = False
+        self._closed = True
+        _LEASES.pop(self._name, None)
+
+
+#: Worker-side registry of leases not yet closed: segment name -> lease.
+_LEASES: dict[str, SegmentLease] = {}
+
+
+def unit_lease(name: str) -> SegmentLease | None:
+    """The live lease of an attached segment (None once closed)."""
+    return _LEASES.get(name)
+
+
+def worker_leases() -> tuple[str, ...]:
+    """Names of leases still *held* (refs > 0) in this process.
+
+    The worker-side leak probe: after a batch's outcomes are produced
+    and its lease released, this must be empty (a deferred close waiting
+    only on garbage collection no longer counts as held).
+    """
+    return tuple(sorted(name for name, lease in _LEASES.items() if lease.refs > 0))
+
+
+def reap_leases() -> None:
+    """Retry deferred closes whose views have since been collected."""
+    for lease in list(_LEASES.values()):
+        if lease.deferred and lease.refs == 0:
+            lease._try_close()
+
+
+def attach_unit(
+    shared: SharedUnit, copy: bool = True
+) -> list[SimulatedRead | SignalRead]:
     """Rebuild a unit's reads from its shared segment (worker side).
 
-    Arrays are copied out of the mapping, so the returned reads stay
-    valid after the mapping is closed (which happens before returning).
+    ``copy=True`` (default, the classic mode): arrays are copied out of
+    the mapping -- charged to the ``"attach"`` copy boundary -- and the
+    mapping is closed before returning, so the reads have no lifetime
+    ties to the segment.
+
+    ``copy=False`` (the zero-copy plane): arrays are **read-only views**
+    into the mapping. The mapping is held open by a
+    :class:`SegmentLease` registered under the segment name
+    (:func:`unit_lease`); the caller must ``release()`` it after the
+    batch's outcomes are produced. Until then the views remain valid
+    even after the parent unlinks the segment.
     """
+    reap_leases()
     segment = _attach(shared.segment)
-    try:
-        reads: list[SimulatedRead | SignalRead] = []
-        for handle in shared.handles:
-            if isinstance(handle, SignalHandle):
-                samples = np.frombuffer(
-                    segment.buf,
-                    dtype=np.float32,
-                    count=handle.n_samples,
-                    offset=handle.samples_offset,
-                ).copy()
-                starts = np.frombuffer(
-                    segment.buf,
-                    dtype=np.int64,
-                    count=handle.n_starts,
-                    offset=handle.starts_offset,
-                ).copy()
-                reads.append(
-                    SignalRead(
-                        read_id=handle.read_id,
-                        signal=RawSignal(samples=samples, base_starts=starts),
-                        declared_bases=handle.declared_bases,
-                    )
-                )
-                continue
-            qualities = np.frombuffer(
-                segment.buf, dtype=np.float64, count=handle.n_bases, offset=handle.quality_offset
-            ).copy()
-            codes = np.frombuffer(
-                segment.buf, dtype=np.uint8, count=handle.n_bases, offset=handle.codes_offset
-            ).copy()
-            reads.append(
-                SimulatedRead(
-                    read_id=handle.read_id,
-                    read_class=ReadClass(handle.read_class),
-                    strand=handle.strand,
-                    ref_start=handle.ref_start,
-                    ref_end=handle.ref_end,
-                    true_codes=codes,
-                    qualities=qualities,
-                    seed=handle.seed,
-                )
-            )
+    batch = ColumnarBatch.from_buffer(segment.buf, shared.handles)
+    if copy:
+        try:
+            reads = batch.reads(copy=True)
+        finally:
+            # Drop the batch's buffer reference before closing: a live
+            # view would turn close() into a BufferError.
+            del batch
+            segment.close()
         return reads
-    finally:
-        segment.close()
+    _LEASES[shared.segment] = SegmentLease(segment)
+    return batch.reads(copy=False)
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -373,32 +406,46 @@ def publish_index(index: MinimizerIndex) -> SharedIndexHandle:
     return replace(handle, segment=segment.name)
 
 
-def attach_index(handle: SharedIndexHandle) -> MinimizerIndex:
-    """Rebuild the index from its shared segment (worker side).
+#: Process-lifetime index mappings: segment name -> SharedMemory.
+#: attach_index views point into these; dropping the SharedMemory object
+#: would let its __del__ close the mapping under the views, so each
+#: attached index mapping is pinned here for the life of the process.
+_INDEX_ATTACHMENTS: dict[str, shared_memory.SharedMemory] = {}
 
-    The big arrays are copied out of the mapping once; per-key entries
-    are views into those worker-private copies, so the rebuilt index
-    costs one pass over the segment and no pickling. The mapping is
-    closed before returning.
+
+def attach_index(handle: SharedIndexHandle) -> MinimizerIndex:
+    """Rebuild the index from its shared segment (worker side, zero-copy).
+
+    The rebuilt index's arrays -- per-key position/strand slices and the
+    reference codes -- are **read-only views** into the shared mapping:
+    one attach costs one page-table mapping, not a copy of the index
+    (previously every worker duplicated all five arrays).
+
+    Lifetime contract: the mapping is pinned for the remaining life of
+    the attaching process (an index outlives every work unit by
+    design -- the engine publishes it before the pool starts and
+    releases it after the pool is done). The parent may unlink the
+    segment at any time; POSIX keeps the pages alive until the attached
+    mappings disappear with the worker processes. Each distinct segment
+    name is attached at most once per process, so re-entrant pipeline
+    builds share one mapping.
     """
     bounds_off, positions_off, strands_off, codes_off = _index_offsets(handle)
-    segment = _attach(handle.segment)
-    try:
-        keys = np.frombuffer(segment.buf, dtype=np.uint64, count=handle.n_keys, offset=0).copy()
-        bounds = np.frombuffer(
-            segment.buf, dtype=np.int64, count=handle.n_keys + 1, offset=bounds_off
-        ).copy()
-        positions = np.frombuffer(
-            segment.buf, dtype=np.int64, count=handle.n_locations, offset=positions_off
-        ).copy()
-        strands = np.frombuffer(
-            segment.buf, dtype=np.int8, count=handle.n_locations, offset=strands_off
-        ).copy()
-        codes = np.frombuffer(
-            segment.buf, dtype=np.uint8, count=handle.reference_length, offset=codes_off
-        ).copy()
-    finally:
-        segment.close()
+    segment = _INDEX_ATTACHMENTS.get(handle.segment)
+    if segment is None:
+        segment = _attach(handle.segment)
+        _INDEX_ATTACHMENTS[handle.segment] = segment
+
+    def view(dtype, count: int, offset: int) -> np.ndarray:
+        arr = np.frombuffer(segment.buf, dtype=dtype, count=count, offset=offset)
+        arr.flags.writeable = False
+        return arr
+
+    keys = view(np.uint64, handle.n_keys, 0)
+    bounds = view(np.int64, handle.n_keys + 1, bounds_off)
+    positions = view(np.int64, handle.n_locations, positions_off)
+    strands = view(np.int8, handle.n_locations, strands_off)
+    codes = view(np.uint8, handle.reference_length, codes_off)
     table = {
         int(key): IndexEntry(
             positions=positions[bounds[i] : bounds[i + 1]],

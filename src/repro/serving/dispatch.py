@@ -47,6 +47,7 @@ from repro.runtime.engine import (
     _init_worker,
     _pool_warmup,
     _process_shared_unit,
+    _process_shared_unit_view,
     _process_unit,
 )
 from repro.runtime.sharding import WorkUnit, resolve_workers
@@ -84,7 +85,7 @@ class ServingStats:
 
     mode: str  # "process-pool" | "inline"
     workers: int
-    transport: str  # "shm" | "pickle" | "none"
+    transport: str  # "shm" | "shm-view" | "pickle" | "none"
     sessions: int
     live_sessions: int
     peak_sessions: int
@@ -185,13 +186,15 @@ class PoolDispatcher:
 
     def _start_pool(self) -> None:
         worker_spec = self._spec
-        if self._transport in ("auto", "shm") and isinstance(self._spec.index, MinimizerIndex):
+        if self._transport in ("auto", "shm", "shm-view") and isinstance(
+            self._spec.index, MinimizerIndex
+        ):
             try:
                 self._index_handle = publish_index(self._spec.index)
                 self._index_publications += 1
                 worker_spec = self._spec.with_index(self._index_handle)
             except (OSError, ValueError, ImportError) as exc:
-                if self._transport == "shm":
+                if self._transport in ("shm", "shm-view"):
                     raise
                 warnings.warn(
                     f"shared-memory index unavailable ({exc!r}); "
@@ -268,7 +271,9 @@ class PoolDispatcher:
         """How read payloads travel ("none" until the first pooled read)."""
         if self._executor is None:
             return "none"
-        return "pickle" if self._transport == "pickle" else "shm"
+        if self._transport == "pickle":
+            return "pickle"
+        return "shm-view" if self._transport == "shm-view" else "shm"
 
     @property
     def index_publications(self) -> int:
@@ -307,15 +312,20 @@ class PoolDispatcher:
             raise BrokenProcessPool("no pool")
         self._ticket += 1
         unit = WorkUnit(shard_id=self._ticket, start=0, reads=(read,))
-        if self._transport in ("auto", "shm"):
+        if self._transport in ("auto", "shm", "shm-view"):
             try:
                 shared = publish_unit(unit)
             except (OSError, ValueError, ImportError) as exc:
-                if self._transport == "shm":
+                if self._transport in ("shm", "shm-view"):
                     raise BrokenProcessPool(f"shm transport failed: {exc!r}") from exc
             else:
+                worker_fn = (
+                    _process_shared_unit_view
+                    if self._transport == "shm-view"
+                    else _process_shared_unit
+                )
                 try:
-                    future = self._executor.submit(_process_shared_unit, shared)
+                    future = self._executor.submit(worker_fn, shared)
                 except BaseException:
                     release_unit(shared.segment)
                     raise
