@@ -18,7 +18,10 @@ Two consumers:
   commit carries a machine-checkable proof that the wavefront sDTW is
   bit-identical to the scalar recurrence, the trellis kernel matches the
   triple-loop reference, the event-space decode tracks the sample-space
-  one, and batched DNN inference reproduces the per-chunk path.
+  one, batched DNN inference reproduces the per-chunk path, and the
+  mapping plane (batched seeding, blocked chain DP, wavefront Gotoh)
+  reproduces its scalar references anchor-for-anchor, parent-for-parent,
+  CIGAR-for-CIGAR.
 """
 
 import argparse
@@ -334,6 +337,150 @@ def collect_dnn_equivalence(repeats: int = 3) -> list[dict]:
     ]
 
 
+def collect_chain_equivalence(repeats: int = 3) -> list[dict]:
+    """Blocked chain DP vs the scalar reference: bit-equal scores/parents."""
+    from repro.kernels.chain import chain_scores_blocked, chain_scores_scalar
+
+    rng = np.random.default_rng(26)
+
+    def _colinear(n, jitter):
+        ref = np.sort(rng.integers(0, 60_000, size=n))
+        read = np.maximum(0, ref - ref.min() + rng.integers(-jitter, jitter, size=n))
+        arr = np.stack([ref, read], axis=1).astype(np.int64)
+        return arr[np.lexsort((arr[:, 1], arr[:, 0]))]
+
+    def _scattered(n):
+        arr = np.stack(
+            [np.sort(rng.integers(0, 60_000, size=n)), rng.integers(0, 9_000, size=n)],
+            axis=1,
+        ).astype(np.int64)
+        return arr[np.lexsort((arr[:, 1], arr[:, 0]))]
+
+    cases = [
+        ("colinear-2000", _colinear(2_000, 40), 5_000, 50),
+        ("scattered-1500", _scattered(1_500), 5_000, 50),
+        ("short-lookback", _colinear(800, 30), 500, 5),
+        ("block-boundary-5000", _colinear(5_000, 40), 5_000, 50),
+    ]
+    records = []
+    for name, anchors, max_gap, lookback in cases:
+        scalar, t_scalar = _best_time(
+            chain_scores_scalar, anchors, 13, max_gap, lookback, repeats=repeats
+        )
+        blocked, t_blocked = _best_time(
+            chain_scores_blocked, anchors, 13, max_gap, lookback, repeats=repeats
+        )
+        records.append(
+            {
+                "plane": "chain-dp",
+                "case": name,
+                "anchors": int(anchors.shape[0]),
+                "equal": bool(
+                    np.array_equal(scalar[0], blocked[0])
+                    and np.array_equal(scalar[1], blocked[1])
+                ),
+                "scalar_s": round(t_scalar, 6),
+                "kernel_s": round(t_blocked, 6),
+                "speedup": round(t_scalar / t_blocked, 2) if t_blocked else 0.0,
+            }
+        )
+    return records
+
+
+def collect_align_equivalence(repeats: int = 3) -> list[dict]:
+    """Wavefront Gotoh vs the scalar kernel: identical scores and CIGARs."""
+    from repro.kernels.align import gotoh_scalar, gotoh_wavefront
+
+    rng = np.random.default_rng(27)
+    a_rand = rng.integers(0, 4, 55).astype(np.uint8)
+    b_rand = rng.integers(0, 4, 62).astype(np.uint8)
+    a_mut = rng.integers(0, 4, 58).astype(np.uint8)
+    cases = [
+        ("random-55x62", a_rand, b_rand),
+        ("mutated-58", a_mut, apply_errors(a_mut, 0.15, rng).codes),
+        ("all-ambiguous-ties", np.zeros(40, dtype=np.uint8), np.zeros(55, dtype=np.uint8)),
+        ("empty-vs-short", np.empty(0, dtype=np.uint8), rng.integers(0, 4, 9).astype(np.uint8)),
+    ]
+    records = []
+    for name, a, b in cases:
+        scalar, t_scalar = _best_time(
+            gotoh_scalar, a, b, 2.0, -4.0, -4.0, -2.0, repeats=repeats
+        )
+        wavefront, t_wavefront = _best_time(
+            gotoh_wavefront, a, b, 2.0, -4.0, -4.0, -2.0, repeats=repeats
+        )
+        records.append(
+            {
+                "plane": "align-gotoh",
+                "case": name,
+                "cells": int(a.size) * int(b.size),
+                "equal": bool(scalar == wavefront),
+                "scalar_score": scalar[0],
+                "kernel_score": wavefront[0],
+                "scalar_s": round(t_scalar, 6),
+                "kernel_s": round(t_wavefront, 6),
+                "speedup": round(t_scalar / t_wavefront, 2) if t_wavefront else 0.0,
+            }
+        )
+    return records
+
+
+def collect_seed_equivalence(repeats: int = 3) -> list[dict]:
+    """Batched searchsorted seeding vs the per-key scalar walk."""
+    from repro.kernels.seed import seed_anchors_batched, seed_anchors_scalar
+
+    rng = np.random.default_rng(28)
+    reference = ReferenceGenome.random(150_000, seed=29)
+    index = MinimizerIndex.build(reference)
+    cases = []
+    for name, start, length, error in [
+        ("clean-6kb", 20_000, 6_000, 0.0),
+        ("noisy-9kb", 60_000, 9_000, 0.12),
+    ]:
+        read = reference.fetch(start, start + length)
+        if error:
+            read = apply_errors(read, error, rng).codes
+        cases.append((name, minimizer_arrays(read, index.config), int(read.size)))
+    junk = rng.integers(0, 4, 3_000).astype(np.uint8)
+    cases.append(("junk-3kb", minimizer_arrays(junk, index.config), int(junk.size)))
+
+    records = []
+    for name, (keys, positions, strands), read_length in cases:
+        args = (
+            keys,
+            positions,
+            strands,
+            index.key_array,
+            index.bounds_array,
+            index.position_array,
+            index.strand_array,
+        )
+        scalar, t_scalar = _best_time(
+            lambda a=args, n=read_length: seed_anchors_scalar(*a, read_length=n),
+            repeats=repeats,
+        )
+        batched, t_batched = _best_time(
+            lambda a=args, n=read_length: seed_anchors_batched(*a, read_length=n),
+            repeats=repeats,
+        )
+        records.append(
+            {
+                "plane": "seed-lookup",
+                "case": name,
+                "queries": int(keys.size),
+                "anchors": int(batched[1].shape[0] + batched[-1].shape[0]),
+                "equal": bool(
+                    np.array_equal(scalar[1], batched[1])
+                    and np.array_equal(scalar[-1], batched[-1])
+                ),
+                "scalar_s": round(t_scalar, 6),
+                "kernel_s": round(t_batched, 6),
+                "speedup": round(t_scalar / t_batched, 2) if t_batched else 0.0,
+            }
+        )
+    return records
+
+
 def write_kernels_json(path, records: list[dict]) -> None:
     document = {
         "schema": KERNELS_SCHEMA,
@@ -358,6 +505,9 @@ def main(argv=None) -> int:
         collect_sdtw_equivalence(repeats=args.repeats)
         + collect_viterbi_equivalence(repeats=args.repeats)
         + collect_dnn_equivalence(repeats=args.repeats)
+        + collect_chain_equivalence(repeats=args.repeats)
+        + collect_align_equivalence(repeats=args.repeats)
+        + collect_seed_equivalence(repeats=args.repeats)
     )
     write_kernels_json(args.out, records)
     failures = 0

@@ -38,7 +38,12 @@ Two consumers:
   <= 10% of the copy mode's bytes, which is what CI gates. A
   **null-sink lane** (``"lane": "null-sink"``) re-runs the reads grid
   dataset into the counting :class:`~repro.runtime.sink.NullSink`, so
-  the data plane is timed with zero serialisation noise. Grid records
+  the data plane is timed with zero serialisation noise. A **mapping
+  lane** (``"lane": "mapping"``) maps the grid dataset with base-level
+  alignment ON through the vectorised mapping plane (batched seeding,
+  blocked chain DP, wavefront Gotoh) and through the pinned scalar
+  references, asserting identical outcomes and recording each run's
+  mapping-ops ledger delta next to its throughput. Grid records
   also carry per-batch completion-latency percentiles
   (``batch_p50_ms``/.../``batch_p99_ms``) measured by a sink wrapper --
   measurement columns only, never lane identity.
@@ -338,6 +343,93 @@ def collect_null_sink_lane(system, dataset, repeats: int = 1) -> list[dict]:
     return records
 
 
+#: The mapping lane's kernel planes: record's ``kernel`` -> MapperConfig
+#: factory. ``"vectorised"`` is the default plane (batched seeding +
+#: blocked chain DP + wavefront Gotoh); ``"scalar"`` pins every stage to
+#: its reference kernel.
+MAPPING_LANE_KERNELS = ("vectorised", "scalar")
+
+
+def _mapping_mapper_config(kernel: str):
+    from repro.mapping.alignment import AlignmentConfig
+    from repro.mapping.chaining import ChainingConfig
+    from repro.mapping.mapper import MapperConfig
+
+    if kernel == "vectorised":
+        return MapperConfig()
+    return MapperConfig(
+        chaining=ChainingConfig(kernel="scalar"),
+        alignment=AlignmentConfig(kernel="scalar"),
+        seed_kernel="scalar",
+    )
+
+
+def collect_mapping_lane(mapping_systems: dict, dataset, repeats: int = 1) -> list[dict]:
+    """Time the mapping kernel plane end to end (PR 9), per kernel set.
+
+    ``mapping_systems`` maps a kernel label (``"vectorised"`` /
+    ``"scalar"``) to systems that differ only in their
+    :class:`~repro.mapping.mapper.MapperConfig` kernel selection, with
+    base-level alignment ON so all three mapping kernels (seeding,
+    chain DP, Gotoh) sit on the timed path. Every kernel is
+    bit-identical to its reference by construction, so the lane asserts
+    the two planes produce identical outcomes -- the vectorised entry
+    is purely a wall-time win. Each record also carries the
+    mapping-ops ledger delta (chain candidates, alignment cells) the
+    run charged, the counts :mod:`repro.perf` converts to seconds.
+
+    The kernel-plane delta is a single-digit percentage of the lane's
+    wall time (the shared banded row pipeline dominates alignment), so
+    the lane always takes the best of >= 3 passes per plane -- one pass
+    of scheduler noise on a shared runner would otherwise swamp the
+    ordering the baseline commits to.
+    """
+    from repro.kernels.mapping_ops import process_mapping_ops
+
+    repeats = max(repeats, 3)
+    records = []
+    kernel_outcomes = {}
+    for kernel, system in mapping_systems.items():
+        best = None
+        for _ in range(repeats):
+            ledger = process_mapping_ops()
+            before = ledger.by_kind()
+            engine = DatasetEngine(system.pipeline, workers=1)
+            started = time.perf_counter()
+            report = engine.run(dataset)
+            elapsed = time.perf_counter() - started
+            after = ledger.by_kind()
+            stats = engine.last_stats
+            assert report.n_reads == stats.n_reads == len(dataset)
+            rps = len(dataset) / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "reads",
+                    "lane": "mapping",
+                    "kernel": kernel,
+                    "workers": 1,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                    "chain_candidate_ops": after.get("chain-candidate", 0)
+                    - before.get("chain-candidate", 0),
+                    "align_cell_ops": after.get("align-cell", 0)
+                    - before.get("align-cell", 0),
+                }
+            kernel_outcomes[kernel] = report.outcomes
+        records.append(best)
+    outcomes = list(kernel_outcomes.values())
+    assert all(o == outcomes[0] for o in outcomes), (
+        "mapping kernel planes must produce identical outcomes"
+    )
+    return records
+
+
 def expected_lane_counts() -> dict[str, int]:
     """Lane name -> record count, derived from the module's constants.
 
@@ -360,6 +452,7 @@ def expected_lane_counts() -> dict[str, int]:
         "sessions": len(SESSION_COUNTS) * len(SESSION_WORKERS),
         "columnar": len(COLUMNAR_MODES),
         "null-sink": len(WORKER_COUNTS),
+        "mapping": len(MAPPING_LANE_KERNELS),
     }
 
 
@@ -915,6 +1008,21 @@ def main(argv=None) -> int:
         # ledger recorded next to the wall time.
         records += collect_columnar_lane(signal_system, store_path, repeats=args.repeats)
 
+    # Mapping kernel-plane lane (PR 9): the reads grid dataset with
+    # base-level alignment ON, mapped once through the vectorised plane
+    # and once through the pinned scalar references.
+    mapping_systems = {}
+    for kernel in MAPPING_LANE_KERNELS:
+        mapping_systems[kernel] = (
+            GenPIP.build()
+            .index(index)
+            .config(preset_config(args.profile))
+            .mapper(_mapping_mapper_config(kernel))
+            .align(True)
+            .build()
+        )
+    records += collect_mapping_lane(mapping_systems, dataset, repeats=args.repeats)
+
     # Null-sink lane: the reads grid dataset with outcomes counted and
     # discarded -- the data plane without serialisation noise.
     records += collect_null_sink_lane(system, dataset, repeats=args.repeats)
@@ -944,6 +1052,12 @@ def main(argv=None) -> int:
             )
         elif record.get("lane") == "null-sink":
             extra = " sink=null"
+        elif record.get("lane") == "mapping":
+            extra = (
+                f" kernel={record['kernel']} "
+                f"chain_ops={record['chain_candidate_ops']} "
+                f"align_cells={record['align_cell_ops']}"
+            )
         elif record.get("lane") == "sessions":
             extra = (
                 f" sessions={record['sessions']} p50={record['p50_ms']:.1f}ms "

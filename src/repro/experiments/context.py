@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.core import ECOLI_PARAMS, HUMAN_PARAMS, GenPIP, GenPIPConfig
 from repro.core.config import VARIANTS, variant_config
 from repro.core.genpip import GenPIPReport
+from repro.kernels.mapping_ops import process_mapping_ops
 from repro.mapping.index import MinimizerIndex
 from repro.nanopore.datasets import PRESETS, Dataset, generate_dataset
 from repro.perf.workload import PipelineWorkload
@@ -55,6 +56,7 @@ class ExperimentContext:
     _dataset: Dataset | None = field(default=None, repr=False)
     _index: MinimizerIndex | None = field(default=None, repr=False)
     _reports: dict = field(default_factory=dict, repr=False)
+    _mapping_ops: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.profile_name not in PRESETS:
@@ -111,13 +113,37 @@ class ExperimentContext:
                 .align(align)
                 .build()
             )
+            ledger = process_mapping_ops()
+            before = ledger.by_kind()
             self._reports[key] = system.run(self.dataset, workers=self.workers)
+            after = ledger.by_kind()
+            # Snapshot delta of the process-local mapping-ops ledger for
+            # this run. Pooled runs chain/align in worker processes, so
+            # the delta is ~zero there and the perf models fall back to
+            # the per-base mapping formula.
+            self._mapping_ops[key] = {
+                kind: after.get(kind, 0) - before.get(kind, 0) for kind in after
+            }
         return self._reports[key]
+
+    def mapping_ops(
+        self,
+        variant: str = "full_er",
+        chunk_size: int = 300,
+        align: bool = False,
+        basecaller: str = "surrogate",
+    ) -> dict[str, int]:
+        """Mapping-ops ledger delta of one cached run (`{kind: ops}`)."""
+        self.report(variant, chunk_size, align, basecaller)
+        return dict(self._mapping_ops[(variant, chunk_size, align, basecaller)])
 
     def workloads(self, chunk_size: int = 300) -> dict[str, PipelineWorkload]:
         """The three workload kinds the system models consume."""
         return {
-            variant: PipelineWorkload.from_report(self.report(variant, chunk_size))
+            variant: PipelineWorkload.from_report(
+                self.report(variant, chunk_size),
+                mapping_ops=self.mapping_ops(variant, chunk_size),
+            )
             for variant in VARIANTS
         }
 

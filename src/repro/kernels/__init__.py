@@ -2,8 +2,8 @@
 
 The paper's thesis is that basecalling and mapping should share one
 tightly integrated, minimally-moving data path; this package is the
-software expression of that idea for the repo's three hot kernels,
-which previously iterated sample-by-sample in interpreted Python:
+software expression of that idea for the repo's hot kernels, which
+previously iterated sample-by-sample in interpreted Python:
 
 * :mod:`repro.kernels.sdtw` -- subsequence DTW as an **anti-diagonal
   wavefront**: every cell on one anti-diagonal depends only on the two
@@ -26,21 +26,56 @@ which previously iterated sample-by-sample in interpreted Python:
   pepper-style DataLoader idiom). Variable-length windows run packed
   (sorted by length, active batch shrinking per time step), so real
   dwell-ragged chunk windows still batch.
+* :mod:`repro.kernels.seed` -- batched anchor seeding over the index's
+  flat key/bounds/location arrays (one ``searchsorted`` + repeat/gather
+  instead of a per-key dict walk), the probe GenPIP's seeding unit
+  answers from its CAM rows (paper Fig. 1(a)).
+* :mod:`repro.kernels.chain` -- the minimap2 chain DP (paper
+  Fig. 1(c)) with the band geometry hoisted into per-block matrices and
+  a slim sequential combine.
+* :mod:`repro.kernels.align` -- affine-gap (Gotoh) alignment (paper
+  Fig. 1(d)) as an **anti-diagonal wavefront** over flat H/E/V tables,
+  plus the pure-Python scalar reference for small segments.
 
 Every kernel reports its own workload (:mod:`repro.kernels.workload`)
 so :mod:`repro.perf` can charge the *real* arithmetic -- Viterbi
-state-space ops, DNN MVM MACs -- instead of a generic per-base price.
+state-space ops, DNN MVM MACs, chain candidates, alignment cells --
+instead of a generic per-base price. Basecalling kinds are known
+up-front; the data-dependent mapping kinds accumulate in the
+process-local ledger (:mod:`repro.kernels.mapping_ops`) as kernels run.
 
-Kernel selection is by name (``"wavefront"`` / ``"scalar"`` for sDTW,
-``"vectorised"`` / ``"scalar"`` for the trellis); the scalar references
-stay first-class because CI's kernel-equivalence lane replays both on
-fixed seeds and fails on any mismatch.
+Kernel selection is by name (``"wavefront"`` / ``"scalar"`` for sDTW
+and Gotoh, ``"vectorised"`` / ``"scalar"`` for the trellis,
+``"blocked"`` / ``"scalar"`` for the chain DP, ``"batched"`` /
+``"scalar"`` for seeding); the scalar references stay first-class
+because CI's kernel-equivalence lane replays both on fixed seeds and
+fails on any mismatch.
 """
 
+from repro.kernels.align import (
+    ALIGN_KERNELS,
+    gotoh_scalar,
+    gotoh_wavefront,
+    resolve_align_kernel,
+)
 from repro.kernels.batched_dnn import (
     batched_basecall,
     model_forward_batch,
     model_forward_ragged,
+)
+from repro.kernels.chain import (
+    CHAIN_KERNELS,
+    chain_candidate_count,
+    chain_scores_blocked,
+    chain_scores_scalar,
+    resolve_chain_kernel,
+)
+from repro.kernels.mapping_ops import (
+    MAPPING_OP_KINDS,
+    MappingOpsCounter,
+    mapping_ops,
+    process_mapping_ops,
+    record_mapping_ops,
 )
 from repro.kernels.sdtw import (
     SDTW_KERNELS,
@@ -58,21 +93,45 @@ from repro.kernels.viterbi import (
     viterbi_state_ops,
     viterbi_traceback,
 )
+from repro.kernels.seed import (
+    SEED_KERNELS,
+    resolve_seed_kernel,
+    seed_anchors_batched,
+    seed_anchors_scalar,
+)
 from repro.kernels.workload import KernelWorkload
 
 __all__ = [
+    "ALIGN_KERNELS",
+    "CHAIN_KERNELS",
+    "MAPPING_OP_KINDS",
     "SDTW_KERNELS",
+    "SEED_KERNELS",
     "TRANSITIONS_PER_STATE",
     "KernelWorkload",
+    "MappingOpsCounter",
     "batched_basecall",
+    "chain_candidate_count",
+    "chain_scores_blocked",
+    "chain_scores_scalar",
     "event_emissions",
     "event_features",
+    "gotoh_scalar",
+    "gotoh_wavefront",
+    "mapping_ops",
     "model_forward_batch",
     "model_forward_ragged",
+    "process_mapping_ops",
+    "record_mapping_ops",
+    "resolve_align_kernel",
+    "resolve_chain_kernel",
     "resolve_sdtw_kernel",
+    "resolve_seed_kernel",
     "sdtw_cost",
     "sdtw_cost_scalar",
     "sdtw_cost_wavefront",
+    "seed_anchors_batched",
+    "seed_anchors_scalar",
     "viterbi_forward",
     "viterbi_forward_scalar",
     "viterbi_state_ops",

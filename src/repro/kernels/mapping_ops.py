@@ -1,0 +1,77 @@
+"""Mapping kernel op accounting: a process-local ledger of DP work.
+
+The basecalling side reports its arithmetic through per-backend
+``kernel_workload`` hooks (a decode knows its op count up front from the
+observation count). Mapping work is data-dependent -- how many chain
+candidates the DP evaluates and how many alignment cells get filled
+depends on the anchors a read happens to produce -- so the mapping
+kernels charge a ledger *as they run*, exactly like the byte-copy
+ledger in :mod:`repro.perf.copies`: explicit charge sites, no
+instrumentation, monotonic and resettable.
+
+Kinds in use:
+
+* ``"chain-candidate"`` -- predecessor candidates evaluated by the
+  chain DP (:mod:`repro.kernels.chain`): one per (anchor, lookback
+  window slot) pair, the unit GenPIP's DP units and PARC execute
+  in-memory.
+* ``"align-cell"`` -- affine-gap DP cells filled by the alignment
+  kernels (:mod:`repro.kernels.align` and the banded row pipeline).
+
+:class:`~repro.perf.workload.PipelineWorkload` carries snapshot deltas
+of this ledger into the system models, which convert them to seconds
+through the matching :class:`~repro.perf.costs.CostDatabase` anchors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Op kinds with a defined meaning (free-form kinds still count; this
+#: tuple is documentation plus a spelling anchor for tests).
+MAPPING_OP_KINDS = ("chain-candidate", "align-cell")
+
+
+class MappingOpsCounter:
+    """A per-kind ledger of mapping kernel ops (monotonic, resettable)."""
+
+    def __init__(self) -> None:
+        self._ops: Counter[str] = Counter()
+
+    def record(self, kind: str, ops: int) -> None:
+        """Charge ``ops`` operations of ``kind`` to the ledger."""
+        if ops < 0:
+            raise ValueError(f"op count must be non-negative, got {ops}")
+        self._ops[kind] += int(ops)
+
+    def ops(self, kind: str | None = None) -> int:
+        """Ops of one kind, or the total across all kinds."""
+        if kind is not None:
+            return self._ops.get(kind, 0)
+        return sum(self._ops.values())
+
+    def by_kind(self) -> dict[str, int]:
+        """A snapshot dict of every kind's op count."""
+        return dict(self._ops)
+
+    def reset(self) -> None:
+        self._ops.clear()
+
+
+#: The process-local counter every mapping kernel charges by default.
+_PROCESS = MappingOpsCounter()
+
+
+def process_mapping_ops() -> MappingOpsCounter:
+    """The process-local counter (one per process, workers included)."""
+    return _PROCESS
+
+
+def record_mapping_ops(kind: str, ops: int) -> None:
+    """Charge mapping kernel ops to the process-local counter."""
+    _PROCESS.record(kind, ops)
+
+
+def mapping_ops(kind: str | None = None) -> int:
+    """Process-local mapping kernel ops (one kind, or the total)."""
+    return _PROCESS.ops(kind)

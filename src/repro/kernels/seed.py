@@ -1,0 +1,141 @@
+"""Seeding kernels: anchor gathering over the index's flat arrays.
+
+Seeding (paper Fig. 1(a): the hash-table probe GenPIP's seeding unit
+answers from its ReRAM CAM rows) turns each query minimizer into the
+set of reference locations sharing its key. Both kernels here operate
+on the *flat* index layout -- sorted ``uint64`` keys, ``int64`` entry
+bounds, and the concatenated ``int64`` position / ``int8`` strand
+location arrays -- which is exactly the layout ``publish_index`` puts
+in shared memory, so pooled workers seed straight out of the shared
+segment with zero per-key Python.
+
+The batched kernel replaces the per-key loop with one
+``np.searchsorted`` over all query keys, a ``np.repeat``/cumsum
+expansion of the hit entries, and fancy-indexed gathering of the
+location rows. Both kernels emit rows in (query order, entry order) and
+finish with the same stable lexsort, so their outputs are identical
+arrays -- CI replays both on fixed seeds (``bench_kernels.py``) and
+fails on any mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Selectable seeding kernels, fastest first.
+SEED_KERNELS = ("batched", "scalar")
+
+
+def resolve_seed_kernel(kernel: str):
+    """Map a kernel name to its implementation (raising on unknown names)."""
+    if kernel == "batched":
+        return seed_anchors_batched
+    if kernel == "scalar":
+        return seed_anchors_scalar
+    raise ValueError(f"unknown seed kernel {kernel!r}; expected one of {SEED_KERNELS}")
+
+
+def _group_and_sort(
+    fwd: np.ndarray, rev: np.ndarray, read_length: int | None, kmer_size: int
+) -> dict[int, np.ndarray]:
+    """Shared tail of both kernels: strand grouping, flip, stable sort."""
+    out: dict[int, np.ndarray] = {}
+    for strand, arr in ((1, fwd), (-1, rev)):
+        if strand == -1 and read_length is not None and arr.size:
+            arr[:, 1] = read_length - kmer_size - arr[:, 1]
+        if arr.size:
+            order = np.lexsort((arr[:, 1], arr[:, 0]))
+            arr = arr[order]
+        out[strand] = arr
+    return out
+
+
+def seed_anchors_scalar(
+    q_keys: np.ndarray,
+    q_positions: np.ndarray,
+    q_strands: np.ndarray,
+    keys: np.ndarray,
+    bounds: np.ndarray,
+    positions: np.ndarray,
+    strands: np.ndarray,
+    read_offset: int = 0,
+    read_length: int | None = None,
+    kmer_size: int = 13,
+) -> dict[int, np.ndarray]:
+    """Per-key reference loop (the original interpreted seeding path).
+
+    One binary search and one Python row loop per query minimizer; kept
+    as the ground truth the batched kernel is checked against.
+    """
+    n_keys = int(keys.size)
+    fwd_rows: list[tuple[int, int]] = []
+    rev_rows: list[tuple[int, int]] = []
+    for key, q_pos, q_strand in zip(
+        q_keys.tolist(), q_positions.tolist(), q_strands.tolist(), strict=True
+    ):
+        i = int(np.searchsorted(keys, np.uint64(key)))
+        if i >= n_keys or int(keys[i]) != key:
+            continue
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        global_q = read_offset + q_pos
+        for r_pos, r_strand in zip(
+            positions[lo:hi].tolist(), strands[lo:hi].tolist(), strict=True
+        ):
+            if r_strand == q_strand:
+                fwd_rows.append((r_pos, global_q))
+            else:
+                rev_rows.append((r_pos, global_q))
+    fwd = np.array(fwd_rows, dtype=np.int64) if fwd_rows else np.empty((0, 2), np.int64)
+    rev = np.array(rev_rows, dtype=np.int64) if rev_rows else np.empty((0, 2), np.int64)
+    return _group_and_sort(fwd, rev, read_length, kmer_size)
+
+
+def seed_anchors_batched(
+    q_keys: np.ndarray,
+    q_positions: np.ndarray,
+    q_strands: np.ndarray,
+    keys: np.ndarray,
+    bounds: np.ndarray,
+    positions: np.ndarray,
+    strands: np.ndarray,
+    read_offset: int = 0,
+    read_length: int | None = None,
+    kmer_size: int = 13,
+) -> dict[int, np.ndarray]:
+    """Vectorised seeding: one searchsorted, one repeat/gather expansion.
+
+    Emits location rows in the scalar kernel's (query order, entry
+    order); the shared stable lexsort then makes the grouped outputs
+    identical arrays.
+    """
+    empty = np.empty((0, 2), np.int64)
+    if q_keys.size == 0 or keys.size == 0:
+        return _group_and_sort(empty, empty.copy(), read_length, kmer_size)
+
+    idx = np.searchsorted(keys, q_keys)
+    np.minimum(idx, keys.size - 1, out=idx)
+    hit = keys[idx] == q_keys
+    hit_idx = idx[hit]
+    if hit_idx.size == 0:
+        return _group_and_sort(empty, empty.copy(), read_length, kmer_size)
+
+    starts = bounds[hit_idx]
+    counts = bounds[hit_idx + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return _group_and_sort(empty, empty.copy(), read_length, kmer_size)
+
+    # Expand each hit entry to its location rows: repeat the per-hit
+    # query columns, and index locations with start + within-entry ramp.
+    rep_q = np.repeat(read_offset + q_positions[hit], counts)
+    rep_qs = np.repeat(q_strands[hit], counts)
+    cum = np.cumsum(counts)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    loc = np.repeat(starts, counts) + ramp
+    r_pos = positions[loc]
+    same = strands[loc] == rep_qs
+
+    fwd = np.stack((r_pos[same], rep_q[same]), axis=1)
+    rev_mask = ~same
+    rev = np.stack((r_pos[rev_mask], rep_q[rev_mask]), axis=1)
+    return _group_and_sort(fwd, rev, read_length, kmer_size)

@@ -14,8 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-#: Kernel kinds the cost database knows per-op anchors for.
-KERNEL_KINDS = ("viterbi-state", "dnn-mvm")
+#: Kernel kinds the cost database knows per-op anchors for. The first
+#: two are basecalling kinds reported up-front via ``kernel_workload``
+#: hooks; the mapping kinds are charged as the kernels run (see
+#: :mod:`repro.kernels.mapping_ops`).
+KERNEL_KINDS = ("viterbi-state", "dnn-mvm", "chain-candidate", "align-cell")
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,11 @@ Two layers:
   invertible), so only the short inter-anchor segments need DP. Head and
   tail are aligned up to a capped extension and soft-clipped beyond it.
 
+Small segments run through the named Gotoh kernels in
+:mod:`repro.kernels.align` (``AlignmentConfig.kernel``): the scalar
+reference loop below the size crossover, the anti-diagonal wavefront
+above it -- bit-identical either way.
+
 Scoring defaults follow minimap2's map-ont preset (match +2, mismatch
 -4, gap open -4, gap extend -2).
 """
@@ -24,9 +29,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.align import ALIGN_KERNELS, gotoh_scalar, gotoh_wavefront
+from repro.kernels.mapping_ops import record_mapping_ops
+
 #: CIGAR operation codes used throughout: match, mismatch, insertion
 #: (read-only base), deletion (reference-only base), soft clip.
 CIGAR_OPS = ("=", "X", "I", "D", "S")
+
+#: Below this many DP cells the pure-Python scalar kernel beats the
+#: wavefront (numpy dispatch overhead dominates a handful of cells);
+#: both kernels are bit-identical, so the crossover is purely a speed
+#: heuristic.
+_WAVEFRONT_MIN_CELLS = 2_048
 
 
 @dataclass(frozen=True)
@@ -41,12 +55,20 @@ class AlignmentConfig:
     max_end_extension: int = 400
     #: Safety cap on inter-anchor segment DP size (cells).
     max_segment_cells: int = 4_000_000
+    #: Small-segment Gotoh kernel from :data:`repro.kernels.align.ALIGN_KERNELS`.
+    #: ``"wavefront"`` vectorises anti-diagonals above the size crossover;
+    #: ``"scalar"`` forces the reference loop everywhere.
+    kernel: str = "wavefront"
 
     def __post_init__(self) -> None:
         if self.match <= 0:
             raise ValueError("match score must be positive")
         if self.mismatch >= 0 or self.gap_open >= 0 or self.gap_extend >= 0:
             raise ValueError("penalties must be negative")
+        if self.kernel not in ALIGN_KERNELS:
+            raise ValueError(
+                f"unknown align kernel {self.kernel!r}; expected one of {ALIGN_KERNELS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -140,7 +162,7 @@ def align_banded(
     a = np.asarray(ref)
     b = np.asarray(read)
     if band is None and 0 < a.size * b.size <= 3_600:
-        raw = _align_tiny(a, b, config)
+        raw = _align_small(a, b, config)
     else:
         raw = _align_core(ref, read, config, band)
     return AlignmentResult(
@@ -148,73 +170,24 @@ def align_banded(
     )
 
 
-def _align_tiny(a: np.ndarray, b: np.ndarray, config: AlignmentConfig) -> AlignmentResult:
-    """Pure-Python Gotoh for small segments.
+def _align_small(a: np.ndarray, b: np.ndarray, config: AlignmentConfig) -> AlignmentResult:
+    """Small-segment Gotoh via the named kernels in :mod:`repro.kernels.align`.
 
-    The numpy row pipeline costs ~2 ms per call regardless of size;
-    inter-anchor segments are usually tens of bases, where a plain
-    nested loop is an order of magnitude faster. Produces scores and
+    The numpy row pipeline (:func:`_align_core`) costs ~2 ms per call
+    regardless of size; inter-anchor segments are usually tens of
+    bases. Below the wavefront crossover the scalar kernel's plain
+    nested loop wins; above it the anti-diagonal wavefront does. Both
+    kernels are bit-identical to each other and produce scores and
     CIGARs identical to :func:`_align_core` (property-tested).
     """
-    n, m = int(a.size), int(b.size)
-    av = a.tolist()
-    bv = b.tolist()
-    match, mismatch = config.match, config.mismatch
-    go, ge = config.gap_open, config.gap_extend
-    neg = -1e18
-
-    h = [[0.0] * (m + 1) for _ in range(n + 1)]
-    e = [[neg] * (m + 1) for _ in range(n + 1)]
-    v = [[neg] * (m + 1) for _ in range(n + 1)]
-    for j in range(1, m + 1):
-        e[0][j] = go + ge * j
-        h[0][j] = e[0][j]
-    for i in range(1, n + 1):
-        v[i][0] = go + ge * i
-        h[i][0] = v[i][0]
-    for i in range(1, n + 1):
-        ai = av[i - 1]
-        hi = h[i]
-        hp = h[i - 1]
-        ei = e[i]
-        vi = v[i]
-        vp = v[i - 1]
-        for j in range(1, m + 1):
-            ei[j] = max(ei[j - 1] + ge, hi[j - 1] + go + ge)
-            vi[j] = max(vp[j] + ge, hp[j] + go + ge)
-            diag = hp[j - 1] + (match if ai == bv[j - 1] else mismatch)
-            hi[j] = max(diag, ei[j], vi[j])
-
-    # Traceback.
-    parts: list[tuple[str, int]] = []
-    i, j = n, m
-    state = "H"
-    while i > 0 or j > 0:
-        if state == "H":
-            if j == 0:
-                state = "V"
-            elif i == 0:
-                state = "E"
-            elif h[i][j] == e[i][j]:
-                state = "E"
-            elif h[i][j] == v[i][j]:
-                state = "V"
-            else:
-                parts.append(("M", 1))
-                i -= 1
-                j -= 1
-        elif state == "E":
-            parts.append(("I", 1))
-            if e[i][j] != e[i][j - 1] + ge:
-                state = "H"
-            j -= 1
-        else:
-            parts.append(("D", 1))
-            if v[i][j] != v[i - 1][j] + ge:
-                state = "H"
-            i -= 1
-    parts.reverse()
-    return AlignmentResult(score=float(h[n][m]), cigar=_merge_cigar(parts))
+    if config.kernel == "wavefront" and int(a.size) * int(b.size) >= _WAVEFRONT_MIN_CELLS:
+        kernel = gotoh_wavefront
+    else:
+        kernel = gotoh_scalar
+    score, cigar = kernel(
+        a, b, config.match, config.mismatch, config.gap_open, config.gap_extend
+    )
+    return AlignmentResult(score=score, cigar=cigar)
 
 
 def _align_core(
@@ -247,6 +220,7 @@ def _align_core(
             score=config.gap_open + n * config.gap_extend, cigar=(("D", n),)
         )
 
+    record_mapping_ops("align-cell", int(n) * int(m))
     neg = -1e18
     open_ext = config.gap_open + config.gap_extend
     ext = config.gap_extend

@@ -17,7 +17,10 @@ in-memory; the chain *score* is also what GenPIP's ER-CMR thresholds to
 predict unmappable reads early.
 
 The implementation is the standard O(n * h) heuristic with a bounded
-lookback window, vectorised over the window.
+lookback window, executed by a named kernel from
+:mod:`repro.kernels.chain`: ``"blocked"`` hoists the band geometry into
+per-block matrices, ``"scalar"`` is the per-anchor reference loop. Both
+are bit-identical (same scores, parents, and tie-breaks).
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.kernels.chain import CHAIN_KERNELS, resolve_chain_kernel
 
 
 @dataclass(frozen=True)
@@ -36,12 +41,18 @@ class ChainingConfig:
     lookback: int = 50
     min_chain_score: float = 20.0
     min_anchors: int = 3
+    #: Chain-DP kernel name from :data:`repro.kernels.chain.CHAIN_KERNELS`.
+    kernel: str = "blocked"
 
     def __post_init__(self) -> None:
         if self.kmer_size < 1 or self.lookback < 1:
             raise ValueError("kmer_size and lookback must be positive")
         if self.max_gap < 1:
             raise ValueError("max_gap must be positive")
+        if self.kernel not in CHAIN_KERNELS:
+            raise ValueError(
+                f"unknown chain kernel {self.kernel!r}; expected one of {CHAIN_KERNELS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -92,31 +103,8 @@ def chain_scores(anchors: np.ndarray, config: ChainingConfig) -> tuple[np.ndarra
         Best chain score ending at each anchor, and the predecessor
         index (-1 for chain starts).
     """
-    n = anchors.shape[0]
-    k = config.kmer_size
-    scores = np.full(n, float(k))
-    parents = np.full(n, -1, dtype=np.int64)
-    if n == 0:
-        return scores, parents
-    x = anchors[:, 0].astype(np.float64)
-    y = anchors[:, 1].astype(np.float64)
-    for i in range(1, n):
-        j0 = max(0, i - config.lookback)
-        dx = x[i] - x[j0:i]
-        dy = y[i] - y[j0:i]
-        valid = (dx > 0) & (dy > 0) & (dx < config.max_gap) & (dy < config.max_gap)
-        if not np.any(valid):
-            continue
-        overlap_gain = np.minimum(np.minimum(dx, dy), k)
-        dd = np.abs(dy - dx)
-        gap_cost = np.where(dd > 0, 0.01 * k * dd + 0.5 * np.log2(np.maximum(dd, 1)), 0.0)
-        candidate = scores[j0:i] + overlap_gain - gap_cost
-        candidate = np.where(valid, candidate, -np.inf)
-        best = int(np.argmax(candidate))
-        if candidate[best] > k:
-            scores[i] = candidate[best]
-            parents[i] = j0 + best
-    return scores, parents
+    kernel = resolve_chain_kernel(config.kernel)
+    return kernel(anchors, config.kmer_size, config.max_gap, config.lookback)
 
 
 def _extract_chain(end: int, parents: np.ndarray, anchors: np.ndarray) -> np.ndarray:

@@ -5,6 +5,15 @@ minimizer hashes are keys, their reference locations (and canonical
 strands) the values. It is built once per reference, offline -- GenPIP's
 in-memory seeding unit stores exactly this table in its ReRAM CAM/RAM
 arrays (Fig. 9), which :mod:`repro.hardware.seeding_unit` mirrors.
+
+Storage is columnar, not a dict: a sorted ``uint64`` key array, an
+``int64`` bounds array (entry ``i`` owns locations
+``bounds[i]:bounds[i+1]``), and concatenated ``int64`` position /
+``int8`` strand location arrays. This is byte-for-byte the layout
+``publish_index`` places in shared memory, so attaching a published
+index is four zero-copy views (:func:`MinimizerIndex.from_arrays`), and
+the batched seeding kernel (:mod:`repro.kernels.seed`) probes all query
+keys with one ``np.searchsorted`` instead of a per-key dict walk.
 """
 
 from __future__ import annotations
@@ -25,13 +34,77 @@ class IndexEntry:
     strands: np.ndarray  # int8 canonical strand at each position
 
 
-class MinimizerIndex:
-    """Hash table: minimizer key -> reference occurrences."""
+def _empty_arrays() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        np.empty(0, dtype=np.uint64),
+        np.zeros(1, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int8),
+    )
 
-    def __init__(self, config: MinimizerConfig, table: dict[int, IndexEntry], reference: ReferenceGenome):
+
+class MinimizerIndex:
+    """Hash table: minimizer key -> reference occurrences (columnar)."""
+
+    def __init__(
+        self,
+        config: MinimizerConfig,
+        table: dict[int, IndexEntry],
+        reference: ReferenceGenome,
+    ):
+        """Build from a key -> entry dict (compatibility constructor).
+
+        The dict is flattened into the columnar layout; prefer
+        :meth:`from_arrays` when the arrays already exist.
+        """
         self._config = config
-        self._table = table
         self._reference = reference
+        if table:
+            ordered = sorted(table.items())
+            self._keys = np.array([key for key, _ in ordered], dtype=np.uint64)
+            counts = np.array(
+                [entry.positions.size for _, entry in ordered], dtype=np.int64
+            )
+            self._bounds = np.zeros(len(ordered) + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._bounds[1:])
+            self._positions = np.concatenate(
+                [np.asarray(entry.positions, dtype=np.int64) for _, entry in ordered]
+            )
+            self._strands = np.concatenate(
+                [np.asarray(entry.strands, dtype=np.int8) for _, entry in ordered]
+            )
+        else:
+            self._keys, self._bounds, self._positions, self._strands = _empty_arrays()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        config: MinimizerConfig,
+        keys: np.ndarray,
+        bounds: np.ndarray,
+        positions: np.ndarray,
+        strands: np.ndarray,
+        reference: ReferenceGenome,
+    ) -> "MinimizerIndex":
+        """Wrap existing flat arrays without copying (zero-copy attach).
+
+        ``keys`` must be strictly ascending ``uint64``; ``bounds`` has
+        ``keys.size + 1`` monotonic entries delimiting each key's slice
+        of ``positions``/``strands``. Read-only views (e.g. into a
+        shared-memory segment) are used as-is.
+        """
+        index = cls.__new__(cls)
+        index._config = config
+        index._reference = reference
+        index._keys = keys
+        index._bounds = bounds
+        index._positions = positions
+        index._strands = strands
+        if keys.size and np.any(keys[1:] <= keys[:-1]):
+            raise ValueError("index keys must be strictly ascending")
+        if bounds.size != keys.size + 1:
+            raise ValueError("bounds must have one more entry than keys")
+        return index
 
     @classmethod
     def build(
@@ -55,22 +128,32 @@ class MinimizerIndex:
         """
         config = config or MinimizerConfig()
         keys, positions, strands = minimizer_arrays(reference.codes, config)
+        if keys.size == 0:
+            flat_keys, bounds, flat_positions, flat_strands = _empty_arrays()
+            return cls.from_arrays(
+                config, flat_keys, bounds, flat_positions, flat_strands, reference
+            )
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         positions = positions[order]
         strands = strands[order]
-        table: dict[int, IndexEntry] = {}
         boundaries = np.nonzero(np.diff(keys))[0] + 1
         starts = np.concatenate(([0], boundaries))
-        ends = np.concatenate((boundaries, [keys.size])) if keys.size else np.empty(0, np.int64)
-        for start, end in zip(starts, ends, strict=True):
-            if end - start > max_occurrences:
-                continue
-            key = int(keys[start])
-            table[key] = IndexEntry(
-                positions=positions[start:end].copy(), strands=strands[start:end].copy()
-            )
-        return cls(config=config, table=table, reference=reference)
+        ends = np.concatenate((boundaries, [keys.size]))
+        counts = ends - starts
+        keep = counts <= max_occurrences
+        starts, counts = starts[keep], counts[keep]
+        flat_keys = keys[starts].copy()
+        bounds = np.zeros(starts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        total = int(bounds[-1])
+        # Gather the kept keys' location runs: each run is start + ramp.
+        cum = np.cumsum(counts)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+        loc = np.repeat(starts, counts) + ramp
+        return cls.from_arrays(
+            config, flat_keys, bounds, positions[loc], strands[loc], reference
+        )
 
     @property
     def config(self) -> MinimizerConfig:
@@ -80,21 +163,50 @@ class MinimizerIndex:
     def reference(self) -> ReferenceGenome:
         return self._reference
 
+    # --- flat layout (what the seeding kernels and publish_index consume)
+
+    @property
+    def key_array(self) -> np.ndarray:
+        """Sorted ``uint64`` minimizer keys."""
+        return self._keys
+
+    @property
+    def bounds_array(self) -> np.ndarray:
+        """``int64[n_keys + 1]``; key ``i`` owns ``bounds[i]:bounds[i+1]``."""
+        return self._bounds
+
+    @property
+    def position_array(self) -> np.ndarray:
+        """``int64`` reference positions, concatenated per key."""
+        return self._positions
+
+    @property
+    def strand_array(self) -> np.ndarray:
+        """``int8`` canonical strands, parallel to :attr:`position_array`."""
+        return self._strands
+
+    # --- keyed access
+
     def __len__(self) -> int:
         """Number of distinct minimizer keys."""
-        return len(self._table)
+        return int(self._keys.size)
 
     def __contains__(self, key: int) -> bool:
-        return int(key) in self._table
+        i = int(np.searchsorted(self._keys, np.uint64(key)))
+        return i < self._keys.size and int(self._keys[i]) == int(key)
 
     def lookup(self, key: int) -> IndexEntry | None:
-        """Occurrences of a minimizer key, or None."""
-        return self._table.get(int(key))
+        """Occurrences of a minimizer key, or None (zero-copy views)."""
+        i = int(np.searchsorted(self._keys, np.uint64(key)))
+        if i >= self._keys.size or int(self._keys[i]) != int(key):
+            return None
+        lo, hi = int(self._bounds[i]), int(self._bounds[i + 1])
+        return IndexEntry(positions=self._positions[lo:hi], strands=self._strands[lo:hi])
 
     def n_locations(self) -> int:
         """Total stored (key, location) pairs."""
-        return sum(entry.positions.size for entry in self._table.values())
+        return int(self._positions.size)
 
     def keys(self):
-        """Iterate over stored minimizer keys."""
-        return self._table.keys()
+        """Iterate over stored minimizer keys (ascending Python ints)."""
+        return map(int, self._keys)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.genomics import alphabet
+from repro.kernels.seed import SEED_KERNELS
 from repro.mapping.alignment import AlignmentConfig, AlignmentResult, align_chain
 from repro.mapping.chaining import Chain, ChainingConfig, best_chain
 from repro.mapping.index import MinimizerIndex
@@ -33,6 +34,14 @@ class MapperConfig:
     min_identity: float = 0.55
     #: Minimum fraction of the read covered by the primary chain.
     min_read_coverage: float = 0.25
+    #: Seeding kernel name from :data:`repro.kernels.seed.SEED_KERNELS`.
+    seed_kernel: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.seed_kernel not in SEED_KERNELS:
+            raise ValueError(
+                f"unknown seed kernel {self.seed_kernel!r}; expected one of {SEED_KERNELS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -92,11 +101,9 @@ class Mapper:
         if self._config.chaining.kmer_size != index.config.k:
             from dataclasses import replace
 
-            self._config = MapperConfig(
+            self._config = replace(
+                self._config,
                 chaining=replace(self._config.chaining, kmer_size=index.config.k),
-                alignment=self._config.alignment,
-                min_identity=self._config.min_identity,
-                min_read_coverage=self._config.min_read_coverage,
             )
 
     @property
@@ -133,6 +140,10 @@ class IncrementalChunkMapper:
         # basecalled length is only final when the last chunk arrives.
         self._anchor_blocks: dict[int, list[np.ndarray]] = {1: [], -1: []}
         self._bases_seeded = 0
+        # ER-CMR probes chain_prefix() repeatedly over the same prefix;
+        # the gathered/sorted anchor arrays only change when a chunk
+        # arrives or the read length moves, so cache them in between.
+        self._gathered_cache: dict[int, np.ndarray] | None = None
 
     @property
     def bases_seeded(self) -> int:
@@ -143,6 +154,8 @@ class IncrementalChunkMapper:
         """Fix the final basecalled read length before :meth:`finalize`."""
         if read_length < 0:
             raise ValueError("read_length must be non-negative")
+        if int(read_length) != self._read_length:
+            self._gathered_cache = None
         self._read_length = int(read_length)
 
     def add_chunk(self, chunk_codes: np.ndarray, read_offset: int) -> int:
@@ -155,16 +168,21 @@ class IncrementalChunkMapper:
             chunk_codes,
             read_offset=read_offset,
             read_length=None,
+            kernel=self._config.seed_kernel,
         )
         added = 0
         for strand, rows in grouped.items():
             if rows.size:
                 self._anchor_blocks[strand].append(rows)
                 added += rows.shape[0]
+        if added:
+            self._gathered_cache = None
         self._bases_seeded += int(np.asarray(chunk_codes).size)
         return added
 
     def _gathered(self) -> dict[int, np.ndarray]:
+        if self._gathered_cache is not None:
+            return self._gathered_cache
         k = self._index.config.k
         out = {}
         for strand, blocks in self._anchor_blocks.items():
@@ -178,6 +196,7 @@ class IncrementalChunkMapper:
                 out[strand] = arr[order]
             else:
                 out[strand] = np.empty((0, 2), dtype=np.int64)
+        self._gathered_cache = out
         return out
 
     def chain_prefix(self) -> tuple[Chain | None, Chain | None]:

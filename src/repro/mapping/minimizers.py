@@ -126,9 +126,13 @@ def minimizer_arrays(
 
 
 def extract_minimizers(codes: np.ndarray, config: MinimizerConfig | None = None) -> list[Minimizer]:
-    """Object-level wrapper around :func:`minimizer_arrays`."""
+    """Object-level wrapper around :func:`minimizer_arrays`.
+
+    Columns are converted to Python scalars in one ``tolist()`` pass per
+    array rather than per-element ``int()`` round-trips.
+    """
     keys, positions, strands = minimizer_arrays(codes, config or MinimizerConfig())
     return [
-        Minimizer(key=int(k), position=int(p), strand=int(s))
-        for k, p, s in zip(keys, positions, strands, strict=True)
+        Minimizer(key=k, position=p, strand=s)
+        for k, p, s in zip(keys.tolist(), positions.tolist(), strands.tolist(), strict=True)
     ]

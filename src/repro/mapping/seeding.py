@@ -6,6 +6,11 @@ strands indicate the read aligns to the reverse strand; following
 minimap2, reverse-strand anchors flip the read coordinate so that
 chaining sees monotonically increasing coordinates on both axes for
 either orientation.
+
+The anchor gathering itself runs in a named kernel
+(:mod:`repro.kernels.seed`): ``"batched"`` probes every query key with
+one ``np.searchsorted`` over the index's flat arrays, ``"scalar"`` is
+the per-key reference loop. Both produce identical grouped arrays.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.seed import resolve_seed_kernel
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.minimizers import minimizer_arrays
 
@@ -43,6 +49,7 @@ def collect_anchor_arrays(
     read_codes: np.ndarray,
     read_offset: int = 0,
     read_length: int | None = None,
+    kernel: str = "batched",
 ) -> dict[int, np.ndarray]:
     """Collect anchors as arrays grouped by strand.
 
@@ -63,6 +70,8 @@ def collect_anchor_arrays(
         keep *raw* read coordinates for reverse anchors -- the
         incremental chunk mapper does this because the final basecalled
         read length is only known once all chunks arrived.
+    kernel:
+        Seeding kernel name from :data:`repro.kernels.seed.SEED_KERNELS`.
 
     Returns
     -------
@@ -70,42 +79,32 @@ def collect_anchor_arrays(
     ``(ref_pos, read_pos)`` rows, sorted by (ref_pos, read_pos).
     """
     keys, positions, strands = minimizer_arrays(read_codes, index.config)
-    k = index.config.k
-
-    fwd_rows: list[tuple[int, int]] = []
-    rev_rows: list[tuple[int, int]] = []
-    for key, q_pos, q_strand in zip(keys, positions, strands, strict=True):
-        entry = index.lookup(int(key))
-        if entry is None:
-            continue
-        global_q = read_offset + int(q_pos)
-        for r_pos, r_strand in zip(entry.positions, entry.strands, strict=True):
-            if int(r_strand) == int(q_strand):
-                fwd_rows.append((int(r_pos), global_q))
-            else:
-                rev_rows.append((int(r_pos), global_q))
-    out: dict[int, np.ndarray] = {}
-    for strand, rows in ((1, fwd_rows), (-1, rev_rows)):
-        arr = (
-            np.array(rows, dtype=np.int64) if rows else np.empty((0, 2), dtype=np.int64)
-        )
-        if strand == -1 and read_length is not None and arr.size:
-            arr[:, 1] = read_length - k - arr[:, 1]
-        if arr.size:
-            order = np.lexsort((arr[:, 1], arr[:, 0]))
-            arr = arr[order]
-        out[strand] = arr
-    return out
+    seed = resolve_seed_kernel(kernel)
+    return seed(
+        keys,
+        positions,
+        strands,
+        index.key_array,
+        index.bounds_array,
+        index.position_array,
+        index.strand_array,
+        read_offset=read_offset,
+        read_length=read_length,
+        kmer_size=index.config.k,
+    )
 
 
-def collect_anchors(index: MinimizerIndex, read_codes: np.ndarray) -> list[Anchor]:
+def collect_anchors(
+    index: MinimizerIndex, read_codes: np.ndarray, kernel: str = "batched"
+) -> list[Anchor]:
     """Object-level anchor collection over a whole read (flipped coords)."""
     grouped = collect_anchor_arrays(
-        index, read_codes, read_length=int(np.asarray(read_codes).size)
+        index, read_codes, read_length=int(np.asarray(read_codes).size), kernel=kernel
     )
     anchors = []
     for strand, arr in grouped.items():
         anchors.extend(
-            Anchor(ref_pos=int(r), read_pos=int(q), strand=strand) for r, q in arr
+            Anchor(ref_pos=r, read_pos=q, strand=strand)
+            for r, q in zip(arr[:, 0].tolist(), arr[:, 1].tolist(), strict=True)
         )
     return anchors

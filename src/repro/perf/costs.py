@@ -122,6 +122,15 @@ class CostDatabase:
     #: ``BonitoLikeModel(hidden=96).workload(1800).total_macs`` (conv
     #: im2col + 4 GRU directions x input/recurrent projections + head).
     dnn_macs_per_base: float = 317433.6
+    #: Chain-DP predecessor candidates per mapped base. Bounded above by
+    #: minimizer density x lookback = 2/(w+1) x 50 ~ 9 for the (13, 10)
+    #: scheme; measured ~3-4 on the synthetic ONT-like profile (~7%
+    #: errors) because anchor runs rarely saturate the lookback window.
+    chain_candidates_per_base: float = 4.0
+    #: Affine-gap DP cells per mapped base: inter-anchor segment fill
+    #: plus capped head/tail extension, measured ~25 on the same
+    #: profile (exact-match segments skip DP entirely).
+    align_cells_per_base: float = 25.0
 
     def __post_init__(self) -> None:
         numeric = [
@@ -153,6 +162,10 @@ class CostDatabase:
             return self.viterbi_state_ops_per_base
         if kind == "dnn-mvm":
             return self.dnn_macs_per_base
+        if kind == "chain-candidate":
+            return self.chain_candidates_per_base
+        if kind == "align-cell":
+            return self.align_cells_per_base
         raise ValueError(f"unknown kernel kind {kind!r}")
 
     def movement_time_s(self, n_bytes: float) -> float:

@@ -178,14 +178,41 @@ def _basecall_s_per_chunk(
     return workload.chunk_size / engines.basecall_bps
 
 
+def _map_time_s(
+    workload: PipelineWorkload, engines: _Engines, costs: CostDatabase
+) -> float:
+    """Mapping time: mapping-op accounting when the workload has it.
+
+    A workload distilled with a mapping-ops ledger snapshot carries the
+    chain-DP candidate and alignment-cell counts the kernels actually
+    evaluated. Each share converts ops back to *equivalent bases* via
+    the :class:`CostDatabase` per-base anchors, so the engine's bases/s
+    mapping throughput still applies -- a run whose reads chain cheaply
+    (sparse anchors, short lookback runs) is charged for the arithmetic
+    it actually did. The two shares fall back independently: fast
+    functional runs skip the base-level alignment DP entirely
+    (``align=False``), so their align share keeps the per-base
+    would-have-aligned estimate while the chain share uses measured
+    candidates. Workloads without any mapping accounting keep the
+    original per-base formula bit-identically.
+    """
+    f_align = costs.map_align_fraction
+    if workload.chain_candidate_ops > 0:
+        chain_bases = workload.chain_candidate_ops / costs.chain_candidates_per_base
+    else:
+        chain_bases = float(workload.mapped_bases_batch)
+    if workload.align_cell_ops > 0:
+        align_bases = workload.align_cell_ops / costs.align_cells_per_base
+    else:
+        align_bases = float(workload.aligned_bases)
+    return (chain_bases * (1.0 - f_align) + align_bases * f_align) / engines.map_bps
+
+
 def _estimate_batch(name: str, workload: PipelineWorkload, costs: CostDatabase) -> SystemEstimate:
     engines = _engines_for(name, costs)
-    f_align = costs.map_align_fraction
     t_basecall = _basecall_time_s(workload, engines, costs)
     t_qc = workload.qc_bases / costs.cpu_qc_bps if engines.qc_on_cpu else 0.0
-    t_map = (
-        workload.mapped_bases_batch * (1.0 - f_align) + workload.aligned_bases * f_align
-    ) / engines.map_bps
+    t_map = _map_time_s(workload, engines, costs)
     breakdown = {"basecall": t_basecall, "qc": t_qc, "map": t_map}
     energy = (
         t_basecall * engines.basecall_power_w

@@ -67,9 +67,17 @@ class PipelineWorkload:
     basecall_ops: float = 0.0
     #: Native kernel ops one chunk costs (flow-shop stage time).
     basecall_ops_per_chunk: float = 0.0
+    #: Chain-DP predecessor candidates the mapping kernels evaluated
+    #: (0.0 when the run carried no mapping-ops snapshot -- the per-base
+    #: mapping formula is used then).
+    chain_candidate_ops: float = 0.0
+    #: Affine-gap DP cells the alignment kernels filled.
+    align_cell_ops: float = 0.0
 
     @classmethod
-    def from_report(cls, report: GenPIPReport, basecaller=None) -> "PipelineWorkload":
+    def from_report(
+        cls, report: GenPIPReport, basecaller=None, mapping_ops=None
+    ) -> "PipelineWorkload":
         """Distil a functional report into workload statistics.
 
         When ``basecaller`` exposes ``kernel_workload(n_bases)`` (the
@@ -78,6 +86,12 @@ class PipelineWorkload:
         basecalling by ops instead of the generic per-base price -- so
         an event-space Viterbi decode or a narrower DNN is rewarded for
         the arithmetic it actually skips.
+
+        ``mapping_ops`` is an optional ``{kind: ops}`` snapshot delta of
+        the mapping-ops ledger (:mod:`repro.kernels.mapping_ops`) taken
+        around the run that produced ``report``; when present, the
+        mapping side is likewise charged by real chain candidates and
+        alignment cells instead of the generic per-base price.
         """
         chunk_size = report.config.chunk_size
         mapped_batch = 0
@@ -119,6 +133,11 @@ class PipelineWorkload:
             basecall_kind = total.kind
             basecall_ops = float(total.ops)
             basecall_ops_per_chunk = float(per_chunk.ops)
+        chain_ops = 0.0
+        align_ops = 0.0
+        if mapping_ops:
+            chain_ops = float(mapping_ops.get("chain-candidate", 0))
+            align_ops = float(mapping_ops.get("align-cell", 0))
         return cls(
             n_reads=report.n_reads,
             total_bases=report.total_bases,
@@ -139,6 +158,8 @@ class PipelineWorkload:
             basecall_kind=basecall_kind,
             basecall_ops=basecall_ops,
             basecall_ops_per_chunk=basecall_ops_per_chunk,
+            chain_candidate_ops=chain_ops,
+            align_cell_ops=align_ops,
         )
 
     @property
@@ -172,4 +193,6 @@ class PipelineWorkload:
             basecall_kind=self.basecall_kind,
             basecall_ops=self.basecall_ops * factor,
             basecall_ops_per_chunk=self.basecall_ops_per_chunk,
+            chain_candidate_ops=self.chain_candidate_ops * factor,
+            align_cell_ops=self.align_cell_ops * factor,
         )

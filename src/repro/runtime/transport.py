@@ -65,7 +65,7 @@ except ImportError:  # pragma: no cover - platforms without POSIX shm
 import numpy as np
 
 from repro.genomics.reference import ReferenceGenome
-from repro.mapping.index import IndexEntry, MinimizerIndex
+from repro.mapping.index import MinimizerIndex
 from repro.mapping.minimizers import MinimizerConfig
 from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal_read import SignalRead
@@ -360,18 +360,16 @@ def publish_index(index: MinimizerIndex) -> SharedIndexHandle:
 
     The pickled size of a :class:`~repro.runtime.spec.PipelineSpec` is
     dominated by the index; publishing it once and shipping a handle
-    removes that per-worker serialisation from pool start-up. The
+    removes that per-worker serialisation from pool start-up. The index
+    already stores the segment's exact columnar layout
+    (:attr:`~repro.mapping.index.MinimizerIndex.key_array` et al.), so
+    publishing is five straight array copies -- no per-key Python. The
     segment stays registered until :func:`release_unit` on its name.
     """
-    keys = np.fromiter(index.keys(), dtype=np.uint64, count=len(index))
-    entries = [index.lookup(int(key)) for key in keys]
-    counts = np.fromiter(
-        (entry.positions.size for entry in entries), dtype=np.int64, count=keys.size
-    )
-    bounds = np.zeros(keys.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=bounds[1:])
-    n_locations = int(bounds[-1])
+    keys = index.key_array
+    bounds = index.bounds_array
     codes = index.reference.codes
+    n_locations = index.n_locations()
     handle = SharedIndexHandle(
         segment="",
         config=index.config,
@@ -387,15 +385,12 @@ def publish_index(index: MinimizerIndex) -> SharedIndexHandle:
         np.frombuffer(segment.buf, dtype=np.int64, count=bounds.size, offset=bounds_off)[
             :
         ] = bounds
-        positions = np.frombuffer(
+        np.frombuffer(
             segment.buf, dtype=np.int64, count=n_locations, offset=positions_off
-        )
-        strands = np.frombuffer(
+        )[:] = index.position_array
+        np.frombuffer(
             segment.buf, dtype=np.int8, count=n_locations, offset=strands_off
-        )
-        for i, entry in enumerate(entries):
-            positions[bounds[i] : bounds[i + 1]] = entry.positions
-            strands[bounds[i] : bounds[i + 1]] = entry.strands
+        )[:] = index.strand_array
         np.frombuffer(segment.buf, dtype=np.uint8, count=codes.size, offset=codes_off)[
             :
         ] = codes
@@ -446,15 +441,12 @@ def attach_index(handle: SharedIndexHandle) -> MinimizerIndex:
     positions = view(np.int64, handle.n_locations, positions_off)
     strands = view(np.int8, handle.n_locations, strands_off)
     codes = view(np.uint8, handle.reference_length, codes_off)
-    table = {
-        int(key): IndexEntry(
-            positions=positions[bounds[i] : bounds[i + 1]],
-            strands=strands[bounds[i] : bounds[i + 1]],
-        )
-        for i, key in enumerate(keys)
-    }
     reference = ReferenceGenome(name=handle.reference_name, codes=codes)
-    return MinimizerIndex(config=handle.config, table=table, reference=reference)
+    # The segment layout IS the index's columnar layout: the rebuilt
+    # index wraps the four views directly, with zero per-key Python.
+    return MinimizerIndex.from_arrays(
+        handle.config, keys, bounds, positions, strands, reference
+    )
 
 
 def release_unit(name: str) -> None:
