@@ -38,7 +38,12 @@ Two consumers:
   <= 10% of the copy mode's bytes, which is what CI gates. A
   **null-sink lane** (``"lane": "null-sink"``) re-runs the reads grid
   dataset into the counting :class:`~repro.runtime.sink.NullSink`, so
-  the data plane is timed with zero serialisation noise. A **mapping
+  the data plane is timed with zero serialisation noise. A
+  **trace-overhead lane** (``"lane": "trace-overhead"``) times the
+  same serial workload untraced and with per-read span tracing
+  (:mod:`repro.obs`) enabled, asserting identical reports --
+  ``--gate-trace`` holds the traced run within 5% of the untraced wall
+  time, which is what CI gates. A **mapping
   lane** (``"lane": "mapping"``) maps the grid dataset with base-level
   alignment ON through the vectorised mapping plane (batched seeding,
   blocked chain DP, wavefront Gotoh) and through the pinned scalar
@@ -343,6 +348,66 @@ def collect_null_sink_lane(system, dataset, repeats: int = 1) -> list[dict]:
     return records
 
 
+#: The trace-overhead lane's variants: the record's ``traced`` flag.
+TRACE_OVERHEAD_VARIANTS = (False, True)
+
+
+def collect_trace_overhead_lane(system, dataset, repeats: int = 1) -> list[dict]:
+    """Time the same serial workload untraced and with span tracing on.
+
+    Two records (``"lane": "trace-overhead"``, ``traced`` False/True)
+    over the reads grid dataset, each the best of >= 3 passes -- the
+    tracer's cost is a few context managers and clock reads per read,
+    well inside one pass of scheduler noise on a shared runner. The
+    traced run must reproduce the untraced report exactly (tracing is a
+    side channel, never a result input); :func:`gate_trace_overhead`
+    (CI's ``--gate-trace`` step) asserts the traced best is within 5%
+    of the untraced best.
+    """
+    repeats = max(repeats, 3)
+    records = []
+    reports = {}
+    for traced in TRACE_OVERHEAD_VARIANTS:
+        best = None
+        for _ in range(repeats):
+            engine = DatasetEngine(system.pipeline, workers=1, trace=traced)
+            started = time.perf_counter()
+            report = engine.run(dataset)
+            elapsed = time.perf_counter() - started
+            stats = engine.last_stats
+            assert report.n_reads == stats.n_reads == len(dataset)
+            if traced:
+                trace = engine.last_trace or []
+                n_read_traces = sum(1 for t in trace if t.kind == "read")
+                assert n_read_traces == len(dataset), (
+                    f"traced run produced {n_read_traces} read traces "
+                    f"for {len(dataset)} reads"
+                )
+            rps = len(dataset) / elapsed if elapsed > 0 else 0.0
+            if best is None or rps > best["reads_per_sec"]:
+                best = {
+                    "source": "reads",
+                    "lane": "trace-overhead",
+                    "traced": traced,
+                    "workers": 1,
+                    "batching": stats.batching,
+                    "transport": stats.transport,
+                    "mode": stats.mode,
+                    "batch_size": stats.batch_size,
+                    "n_shards": stats.n_shards,
+                    "reads": stats.n_reads,
+                    "elapsed_s": round(elapsed, 4),
+                    "reads_per_sec": round(rps, 2),
+                }
+            reports[traced] = report
+        records.append(best)
+    assert (
+        reports[True].outcomes == reports[False].outcomes
+        and reports[True].counters == reports[False].counters
+    ), "trace-overhead: traced report diverged from untraced"
+    return records
+
+
 #: The mapping lane's kernel planes: record's ``kernel`` -> MapperConfig
 #: factory. ``"vectorised"`` is the default plane (batched seeding +
 #: blocked chain DP + wavefront Gotoh); ``"scalar"`` pins every stage to
@@ -453,6 +518,7 @@ def expected_lane_counts() -> dict[str, int]:
         "columnar": len(COLUMNAR_MODES),
         "null-sink": len(WORKER_COUNTS),
         "mapping": len(MAPPING_LANE_KERNELS),
+        "trace-overhead": len(TRACE_OVERHEAD_VARIANTS),
     }
 
 
@@ -524,6 +590,39 @@ def gate_copy_bytes(path, max_ratio: float = 0.10) -> list[str]:
         problems.append(
             f"zero-copy lane copied {viewed} B/read, over {max_ratio:.0%} of the "
             f"copying lane's {copied} B/read"
+        )
+    return problems
+
+
+def gate_trace_overhead(path, max_ratio: float = 0.05) -> list[str]:
+    """Assert span tracing costs <= ``max_ratio`` of the untraced run.
+
+    Reads the trace-overhead lane out of a bench document and compares
+    the best traced pass's wall time against the best untraced pass's
+    over the identical serial workload. Returns a list of problems
+    (empty when the gate passes).
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    by_variant = {
+        record.get("traced"): record
+        for record in document.get("results", ())
+        if record.get("lane") == "trace-overhead"
+    }
+    problems = []
+    for traced in TRACE_OVERHEAD_VARIANTS:
+        if traced not in by_variant:
+            problems.append(f"trace-overhead lane missing traced={traced} record")
+    if problems:
+        return problems
+    untraced_s = by_variant[False]["elapsed_s"]
+    traced_s = by_variant[True]["elapsed_s"]
+    if untraced_s <= 0:
+        problems.append(f"untraced run reports no elapsed time ({untraced_s})")
+    elif traced_s > (1 + max_ratio) * untraced_s:
+        problems.append(
+            f"tracing cost {traced_s / untraced_s - 1:.1%} of the untraced "
+            f"run ({traced_s}s vs {untraced_s}s), over the {max_ratio:.0%} budget"
         )
     return problems
 
@@ -866,7 +965,20 @@ def main(argv=None) -> int:
         help="assert the columnar lane's zero-copy bytes_copied_per_read is "
         "<= 10%% of the copying lane's in an existing bench document and exit",
     )
+    parser.add_argument(
+        "--gate-trace", metavar="JSON", default=None,
+        help="assert the trace-overhead lane's traced run is within 5%% of "
+        "the untraced run's wall time in an existing bench document and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.gate_trace is not None:
+        problems = gate_trace_overhead(args.gate_trace)
+        for problem in problems:
+            print(f"gate-trace: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.gate_trace}: tracing within the 5% overhead budget")
+        return 1 if problems else 0
 
     if args.gate_copies is not None:
         problems = gate_copy_bytes(args.gate_copies)
@@ -1027,6 +1139,10 @@ def main(argv=None) -> int:
     # discarded -- the data plane without serialisation noise.
     records += collect_null_sink_lane(system, dataset, repeats=args.repeats)
 
+    # Trace-overhead lane (PR 10): the same serial workload untraced vs
+    # with per-read span tracing, gated at <= 5% overhead.
+    records += collect_trace_overhead_lane(system, dataset, repeats=args.repeats)
+
     # Serving sessions lane: the grid dataset streamed read-by-read
     # through the warm serving layer by concurrent loopback sessions.
     records += collect_sessions_lane(system, dataset, repeats=args.repeats)
@@ -1052,6 +1168,8 @@ def main(argv=None) -> int:
             )
         elif record.get("lane") == "null-sink":
             extra = " sink=null"
+        elif record.get("lane") == "trace-overhead":
+            extra = f" traced={record['traced']}"
         elif record.get("lane") == "mapping":
             extra = (
                 f" kernel={record['kernel']} "

@@ -44,7 +44,8 @@ DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_runtime_baseline
 #: ``sessions`` distinguishes the serving lane's concurrency points --
 #: without it the N-session records would collide as duplicates;
 #: ``copy_mode`` and ``sink`` do the same for the columnar lane's two
-#: transports and the null-sink lane.
+#: transports and the null-sink lane; ``traced`` for the
+#: trace-overhead lane's on/off pair.
 IDENTITY_FIELDS = (
     "source",
     "lane",
@@ -59,6 +60,7 @@ IDENTITY_FIELDS = (
     "sessions",
     "copy_mode",
     "sink",
+    "traced",
 )
 
 

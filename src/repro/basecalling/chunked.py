@@ -46,10 +46,11 @@ def reassemble_chunks(read_id: str, chunks: list[BasecalledChunk]) -> Basecalled
     if indices != list(range(len(chunks))):
         raise ValueError(f"chunks out of order or missing: indices {indices}")
     bases = "".join(c.bases for c in chunks)
-    if chunks[0].qualities.size or len(chunks) > 1:
-        qualities = np.concatenate([c.qualities for c in chunks])
-    else:
-        qualities = chunks[0].qualities
+    qualities = (
+        np.concatenate([c.qualities for c in chunks])
+        if chunks[0].qualities.size or len(chunks) > 1
+        else chunks[0].qualities
+    )
     return BasecalledRead(
         read_id=read_id,
         bases=bases,

@@ -468,10 +468,11 @@ class ViterbiChunkBasecaller(SignalSpaceBasecaller):
         <repro.kernels.viterbi.TRANSITIONS_PER_STATE>` transition
         evaluations per state per observation.
         """
-        if self._config.decode == "events":
-            observations = int(n_bases)
-        else:
-            observations = int(round(n_bases * self._config.signal.dwell_mean))
+        observations = (
+            int(n_bases)
+            if self._config.decode == "events"
+            else int(round(n_bases * self._config.signal.dwell_mean))
+        )
         return KernelWorkload(
             kind="viterbi-state",
             ops=viterbi_state_ops(observations, int(self.pore_model.levels.size)),

@@ -45,6 +45,7 @@ from repro.mapping.index import MinimizerIndex
 from repro.mapping.mapper import IncrementalChunkMapper, MapperConfig, MappingResult
 from repro.nanopore.read_simulator import SimulatedRead
 from repro.nanopore.signal_read import SignalRead
+from repro.obs.trace import Tracer, active_tracer, use_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (keeps repro.signal lazy)
     from collections.abc import Iterable
@@ -133,6 +134,7 @@ class GenPIPPipeline:
         qsr_policy: QSRPolicyProtocol | None = None,
         cmr_policy: CMRPolicyProtocol | None = None,
         ser_policy: SignalRejectionPolicyProtocol | None = None,
+        tracer: Tracer | None = None,
     ):
         self._index = index
         self._basecaller: Basecaller = basecaller or SurrogateBasecaller()
@@ -148,6 +150,10 @@ class GenPIPPipeline:
         # SER has no reference-free default: None simply disables the
         # pre-basecalling stage (the PR-4-and-earlier control flow).
         self._ser: SignalRejectionPolicyProtocol | None = ser_policy
+        # Span tracer: an explicit instance pins the clock (tests);
+        # None defers to the process tracer per read, so enabling
+        # tracing after construction (CLI, worker init) still takes.
+        self._tracer = tracer
         # Context overlap that makes chunked seeding anchor-identical to
         # whole-read seeding: k-1 for boundary k-mers plus w-1 for
         # boundary windows.
@@ -228,10 +234,12 @@ class GenPIPPipeline:
                 continue
             if cfg.enable_qsr and er_eligible:
                 indices: "Iterable[int]" = self._qsr.sample_indices(n_chunks)
-            elif cfg.enable_cmr and er_eligible:
-                indices = self._cmr.merged_chunk_indices(n_chunks)
             else:
-                indices = range(n_chunks)
+                indices = (
+                    self._cmr.merged_chunk_indices(n_chunks)
+                    if cfg.enable_cmr and er_eligible
+                    else range(n_chunks)
+                )
             requests.extend((read, index) for index in indices)
         if not requests:
             return 0
@@ -253,6 +261,16 @@ class GenPIPPipeline:
                 "reads; use a signal-space backend ('viterbi', 'dnn') for raw-"
                 "current inputs"
             )
+        if self._tracer is not None:
+            # Scope the injected tracer (pinned clock) process-wide so
+            # the mapper's seed/chain/align sites record into it too.
+            with use_tracer(self._tracer) as tracer, tracer.read(read.read_id):
+                return self._process_read(read, tracer)
+        tracer = active_tracer()
+        with tracer.read(read.read_id):
+            return self._process_read(read, tracer)
+
+    def _process_read(self, read: PipelineRead, tracer) -> ReadOutcome:
         cfg = self._config
         chunk_size = cfg.chunk_size
         n_chunks = self._basecaller.n_chunks(read, chunk_size)
@@ -260,7 +278,8 @@ class GenPIPPipeline:
 
         def basecall(index: int) -> BasecalledChunk:
             if index not in called:
-                called[index] = self._basecaller.basecall_chunk(read, index, chunk_size)
+                with tracer.span("basecall_chunk"):
+                    called[index] = self._basecaller.basecall_chunk(read, index, chunk_size)
             return called[index]
 
         er_eligible = n_chunks >= cfg.min_chunks_for_er
@@ -276,7 +295,8 @@ class GenPIPPipeline:
             and er_eligible
             and isinstance(read, SignalRead)
         ):
-            ser_decision = self._ser.decide(read)
+            with tracer.span("ser"):
+                ser_decision = self._ser.decide(read)
             if ser_decision.reject:
                 return self._outcome(
                     read,
@@ -292,8 +312,9 @@ class GenPIPPipeline:
         # --- Stage 1: QSR on N_qs evenly sampled chunks (Fig. 6 (1)-(3)).
         qsr_decision = None
         if cfg.enable_qsr and er_eligible:
-            sampled = [basecall(i) for i in self._qsr.sample_indices(n_chunks)]
-            qsr_decision = self._qsr.decide(sampled)
+            with tracer.span("qsr_probe"):
+                sampled = [basecall(i) for i in self._qsr.sample_indices(n_chunks)]
+                qsr_decision = self._qsr.decide(sampled)
             if qsr_decision.reject:
                 return self._outcome(
                     read,
@@ -318,15 +339,16 @@ class GenPIPPipeline:
         )
         seeded: set[int] = set()
         if cfg.enable_cmr and er_eligible:
-            merged_indices = self._cmr.merged_chunk_indices(n_chunks)
-            for i in merged_indices:
-                basecall(i)
-            self._reindex_mapper(chunk_mapper, called, merged_indices, seeded)
-            primary, _ = chunk_mapper.chain_prefix()
-            merged_bases = sum(len(called[i]) for i in merged_indices)
-            score = primary.score if primary is not None else 0.0
-            n_chain_invocations += 1
-            cmr_decision = self._cmr.decide(score, merged_bases)
+            with tracer.span("cmr_probe"):
+                merged_indices = self._cmr.merged_chunk_indices(n_chunks)
+                for i in merged_indices:
+                    basecall(i)
+                self._reindex_mapper(chunk_mapper, called, merged_indices, seeded)
+                primary, _ = chunk_mapper.chain_prefix()
+                merged_bases = sum(len(called[i]) for i in merged_indices)
+                score = primary.score if primary is not None else 0.0
+                n_chain_invocations += 1
+                cmr_decision = self._cmr.decide(score, merged_bases)
             if cmr_decision.reject:
                 return self._outcome(
                     read,
@@ -368,20 +390,21 @@ class GenPIPPipeline:
         mapping = chunk_mapper.finalize(read.read_id, read_codes, align=self._align)
         n_chain_invocations += 1
         status = ReadStatus.MAPPED if mapping.mapped else ReadStatus.UNMAPPED
-        return self._outcome(
-            read,
-            status,
-            n_chunks,
-            called,
-            n_chunks_seeded=len(seeded),
-            n_chain_invocations=n_chain_invocations,
-            aligned=mapping.alignment is not None,
-            mean_quality=full_read.mean_quality,
-            ser=ser_decision,
-            qsr=qsr_decision,
-            cmr=cmr_decision,
-            mapping=mapping,
-        )
+        with tracer.span("report"):
+            return self._outcome(
+                read,
+                status,
+                n_chunks,
+                called,
+                n_chunks_seeded=len(seeded),
+                n_chain_invocations=n_chain_invocations,
+                aligned=mapping.alignment is not None,
+                mean_quality=full_read.mean_quality,
+                ser=ser_decision,
+                qsr=qsr_decision,
+                cmr=cmr_decision,
+                mapping=mapping,
+            )
 
     def basecall_full(self, read: SimulatedRead) -> BasecalledRead:
         """Basecall every chunk of a read (oracle/recovery helper)."""

@@ -188,12 +188,15 @@ def create_basecaller(name: str, config: Any | None = None) -> Basecaller:
     ``None`` for the backend's defaults).
     """
     registration = basecaller_registration(name)
-    if config is not None and registration.config_type is not None:
-        if not isinstance(config, registration.config_type):
-            raise TypeError(
-                f"backend {name!r} expects a {registration.config_type.__name__} "
-                f"config, got {type(config).__name__}"
-            )
+    if (
+        config is not None
+        and registration.config_type is not None
+        and not isinstance(config, registration.config_type)
+    ):
+        raise TypeError(
+            f"backend {name!r} expects a {registration.config_type.__name__} "
+            f"config, got {type(config).__name__}"
+        )
     return registration.factory(config)
 
 

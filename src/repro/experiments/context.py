@@ -118,9 +118,10 @@ class ExperimentContext:
             self._reports[key] = system.run(self.dataset, workers=self.workers)
             after = ledger.by_kind()
             # Snapshot delta of the process-local mapping-ops ledger for
-            # this run. Pooled runs chain/align in worker processes, so
-            # the delta is ~zero there and the perf models fall back to
-            # the per-base mapping formula.
+            # this run. Pooled runs chain/align in worker processes, but
+            # the engine repatriates each worker's ledger delta onto
+            # ShardResult.metrics and recharges this parent ledger, so
+            # the delta is accurate in every mode.
             self._mapping_ops[key] = {
                 kind: after.get(kind, 0) - before.get(kind, 0) for kind in after
             }

@@ -73,9 +73,7 @@ def _traceback_tables(h, e, v, n: int, m: int, ge: float) -> tuple[tuple[str, in
         if state == "H":
             if j == 0:
                 state = "V"
-            elif i == 0:
-                state = "E"
-            elif h[i][j] == e[i][j]:
+            elif i == 0 or h[i][j] == e[i][j]:
                 state = "E"
             elif h[i][j] == v[i][j]:
                 state = "V"

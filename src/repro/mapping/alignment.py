@@ -161,10 +161,8 @@ def align_banded(
     config = config or AlignmentConfig()
     a = np.asarray(ref)
     b = np.asarray(read)
-    if band is None and 0 < a.size * b.size <= 3_600:
-        raw = _align_small(a, b, config)
-    else:
-        raw = _align_core(ref, read, config, band)
+    small = band is None and 0 < a.size * b.size <= 3_600
+    raw = _align_small(a, b, config) if small else _align_core(ref, read, config, band)
     return AlignmentResult(
         score=raw.score, cigar=_classify_diagonals(raw.cigar, ref, read)
     )
@@ -180,10 +178,11 @@ def _align_small(a: np.ndarray, b: np.ndarray, config: AlignmentConfig) -> Align
     kernels are bit-identical to each other and produce scores and
     CIGARs identical to :func:`_align_core` (property-tested).
     """
-    if config.kernel == "wavefront" and int(a.size) * int(b.size) >= _WAVEFRONT_MIN_CELLS:
-        kernel = gotoh_wavefront
-    else:
-        kernel = gotoh_scalar
+    wavefront = (
+        config.kernel == "wavefront"
+        and int(a.size) * int(b.size) >= _WAVEFRONT_MIN_CELLS
+    )
+    kernel = gotoh_wavefront if wavefront else gotoh_scalar
     score, cigar = kernel(
         a, b, config.match, config.mismatch, config.gap_open, config.gap_extend
     )
@@ -313,10 +312,8 @@ def _traceback(ptr_h, ptr_e, ptr_v, n: int, m: int) -> tuple[tuple[str, int], ..
                 parts.append(("M", 1))
                 i -= 1
                 j -= 1
-            elif choice == 1:
-                state = "E"
             else:
-                state = "V"
+                state = "E" if choice == 1 else "V"
         elif state == "E":
             parts.append(("I", 1))
             if ptr_e[i, j] == 0:

@@ -22,6 +22,7 @@ from repro.mapping.alignment import AlignmentConfig, AlignmentResult, align_chai
 from repro.mapping.chaining import Chain, ChainingConfig, best_chain
 from repro.mapping.index import MinimizerIndex
 from repro.mapping.seeding import collect_anchor_arrays
+from repro.obs.trace import active_tracer
 
 
 @dataclass(frozen=True)
@@ -163,13 +164,14 @@ class IncrementalChunkMapper:
 
         Returns the number of anchors the chunk contributed.
         """
-        grouped = collect_anchor_arrays(
-            self._index,
-            chunk_codes,
-            read_offset=read_offset,
-            read_length=None,
-            kernel=self._config.seed_kernel,
-        )
+        with active_tracer().span("seed"):
+            grouped = collect_anchor_arrays(
+                self._index,
+                chunk_codes,
+                read_offset=read_offset,
+                read_length=None,
+                kernel=self._config.seed_kernel,
+            )
         added = 0
         for strand, rows in grouped.items():
             if rows.size:
@@ -201,7 +203,8 @@ class IncrementalChunkMapper:
 
     def chain_prefix(self) -> tuple[Chain | None, Chain | None]:
         """Chain all anchors accumulated so far (primary, secondary)."""
-        return best_chain(self._gathered(), self._config.chaining)
+        with active_tracer().span("chain"):
+            return best_chain(self._gathered(), self._config.chaining)
 
     def finalize(
         self, read_id: str, read_codes: np.ndarray, align: bool = True
@@ -230,13 +233,14 @@ class IncrementalChunkMapper:
             )
 
         oriented = read_codes if primary.strand == 1 else alphabet.reverse_complement(read_codes)
-        alignment, ref_start, ref_end = align_chain(
-            self._index.reference.codes,
-            oriented,
-            primary.anchors,
-            kmer_size=self._index.config.k,
-            config=self._config.alignment,
-        )
+        with active_tracer().span("align"):
+            alignment, ref_start, ref_end = align_chain(
+                self._index.reference.codes,
+                oriented,
+                primary.anchors,
+                kmer_size=self._index.config.k,
+                config=self._config.alignment,
+            )
         mapped = (
             coverage >= self._config.min_read_coverage
             and alignment.identity >= self._config.min_identity

@@ -212,10 +212,11 @@ class ReadSimulator:
     def sample_length(self) -> int:
         """Draw one read length from the mixture model."""
         c = self._config
-        if self._rng.random() < c.short_read_fraction:
-            length = self._rng.exponential(c.short_read_mean) + c.min_length
-        else:
-            length = self._rng.lognormal(self._log_mu, self._log_sigma)
+        length = (
+            self._rng.exponential(c.short_read_mean) + c.min_length
+            if self._rng.random() < c.short_read_fraction
+            else self._rng.lognormal(self._log_mu, self._log_sigma)
+        )
         length = int(np.clip(length, c.min_length, min(c.max_length, len(self._reference) - 1)))
         return length
 

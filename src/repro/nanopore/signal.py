@@ -89,10 +89,11 @@ class RawSignal:
         if not 0 <= first_base <= last_base <= self.n_bases:
             raise ValueError("base range out of bounds")
         start = int(self.base_starts[first_base])
-        if last_base == self.n_bases:
-            end = int(self.samples.size)
-        else:
-            end = int(self.base_starts[last_base])
+        end = int(
+            self.samples.size
+            if last_base == self.n_bases
+            else self.base_starts[last_base]
+        )
         return self.samples[start:end]
 
     def clamped_slice(self, first_base: int, last_base: int) -> np.ndarray:

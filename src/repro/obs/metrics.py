@@ -1,0 +1,386 @@
+"""Process-wide metrics registry unifying the repo's ad-hoc ledgers.
+
+A :class:`MetricsRegistry` names a set of **instruments** --
+:class:`Counter`, :class:`Gauge`, :class:`Histogram` -- and turns them
+into JSON-safe snapshots with delta/merge semantics matching the
+ShardResult idiom: a worker snapshots the registry around a work unit,
+ships :func:`snapshot_delta` home, and the parent folds deltas together
+with :func:`merge_snapshots` (and optionally re-charges them into its
+own instruments via :meth:`MetricsRegistry.absorb`).
+
+Legacy ledger -> instrument mapping (the process registry):
+
+=====================================  ==============================
+legacy ledger                          registry instrument
+=====================================  ==============================
+``repro.perf.copies.CopyCounter``      ``genpip_copied_bytes``
+(process ledger)                       (counter, label ``boundary``)
+``repro.kernels.mapping_ops.           ``genpip_mapping_ops``
+MappingOpsCounter`` (process ledger)   (counter, label ``kind``)
+``repro.perf.latency.                  any ``Histogram`` instrument
+LatencyHistogram``                     (``repro.serving`` registers
+                                       ``genpip_serving_latency_seconds``)
+=====================================  ==============================
+
+The ledger-backed instruments *wrap* the live process ledgers instead
+of duplicating them: charging ``record_copy``/``record_mapping_ops``
+is immediately visible through the registry, and absorbing a worker's
+counter delta re-charges the underlying ledger (which is how pooled
+runs repatriate mapping-op counts for the perf models).
+
+Imports of the wrapped ledgers are deliberately lazy (inside the
+factory functions) so ``repro.obs`` stays import-cycle-free: the hot
+paths in ``repro.core`` / ``repro.mapping`` import ``repro.obs.trace``,
+while ``repro.perf`` sits above both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
+
+from repro.obs.export import prometheus_text
+
+#: Canonical process-registry instrument names.
+COPIED_BYTES = "genpip_copied_bytes"
+MAPPING_OPS = "genpip_mapping_ops"
+
+
+class Counter:
+    """A keyed monotonic counter (keys are label values, e.g. a boundary)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", label: str = "key"):
+        self.name = name
+        self.help = help
+        self.label = label
+        self._values: dict[str, float] = {}
+
+    def inc(self, key: str = "", n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increments must be non-negative, got {n}")
+        self._values[key] = self._values.get(key, 0) + n
+
+    def value(self, key: str | None = None) -> float:
+        if key is not None:
+            return self._values.get(key, 0)
+        return sum(self._values.values())
+
+    def by_key(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "help": self.help,
+            "values": self.by_key(),
+        }
+
+
+class LedgerCounter(Counter):
+    """A counter view over an existing process ledger.
+
+    ``read_fn`` returns the ledger's key->value dict; ``charge_fn``
+    charges ``(key, n)`` into it. The instrument holds no state of its
+    own, so ledger charges made anywhere in the process are immediately
+    visible in registry snapshots, and :meth:`inc` (used by
+    :meth:`MetricsRegistry.absorb`) lands in the ledger itself.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        read_fn: Callable[[], Mapping[str, float]],
+        charge_fn: Callable[[str, float], None],
+        help: str = "",
+        label: str = "key",
+    ):
+        super().__init__(name, help=help, label=label)
+        self._read_fn = read_fn
+        self._charge_fn = charge_fn
+
+    def inc(self, key: str = "", n: float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increments must be non-negative, got {n}")
+        self._charge_fn(key, n)
+
+    def by_key(self) -> dict[str, float]:
+        return dict(self._read_fn())
+
+    def value(self, key: str | None = None) -> float:
+        values = self._read_fn()
+        if key is not None:
+            return values.get(key, 0)
+        return sum(values.values())
+
+    def reset(self) -> None:
+        raise TypeError(f"{self.name} wraps a process ledger; reset the ledger itself")
+
+
+class Gauge:
+    """A point-in-time value (peaks, live counts)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if higher (peak tracking)."""
+        if value > self._value:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self._value}
+
+
+class Histogram:
+    """A registered latency histogram (wraps a ``LatencyHistogram``).
+
+    Pass ``histogram=`` to adopt an existing
+    :class:`~repro.perf.latency.LatencyHistogram` (the serving layer
+    registers its live per-run histogram this way); otherwise a fresh
+    one is built from the layout arguments.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        histogram=None,
+        **layout: Any,
+    ):
+        self.name = name
+        self.help = help
+        if histogram is None:
+            from repro.perf.latency import LatencyHistogram
+
+            histogram = LatencyHistogram(**layout)
+        self.histogram = histogram
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.record(seconds)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    def percentiles_ms(self) -> dict[str, float]:
+        return self.histogram.percentiles_ms()
+
+    def snapshot(self) -> dict:
+        data = self.histogram.to_dict()
+        data.update(
+            kind=self.kind,
+            help=self.help,
+            # Percentiles ride the snapshot so expositions built from a
+            # shipped snapshot (no live histogram) still carry them.
+            **self.histogram.percentiles_ms(),
+        )
+        return data
+
+
+class MetricsRegistry:
+    """An ordered name -> instrument mapping with snapshot semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- construction / lookup ----------------------------------------
+    def _get_or_create(self, name: str, factory, expected_type):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, expected_type):
+                raise TypeError(
+                    f"instrument {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", label: str = "key") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help, label), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(self, name: str, help: str = "", histogram=None, **layout) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, histogram=histogram, **layout), Histogram
+        )
+
+    def register(self, instrument) -> None:
+        """Register a pre-built instrument under its own name."""
+        if instrument.name in self._instruments:
+            raise ValueError(f"instrument {instrument.name!r} already registered")
+        self._instruments[instrument.name] = instrument
+
+    def get(self, name: str):
+        return self._instruments[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # -- snapshot / delta / merge / absorb ----------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-safe point-in-time encoding of every instrument."""
+        return {name: inst.snapshot() for name, inst in self._instruments.items()}
+
+    def absorb(self, delta: Mapping[str, dict], names: Iterable[str] | None = None) -> None:
+        """Re-charge a shipped snapshot delta into this registry.
+
+        Counter deltas increment (ledger-backed counters charge the
+        underlying process ledger -- the pooled mapping-ops repatriation
+        path); histogram deltas merge counts; gauge deltas take the max
+        (peak semantics). Unknown instrument names are ignored unless
+        explicitly requested via ``names``.
+        """
+        wanted = set(names) if names is not None else None
+        for name, payload in delta.items():
+            if wanted is not None and name not in wanted:
+                continue
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                if wanted is not None:
+                    raise KeyError(f"cannot absorb into unknown instrument {name!r}")
+                continue
+            kind = payload.get("kind")
+            if kind == "counter":
+                for key, value in payload.get("values", {}).items():
+                    instrument.inc(key, value)
+            elif kind == "histogram":
+                from repro.perf.latency import LatencyHistogram
+
+                instrument.histogram.merge(LatencyHistogram.from_dict(payload))
+            elif kind == "gauge":
+                instrument.set_max(payload.get("value", 0))
+
+    def expose(self, snapshot: Mapping[str, dict] | None = None) -> str:
+        """Prometheus-style text exposition of a snapshot (default: now)."""
+        return prometheus_text(snapshot if snapshot is not None else self.snapshot())
+
+
+def snapshot_delta(before: Mapping[str, dict], after: Mapping[str, dict]) -> dict[str, dict]:
+    """What changed between two registry snapshots (ShardResult cargo).
+
+    Counters subtract per key (only positive movement survives);
+    histograms subtract per bucket; gauges carry the ``after`` value
+    when it moved. Instruments with no movement are dropped, so an idle
+    registry ships ``{}``.
+    """
+    delta: dict[str, dict] = {}
+    for name, now in after.items():
+        prev = before.get(name)
+        kind = now.get("kind")
+        if kind == "counter":
+            prev_values = (prev or {}).get("values", {})
+            moved = {
+                key: value - prev_values.get(key, 0)
+                for key, value in now.get("values", {}).items()
+                if value - prev_values.get(key, 0) > 0
+            }
+            if moved:
+                delta[name] = {**now, "values": moved}
+        elif kind == "histogram":
+            prev_counts = (prev or {}).get("counts", [0] * len(now["counts"]))
+            moved_counts = [a - b for a, b in zip(now["counts"], prev_counts)]
+            if any(moved_counts):
+                delta[name] = {**now, "counts": moved_counts}
+        elif kind == "gauge" and (prev is None or now.get("value") != prev.get("value")):
+            delta[name] = dict(now)
+    return delta
+
+
+def merge_snapshots(a: Mapping[str, dict], b: Mapping[str, dict]) -> dict[str, dict]:
+    """Fold two snapshots/deltas together (counter add, bucket add,
+    gauge max) -- the parent-side merge for pooled shard deltas."""
+    merged: dict[str, dict] = {name: dict(payload) for name, payload in a.items()}
+    for name, payload in b.items():
+        base = merged.get(name)
+        if base is None:
+            merged[name] = dict(payload)
+            continue
+        kind = payload.get("kind")
+        if kind == "counter":
+            values = dict(base.get("values", {}))
+            for key, value in payload.get("values", {}).items():
+                values[key] = values.get(key, 0) + value
+            base["values"] = values
+        elif kind == "histogram":
+            if (base["lo"], base["hi"], base["n_buckets"]) != (
+                payload["lo"],
+                payload["hi"],
+                payload["n_buckets"],
+            ):
+                raise ValueError("cannot merge histograms with different bucket layouts")
+            base["counts"] = [x + y for x, y in zip(base["counts"], payload["counts"])]
+        elif kind == "gauge":
+            base["value"] = max(base.get("value", 0), payload.get("value", 0))
+    return merged
+
+
+#: The per-process registry wrapping the process ledgers (lazy).
+_PROCESS_REGISTRY: MetricsRegistry | None = None
+
+
+def process_registry() -> MetricsRegistry:
+    """The process-local registry (ledger-backed instruments included)."""
+    global _PROCESS_REGISTRY
+    if _PROCESS_REGISTRY is None:
+        from repro.kernels.mapping_ops import process_mapping_ops
+        from repro.perf.copies import process_copies
+
+        registry = MetricsRegistry()
+        copies = process_copies()
+        registry.register(
+            LedgerCounter(
+                COPIED_BYTES,
+                read_fn=copies.by_boundary,
+                charge_fn=copies.record,
+                help="Payload bytes copied per data-plane boundary",
+                label="boundary",
+            )
+        )
+        ops = process_mapping_ops()
+        registry.register(
+            LedgerCounter(
+                MAPPING_OPS,
+                read_fn=ops.by_kind,
+                charge_fn=ops.record,
+                help="Mapping kernel operations per kind",
+                label="kind",
+            )
+        )
+        _PROCESS_REGISTRY = registry
+    return _PROCESS_REGISTRY
+
+
+def worker_metrics_snapshot() -> dict[str, dict]:
+    """Snapshot the process registry before a work unit (worker side)."""
+    return process_registry().snapshot()
+
+
+def worker_metrics_delta(before: Mapping[str, dict]) -> dict[str, dict]:
+    """The registry movement since ``before`` (ShardResult cargo)."""
+    return snapshot_delta(before, process_registry().snapshot())

@@ -197,14 +197,16 @@ def _map_time_s(
     original per-base formula bit-identically.
     """
     f_align = costs.map_align_fraction
-    if workload.chain_candidate_ops > 0:
-        chain_bases = workload.chain_candidate_ops / costs.chain_candidates_per_base
-    else:
-        chain_bases = float(workload.mapped_bases_batch)
-    if workload.align_cell_ops > 0:
-        align_bases = workload.align_cell_ops / costs.align_cells_per_base
-    else:
-        align_bases = float(workload.aligned_bases)
+    chain_bases = (
+        workload.chain_candidate_ops / costs.chain_candidates_per_base
+        if workload.chain_candidate_ops > 0
+        else float(workload.mapped_bases_batch)
+    )
+    align_bases = (
+        workload.align_cell_ops / costs.align_cells_per_base
+        if workload.align_cell_ops > 0
+        else float(workload.aligned_bases)
+    )
     return (chain_bases * (1.0 - f_align) + align_bases * f_align) / engines.map_bps
 
 

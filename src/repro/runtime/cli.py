@@ -29,6 +29,12 @@ Two workers, length-aware batching, streaming JSONL sink::
     python -m repro.runtime --profile ecoli-like --scale 0.001 \\
         --workers 2 --adaptive-batching --sink jsonl --outcomes out.jsonl
 
+Per-read stage tracing (Chrome ``trace_event`` JSON for Perfetto plus a
+flat span JSONL; the report stays byte-identical to an untraced run)::
+
+    python -m repro.runtime --profile ecoli-like --scale 0.001 \\
+        --workers 2 --trace run.trace.json
+
 Stream from an on-disk read container (written on first use)::
 
     python -m repro.runtime --source store --store reads.gprd --workers 2
@@ -86,6 +92,7 @@ from repro.nanopore.signal_store import (
     write_read_store,
     write_signals,
 )
+from repro.obs.export import write_chrome_trace, write_span_jsonl
 from repro.runtime.engine import TRANSPORTS, DatasetEngine
 from repro.runtime.sink import (
     JSONLSink,
@@ -209,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_path", default=None, metavar="PATH",
         help="write the JSON report to PATH ('-' for stdout); with a "
         "streaming sink the report is replayed losslessly from --outcomes",
+    )
+    out.add_argument(
+        "--trace", dest="trace_path", default=None, metavar="PATH",
+        help="record per-read stage spans and write a Chrome trace_event "
+        "JSON to PATH (load it in Perfetto / chrome://tracing) plus a flat "
+        "span log to PATH.spans.jsonl; the report stays byte-identical to "
+        "an untraced run",
     )
     out.add_argument("--quiet", action="store_true", help="suppress the stderr summary")
     return parser
@@ -368,10 +382,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             sink = ParquetSink(args.outcomes)
         except ImportError as exc:
             parser.error(str(exc))
-    elif args.sink == "null":
-        sink = NullSink()
     else:
-        sink = None
+        sink = NullSink() if args.sink == "null" else None
 
     profile = PRESETS[args.profile]
     if args.max_read_length is not None:
@@ -500,8 +512,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         sink=sink,
         batching="length-aware" if args.adaptive_batching else "fixed",
         transport=args.transport,
+        trace=args.trace_path is not None,
     )
     report = engine.run(data)
+    if args.trace_path:
+        traces = engine.last_trace or []
+        try:
+            write_chrome_trace(args.trace_path, traces)
+            write_span_jsonl(args.trace_path + ".spans.jsonl", traces)
+        except OSError as exc:
+            print(f"error: cannot write {args.trace_path}: {exc}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            n_reads = sum(1 for trace in traces if trace.kind == "read")
+            print(
+                f"trace: {len(traces)} traces ({n_reads} reads) -> "
+                f"{args.trace_path} (+ .spans.jsonl)",
+                file=sys.stderr,
+            )
     if args.json_path and args.sink in ("jsonl", "parquet"):
         # The run kept O(batch) outcomes in memory; the per-read records
         # are replayed losslessly from disk only because the full JSON

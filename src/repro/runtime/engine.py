@@ -52,6 +52,23 @@ from dataclasses import dataclass
 from repro.core.genpip import GenPIPReport
 from repro.core.pipeline import GenPIPPipeline
 from repro.mapping.index import MinimizerIndex
+from repro.obs.metrics import (
+    COPIED_BYTES,
+    MAPPING_OPS,
+    process_registry,
+    snapshot_delta,
+    worker_metrics_delta,
+    worker_metrics_snapshot,
+)
+from repro.obs.trace import (
+    ReadTrace,
+    active_tracer,
+    decode_traces,
+    disable_tracing,
+    drain_read_traces,
+    enable_tracing,
+    tracing_enabled,
+)
 from repro.perf.copies import copied_bytes, record_copy
 from repro.runtime.columnar import payload_nbytes
 from repro.runtime.merge import ShardCollector, ShardResult
@@ -93,6 +110,8 @@ _WORKER_PIPELINE: GenPIPPipeline | None = None
 def _init_worker(spec: PipelineSpec) -> None:
     """Pool initializer: rebuild the pipeline inside the worker."""
     global _WORKER_PIPELINE
+    if spec.trace:
+        enable_tracing()
     _WORKER_PIPELINE = spec.build()
 
 
@@ -108,13 +127,20 @@ def _process_unit(unit: WorkUnit) -> ShardResult:
     The unit arrived as a pickle, so its payload bytes were already
     materialised in this worker by deserialisation; they are charged to
     the ``"pickle"`` boundary and shipped home as the unit's copy cost.
+    Every worker entry point snapshots the metrics registry around the
+    unit and ships the delta (plus any spans) home on the ShardResult.
     """
+    metrics_before = worker_metrics_snapshot()
     nbytes = payload_nbytes(unit.reads)
     record_copy("pickle", nbytes)
+    with active_tracer().unit(unit.shard_id):
+        outcomes = _worker_pipeline().process_batch(list(unit.reads))
     return ShardResult.from_outcomes(
         unit.shard_id,
-        _worker_pipeline().process_batch(list(unit.reads)),
+        outcomes,
         bytes_copied=nbytes,
+        metrics=worker_metrics_delta(metrics_before),
+        traces=drain_read_traces(),
     )
 
 
@@ -124,12 +150,17 @@ def _process_shared_unit(shared: SharedUnit) -> ShardResult:
     Classic copy-out attach: the ``"attach"`` boundary delta taken here
     is exactly this unit's worker-side copy traffic.
     """
+    metrics_before = worker_metrics_snapshot()
     before = copied_bytes("attach")
     reads = attach_unit(shared)
+    with active_tracer().unit(shared.shard_id):
+        outcomes = _worker_pipeline().process_batch(reads)
     return ShardResult.from_outcomes(
         shared.shard_id,
-        _worker_pipeline().process_batch(reads),
+        outcomes,
         bytes_copied=copied_bytes("attach") - before,
+        metrics=worker_metrics_delta(metrics_before),
+        traces=drain_read_traces(),
     )
 
 
@@ -144,17 +175,23 @@ def _process_shared_unit_view(shared: SharedUnit) -> ShardResult:
     shipped anyway so the accounting stays uniform (and honest if a
     future change reintroduces a copy).
     """
+    metrics_before = worker_metrics_snapshot()
     before = copied_bytes("attach")
     reads = attach_unit(shared, copy=False)
     lease = unit_lease(shared.segment)
     try:
-        outcomes = _worker_pipeline().process_batch(reads)
+        with active_tracer().unit(shared.shard_id):
+            outcomes = _worker_pipeline().process_batch(reads)
     finally:
         del reads
         if lease is not None:
             lease.release()
     return ShardResult.from_outcomes(
-        shared.shard_id, outcomes, bytes_copied=copied_bytes("attach") - before
+        shared.shard_id,
+        outcomes,
+        bytes_copied=copied_bytes("attach") - before,
+        metrics=worker_metrics_delta(metrics_before),
+        traces=drain_read_traces(),
     )
 
 
@@ -224,6 +261,35 @@ class RuntimeStats:
         """Worker-side copied bytes per read -- the bench's gated metric."""
         return self.bytes_copied / self.n_reads if self.n_reads > 0 else 0.0
 
+    @classmethod
+    def from_registry(
+        cls,
+        worker_metrics: dict,
+        parent_delta: dict,
+        **fields,
+    ) -> "RuntimeStats":
+        """Build stats with the byte accounting read from registry deltas.
+
+        ``worker_metrics`` is the merged worker-side snapshot delta
+        (:attr:`~repro.runtime.merge.ShardCollector.metrics`) --
+        its ``genpip_copied_bytes`` movement *is* the worker-side
+        attach/pickle traffic. ``parent_delta`` is the parent process's
+        own registry movement over the run -- its publish+pickle
+        movement *is* the published-bytes figure. The remaining fields
+        pass through to the constructor, so the result is bit-identical
+        to hand-threading ``collector.bytes_copied`` and the ledger
+        snapshots (``tests/test_obs.py`` asserts exactly that).
+        """
+        worker_copies = worker_metrics.get(COPIED_BYTES, {}).get("values", {})
+        parent_copies = parent_delta.get(COPIED_BYTES, {}).get("values", {})
+        return cls(
+            bytes_copied=int(sum(worker_copies.values())),
+            bytes_published=int(
+                parent_copies.get("publish", 0) + parent_copies.get("pickle", 0)
+            ),
+            **fields,
+        )
+
 
 class DatasetEngine:
     """Streaming dataset executor around one pipeline configuration.
@@ -276,6 +342,7 @@ class DatasetEngine:
         batching: str = "fixed",
         transport: str = "auto",
         prefetch_depth: int | None = None,
+        trace: bool = False,
     ):
         if isinstance(pipeline, PipelineSpec):
             self._spec = pipeline
@@ -283,6 +350,11 @@ class DatasetEngine:
         else:
             self._spec = PipelineSpec.from_pipeline(pipeline)
             self._pipeline = pipeline
+        self._trace = bool(trace or self._spec.trace)
+        if self._trace and not self._spec.trace:
+            # The flag rides the spec so pool initializers enable the
+            # worker-side tracer before the first unit arrives.
+            self._spec = self._spec.with_trace(True)
         self._workers = resolve_workers(workers)
         self._batch_size = batch_size
         self._progress = progress
@@ -298,6 +370,7 @@ class DatasetEngine:
         self._progress_total = -1
         self._backpressure: dict[str, int] = {}
         self._last_stats: RuntimeStats | None = None
+        self._last_trace: list[ReadTrace] | None = None
 
     @property
     def workers(self) -> int:
@@ -307,6 +380,13 @@ class DatasetEngine:
     def last_stats(self) -> RuntimeStats | None:
         """Stats of the most recent :meth:`run` (None before any run)."""
         return self._last_stats
+
+    @property
+    def last_trace(self) -> list[ReadTrace] | None:
+        """Dataset-ordered span traces of the most recent traced run
+        (None before any run or when the engine was built without
+        ``trace=True``)."""
+        return self._last_trace
 
     def run(self, dataset) -> GenPIPReport:
         """Process a dataset / read source / sequence of reads.
@@ -346,7 +426,11 @@ class DatasetEngine:
         }
         collector = ShardCollector()
         started = time.perf_counter()
-        published_before = copied_bytes("publish") + copied_bytes("pickle")
+        registry = process_registry()
+        parent_before = registry.snapshot()
+        tracing_was_on = tracing_enabled()
+        if self._trace:
+            enable_tracing()
         sink.begin(self._spec.config)
         try:
             if pool_workers <= 1:
@@ -361,7 +445,20 @@ class DatasetEngine:
         except BaseException:
             sink.abort()
             raise
-        self._last_stats = RuntimeStats(
+        finally:
+            if self._trace and not tracing_was_on:
+                disable_tracing()
+        parent_delta = snapshot_delta(parent_before, registry.snapshot())
+        # Repatriate pooled mapping-kernel op deltas into the parent's
+        # process ledger: callers that snapshot the ledger around a run
+        # (repro.experiments charging the perf models) see real chain/
+        # align counts for pooled runs instead of a ~zero fallback.
+        if MAPPING_OPS in collector.metrics:
+            registry.absorb(collector.metrics, names=(MAPPING_OPS,))
+        self._last_trace = decode_traces(collector.traces) if self._trace else None
+        self._last_stats = RuntimeStats.from_registry(
+            collector.metrics,
+            parent_delta,
             mode=mode,
             workers=self._workers,
             batch_size=batch_size,
@@ -371,10 +468,6 @@ class DatasetEngine:
             batching=self._batching,
             transport=transport,
             signal_er=self._spec.signal_rejection_enabled(),
-            bytes_copied=collector.bytes_copied,
-            bytes_published=copied_bytes("publish")
-            + copied_bytes("pickle")
-            - published_before,
             **self._backpressure,
         )
         return report
@@ -421,8 +514,15 @@ class DatasetEngine:
         n_shards = n_planned
         for unit in units:
             n_shards = max(n_shards, unit.shard_id + 1)
+            # Serial units charge the parent's own ledgers directly, so
+            # no metrics delta rides the ShardResult; traces do (the
+            # parent process is "the worker" here).
+            with active_tracer().unit(unit.shard_id):
+                outcomes = pipeline.process_batch(list(unit.reads))
             collector.add(
-                ShardResult.from_outcomes(unit.shard_id, pipeline.process_batch(list(unit.reads)))
+                ShardResult.from_outcomes(
+                    unit.shard_id, outcomes, traces=drain_read_traces()
+                )
             )
             self._emit(collector, sink)
         collector.set_expected(n_shards)
@@ -677,6 +777,7 @@ def run_dataset(
     sink: ReportSink | None = None,
     batching: str = "fixed",
     transport: str = "auto",
+    trace: bool = False,
 ) -> GenPIPReport:
     """One-shot convenience wrapper around :class:`DatasetEngine`."""
     engine = DatasetEngine(
@@ -687,5 +788,6 @@ def run_dataset(
         sink=sink,
         batching=batching,
         transport=transport,
+        trace=trace,
     )
     return engine.run(dataset)

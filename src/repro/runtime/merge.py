@@ -16,11 +16,13 @@ the plan is exhausted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Mapping
+from dataclasses import dataclass, field
 
 from repro.core.config import GenPIPConfig
 from repro.core.genpip import GenPIPReport, ReportCounters
 from repro.core.pipeline import ReadOutcome
+from repro.obs.metrics import merge_snapshots
 
 
 @dataclass(frozen=True)
@@ -38,16 +40,33 @@ class ShardResult:
     #: (attach copies / pickled payloads; zero on the zero-copy plane).
     #: Pure bookkeeping -- never part of the report or its counters.
     bytes_copied: int = 0
+    #: Worker-side metrics-registry movement of this unit (a
+    #: :func:`repro.obs.metrics.snapshot_delta`): copied bytes and
+    #: mapping-kernel ops the parent process never saw. Empty for
+    #: serially executed units, whose charges land in the parent's
+    #: own process ledgers directly.
+    metrics: Mapping[str, dict] = field(default_factory=dict)
+    #: Completed span traces of this unit as compact wire tuples
+    #: (:meth:`repro.obs.trace.ReadTrace.to_tuple`); empty when
+    #: tracing is off.
+    traces: tuple = ()
 
     @classmethod
     def from_outcomes(
-        cls, shard_id: int, outcomes: list[ReadOutcome], bytes_copied: int = 0
+        cls,
+        shard_id: int,
+        outcomes: list[ReadOutcome],
+        bytes_copied: int = 0,
+        metrics: Mapping[str, dict] | None = None,
+        traces: tuple = (),
     ) -> "ShardResult":
         return cls(
             shard_id=shard_id,
             outcomes=tuple(outcomes),
             counters=ReportCounters.from_outcomes(outcomes),
             bytes_copied=bytes_copied,
+            metrics=metrics if metrics is not None else {},
+            traces=tuple(traces),
         )
 
 
@@ -63,6 +82,8 @@ class ShardCollector:
         self._n_ready = 0
         self._drained = 0
         self._bytes_copied = 0
+        self._metrics: dict[str, dict] = {}
+        self._traces: list[tuple] = []
 
     def set_expected(self, n_shards: int) -> None:
         """Declare the total shard count (streaming plans learn it late)."""
@@ -86,12 +107,19 @@ class ShardCollector:
         if result.shard_id < self._next_shard or result.shard_id in self._pending:
             raise ValueError(f"shard id {result.shard_id} delivered twice")
         self._bytes_copied += result.bytes_copied
+        if result.metrics:
+            self._metrics = merge_snapshots(self._metrics, result.metrics)
         self._pending[result.shard_id] = result
         while self._next_shard in self._pending:
             ready = self._pending.pop(self._next_shard)
             self._outcomes.extend(ready.outcomes)
             self._n_ready += len(ready.outcomes)
             self._counters = self._counters.combine(ready.counters)
+            # Traces join the ordered prefix (dataset order); unlike
+            # outcomes they are never drained -- a traced run keeps its
+            # spans for the whole run, which is fine because tracing is
+            # opt-in diagnostics, not the streaming hot path.
+            self._traces.extend(ready.traces)
             self._next_shard += 1
 
     @property
@@ -121,6 +149,17 @@ class ShardCollector:
     def bytes_copied(self) -> int:
         """Summed worker-side copy traffic of every accepted shard."""
         return self._bytes_copied
+
+    @property
+    def metrics(self) -> dict[str, dict]:
+        """Merged worker-side registry deltas of every accepted shard."""
+        return self._metrics
+
+    @property
+    def traces(self) -> tuple:
+        """Dataset-ordered span traces (wire tuples) of the completed
+        prefix; empty unless the run was traced."""
+        return tuple(self._traces)
 
     def drain(self) -> list[ReadOutcome]:
         """Outcomes newly added to the ordered prefix since last drain.

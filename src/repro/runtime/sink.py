@@ -154,7 +154,9 @@ class JSONLSink:
     def begin(self, config: GenPIPConfig) -> None:
         self._close()
         self._config = config
-        self._handle = open(self._path, "w", encoding="utf-8")
+        # The handle outlives this call by design (incremental sink,
+        # closed in finalize/_close), so no `with` block applies.
+        self._handle = open(self._path, "w", encoding="utf-8")  # noqa: SIM115
 
     def emit(self, outcomes: Sequence[ReadOutcome]) -> None:
         if self._handle is None:

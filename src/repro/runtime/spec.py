@@ -65,6 +65,12 @@ class PipelineSpec:
     qsr_policy: QSRPolicyProtocol | None = None
     cmr_policy: CMRPolicyProtocol | None = None
     ser_policy: SignalRejectionPolicyProtocol | None = None
+    #: Enable span tracing in the process that builds from this spec:
+    #: pool initializers call ``repro.obs.trace.enable_tracing()``
+    #: before the first work unit, so worker-side traces exist for the
+    #: engine to ship home. Not a pipeline constructor argument -- the
+    #: pipeline reads the process tracer per read.
+    trace: bool = False
 
     @classmethod
     def from_pipeline(cls, pipeline: GenPIPPipeline) -> "PipelineSpec":
@@ -94,6 +100,10 @@ class PipelineSpec:
         """A copy of the spec carrying ``index`` instead (e.g. a
         shared-memory handle the engine just published)."""
         return replace(self, index=index)
+
+    def with_trace(self, trace: bool = True) -> "PipelineSpec":
+        """A copy of the spec with worker-side span tracing toggled."""
+        return replace(self, trace=trace)
 
     def resolve_index(self) -> MinimizerIndex:
         """The index instance (attaching the shared segment if needed)."""

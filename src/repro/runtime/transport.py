@@ -48,6 +48,7 @@ worker exit (bpo-38119).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
 import secrets
@@ -137,10 +138,8 @@ def _create_segment(size: int) -> "shared_memory.SharedMemory":
 def _discard_segment(segment: "shared_memory.SharedMemory") -> None:
     """Close and unlink a segment that was never registered (error path)."""
     segment.close()
-    try:
+    with contextlib.suppress(FileNotFoundError):  # defensive
         segment.unlink()
-    except FileNotFoundError:  # pragma: no cover - defensive
-        pass
 
 
 def publish_unit(unit: WorkUnit) -> SharedUnit:
@@ -455,10 +454,8 @@ def release_unit(name: str) -> None:
     if segment is None:
         return
     segment.close()
-    try:
+    with contextlib.suppress(FileNotFoundError):  # already unlinked
         segment.unlink()
-    except FileNotFoundError:  # pragma: no cover - already unlinked
-        pass
 
 
 def release_all() -> None:

@@ -174,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", default=None, metavar="PATH",
         help="write the last summary frame as JSON ('-' for stdout)",
     )
+    out.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="request the server's live telemetry (protocol 'stats' frame) "
+        "after the verdict stream and write its Prometheus text exposition "
+        "to PATH ('-' for stdout)",
+    )
     drive.add_argument("--quiet", action="store_true", help="suppress stderr chatter")
     return parser
 
@@ -293,7 +299,9 @@ def _cmd_drive(args, parser) -> int:
     reads = generate_dataset(profile, scale=args.scale, seed=args.seed).reads
     parts = partition_reads(reads, args.sessions)
     started = time.perf_counter()
-    results = drive_sessions(host, port, parts)
+    results = drive_sessions(
+        host, port, parts, collect_stats=args.metrics_out is not None
+    )
     elapsed = time.perf_counter() - started
 
     merged = merged_outcomes(results)
@@ -313,6 +321,14 @@ def _cmd_drive(args, parser) -> int:
             sys.stdout.write(payload)
         else:
             Path(args.summary).write_text(payload, encoding="utf-8")
+    if args.metrics_out:
+        # Every session requested stats; the last one's frame carries
+        # the most complete view of the server's registry.
+        exposition = (results[-1].stats or {}).get("exposition", "")
+        if args.metrics_out == "-":
+            sys.stdout.write(exposition)
+        else:
+            Path(args.metrics_out).write_text(exposition, encoding="utf-8")
     if not args.quiet:
         server_block = (results[-1].summary or {}).get("server", {})
         print(

@@ -22,6 +22,7 @@ write buffer and verdict latency is observable from the client side too.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,6 +37,7 @@ class SessionResult:
     name: str | None
     verdicts: dict[int, dict] = field(default_factory=dict)  # seq -> verdict frame
     summary: dict | None = None
+    stats: dict | None = None  # the stats frame, when requested
 
     def outcomes_by_seq(self) -> list[tuple[int, dict]]:
         """(seq, outcome record) pairs in ascending seq order."""
@@ -48,8 +50,14 @@ async def run_session(
     reads: Sequence[tuple[int, object]],
     *,
     name: str | None = None,
+    collect_stats: bool = False,
 ) -> SessionResult:
     """Run one session: stream ``(seq, read)`` pairs, return the result.
+
+    With ``collect_stats`` the client requests the server's live
+    telemetry (``stats`` frame: summary block + Prometheus exposition)
+    after every verdict arrived and before ``end``, storing the frame on
+    :attr:`SessionResult.stats`.
 
     Raises :class:`~repro.serving.protocol.ProtocolError` if the server
     answers with an ``error`` frame.
@@ -75,16 +83,20 @@ async def run_session(
         except BaseException:
             pump.cancel()
             raise
+        if collect_stats:
+            # Only after the pump finished: mid-stream the reader is
+            # dedicated to verdict frames.
+            writer.write(protocol.encode_frame(protocol.stats_request_frame()))
+            await writer.drain()
+            result.stats = await _expect(reader, ("stats",))
         writer.write(protocol.encode_frame(protocol.end_frame()))
         await writer.drain()
         result.summary = await _expect(reader, ("summary",))
         return result
     finally:
         writer.close()
-        try:
+        with contextlib.suppress(ConnectionError, BrokenPipeError):  # teardown race
             await writer.wait_closed()
-        except (ConnectionError, BrokenPipeError):  # pragma: no cover - teardown race
-            pass
 
 
 async def _expect(reader: asyncio.StreamReader, kinds: tuple[str, ...]) -> dict:
@@ -130,6 +142,7 @@ def drive_sessions(
     read_lists: Sequence[Sequence[tuple[int, object]]],
     *,
     names: Sequence[str] | None = None,
+    collect_stats: bool = False,
 ) -> list[SessionResult]:
     """Run every read list as its own concurrent session (sync wrapper)."""
     if names is not None and len(names) != len(read_lists):
@@ -144,6 +157,7 @@ def drive_sessions(
                         port,
                         reads,
                         name=names[i] if names is not None else f"session-{i}",
+                        collect_stats=collect_stats,
                     )
                     for i, reads in enumerate(read_lists)
                 )

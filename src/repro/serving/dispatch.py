@@ -32,6 +32,7 @@ serving layer's standing equivalence invariant.
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
 import time
 import warnings
@@ -41,6 +42,15 @@ from dataclasses import dataclass, field
 
 from repro.core.pipeline import GenPIPPipeline, ReadOutcome
 from repro.mapping.index import MinimizerIndex
+from repro.obs.metrics import MAPPING_OPS, MetricsRegistry, process_registry
+from repro.obs.trace import (
+    ReadTrace,
+    decode_traces,
+    disable_tracing,
+    drain_read_traces,
+    enable_tracing,
+    tracing_enabled,
+)
 from repro.perf.latency import LatencyHistogram
 from repro.runtime.engine import (
     TRANSPORTS,
@@ -116,6 +126,43 @@ class ServingStats:
     def p99_ms(self) -> float:
         return self.latency.p99 * 1e3
 
+    @classmethod
+    def from_registry(
+        cls,
+        registry: MetricsRegistry,
+        *,
+        mode: str,
+        workers: int,
+        transport: str,
+        live_sessions: int,
+        elapsed_s: float,
+        index_publications: int,
+    ) -> "ServingStats":
+        """Rebuild the server-wide stats from a mux-owned registry.
+
+        The session/verdict axes are read off the
+        ``genpip_serving_*`` instruments the
+        :class:`~repro.serving.session.SessionMux` maintains, so the
+        resulting record is bit-identical to the hand-threaded integer
+        bookkeeping of earlier releases. The substrate axes (mode,
+        workers, transport, elapsed clock, index publications) are not
+        registry concerns and stay explicit.
+        """
+        return cls(
+            mode=mode,
+            workers=workers,
+            transport=transport,
+            sessions=int(registry.get("genpip_serving_sessions").value()),
+            live_sessions=live_sessions,
+            peak_sessions=int(registry.get("genpip_serving_peak_sessions").value),
+            reads=int(registry.get("genpip_serving_reads").value()),
+            verdicts=int(registry.get("genpip_serving_verdicts").value()),
+            rejected=int(registry.get("genpip_serving_rejected").value()),
+            elapsed_s=elapsed_s,
+            index_publications=index_publications,
+            latency=registry.get("genpip_serving_latency_seconds").histogram,
+        )
+
     def summary_record(self) -> dict:
         """JSON-safe server block for ``summary`` frames and CLIs."""
         return {
@@ -155,6 +202,7 @@ class PoolDispatcher:
         *,
         workers: int | None = None,
         transport: str = "auto",
+        trace: bool = False,
     ):
         if isinstance(pipeline, PipelineSpec):
             self._spec = pipeline
@@ -166,6 +214,11 @@ class PoolDispatcher:
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
         self._transport = transport
+        self._trace = bool(trace or self._spec.trace)
+        if self._trace and not self._spec.trace:
+            self._spec = self._spec.with_trace(True)
+        self._tracing_was_on = False
+        self._traces: list[tuple] = []
         self._executor: ProcessPoolExecutor | None = None
         self._inline: ThreadPoolExecutor | None = None
         self._index_handle: SharedIndexHandle | None = None
@@ -180,6 +233,11 @@ class PoolDispatcher:
         if self._started:
             raise RuntimeError("dispatcher already started")
         self._started = True
+        if self._trace:
+            # Parent-side tracing covers the inline fallback's pipeline
+            # spans; pooled workers enable their own via the spec.
+            self._tracing_was_on = tracing_enabled()
+            enable_tracing()
         if self._workers > 1:
             self._start_pool()
         return self
@@ -244,6 +302,8 @@ class PoolDispatcher:
                 pool.shutdown(wait=True, cancel_futures=True)
             except KeyboardInterrupt:
                 pool.shutdown(wait=False, cancel_futures=True)
+        if self._trace and not self._tracing_was_on:
+            disable_tracing()
 
     def _release_index(self) -> None:
         if self._index_handle is not None:
@@ -280,6 +340,17 @@ class PoolDispatcher:
         """How many times the index was published (must stay <= 1)."""
         return self._index_publications
 
+    @property
+    def trace(self) -> bool:
+        """Whether this dispatcher records span traces."""
+        return self._trace
+
+    def drain_traces(self) -> list[ReadTrace]:
+        """Completed traces (worker spans plus parent ``dispatch`` spans)
+        since the last drain; always empty unless ``trace=True``."""
+        traces, self._traces = self._traces, []
+        return decode_traces(traces)
+
     # --- execution ---------------------------------------------------
 
     async def process(self, read) -> tuple[ReadOutcome, float]:
@@ -300,12 +371,37 @@ class PoolDispatcher:
                 break
             try:
                 result = await asyncio.wrap_future(future)
-                return result.outcomes[0], time.perf_counter() - enqueued
             except BrokenProcessPool:
                 self._degrade()
                 break
-        outcome = await asyncio.wrap_future(self._submit_inline(read))
-        return outcome, time.perf_counter() - enqueued
+            resolved = time.perf_counter()
+            if MAPPING_OPS in result.metrics:
+                # Repatriate the worker's mapping-kernel op counts into
+                # the parent's process ledger (the batch engine does the
+                # same), so perf models built in the serving process see
+                # pooled work too.
+                process_registry().absorb(result.metrics, names=(MAPPING_OPS,))
+            if self._trace:
+                self._record_dispatch(read, result.traces, enqueued, resolved)
+            return result.outcomes[0], resolved - enqueued
+        outcome, inline_traces = await asyncio.wrap_future(self._submit_inline(read))
+        resolved = time.perf_counter()
+        if self._trace:
+            self._record_dispatch(read, inline_traces, enqueued, resolved)
+        return outcome, resolved - enqueued
+
+    def _record_dispatch(self, read, worker_traces, t0: float, t1: float) -> None:
+        """Collect one read's traces: the worker's span trees plus a
+        parent-side ``dispatch`` trace covering enqueue->verdict.
+
+        The dispatch trace is built directly (a single root span) rather
+        than through the tracer's nesting stack: concurrent sessions'
+        reads overlap freely on the event loop, which strictly nested
+        trace contexts cannot express.
+        """
+        self._traces.extend(worker_traces)
+        label = str(getattr(read, "read_id", ""))
+        self._traces.append(("dispatch", label, os.getpid(), (("dispatch", -1, t0, t1),)))
 
     def _submit_pooled(self, read) -> Future:
         if self._executor is None:  # pragma: no cover - guarded by caller
@@ -345,10 +441,13 @@ class PoolDispatcher:
             )
         return self._inline.submit(self._process_local, read)
 
-    def _process_local(self, read) -> ReadOutcome:
+    def _process_local(self, read) -> tuple[ReadOutcome, tuple]:
         if self._pipeline is None:
             self._pipeline = self._spec.build()
-        return self._pipeline.process_batch([read])[0]
+        outcome = self._pipeline.process_batch([read])[0]
+        # Drain inside the inline thread (reads run one at a time here),
+        # so the event loop never races the tracer's buffer.
+        return outcome, drain_read_traces() if self._trace else ()
 
     def _degrade(self) -> None:
         """Retire a broken pool; subsequent reads run inline."""

@@ -2,7 +2,7 @@
 
 One frame per line, each a JSON object with a ``type`` key, over any
 byte stream (the server binds a loopback TCP socket). The vocabulary is
-deliberately tiny -- five frame types carry a whole session:
+deliberately tiny -- six frame types carry a whole session:
 
 ========== ========== ====================================================
 type       direction  payload
@@ -14,6 +14,10 @@ read       client ->  ``seq`` (client-assigned sequence number) + ``read``
 verdict    server ->  ``seq`` echoed, ``accept`` flag, ``latency_ms``, and
                       the full lossless ``outcome`` record (exactly
                       :func:`repro.runtime.sink.outcome_to_record`)
+stats      client ->  empty request for live server telemetry
+stats      server ->  ``server`` (the stats summary block, with
+                      ``p50_ms``/``p95_ms``/``p99_ms``) + ``exposition``
+                      (the Prometheus text of the serving registry)
 end        client ->  no more reads in this session
 summary    server ->  per-session totals + latency percentiles + server
                       totals; closes the session
@@ -47,10 +51,14 @@ from repro.nanopore.signal_read import SignalRead
 #: Protocol version; a ``hello`` carrying any other value is refused.
 PROTOCOL_VERSION = 1
 
-#: Every frame type the protocol knows, by direction.
-CLIENT_FRAMES = ("hello", "read", "end")
-SERVER_FRAMES = ("welcome", "verdict", "summary", "error")
-FRAME_TYPES = CLIENT_FRAMES + SERVER_FRAMES
+#: Every frame type the protocol knows, by direction. ``stats`` appears
+#: in both: an empty client frame requests it, the server's carries the
+#: telemetry payload.
+CLIENT_FRAMES = ("hello", "read", "stats", "end")
+SERVER_FRAMES = ("welcome", "verdict", "stats", "summary", "error")
+FRAME_TYPES = CLIENT_FRAMES + tuple(
+    kind for kind in SERVER_FRAMES if kind not in CLIENT_FRAMES
+)
 
 
 class ProtocolError(ValueError):
@@ -114,6 +122,16 @@ def verdict_frame(seq: int, accept: bool, latency_ms: float, outcome: dict) -> d
         "latency_ms": round(float(latency_ms), 3),
         "outcome": outcome,
     }
+
+
+def stats_request_frame() -> dict:
+    """Client request for live server telemetry (valid any time)."""
+    return {"type": "stats"}
+
+
+def stats_frame(server: dict, exposition: str) -> dict:
+    """Server telemetry: the stats summary block plus Prometheus text."""
+    return {"type": "stats", "server": server, "exposition": str(exposition)}
 
 
 def end_frame() -> dict:

@@ -24,6 +24,7 @@ never in the handler, so the server-wide stats survive the connection.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 
 from repro.serving import protocol
 from repro.serving.dispatch import PoolDispatcher, ServingStats
@@ -91,20 +92,20 @@ class ServingServer:
     def stats(self) -> ServingStats:
         """Server-wide totals over every *closed* session."""
         mux = self._mux
-        return ServingStats(
+        return ServingStats.from_registry(
+            mux.registry,
             mode=self._dispatcher.mode,
             workers=self._dispatcher.workers,
             transport=self._dispatcher.transport,
-            sessions=mux.sessions_served,
             live_sessions=mux.live_sessions,
-            peak_sessions=mux.peak_sessions,
-            reads=mux.reads_total,
-            verdicts=mux.verdicts_total,
-            rejected=mux.rejected_total,
             elapsed_s=mux.elapsed_s,
             index_publications=self._dispatcher.index_publications,
-            latency=mux.latency,
         )
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the mux registry's instruments
+        (the ``stats`` frame's payload and ``drive --metrics-out``)."""
+        return self._mux.registry.expose()
 
     # --- connection handling -----------------------------------------
 
@@ -139,7 +140,7 @@ class ServingServer:
                     if not isinstance(seq, int):
                         raise protocol.ProtocolError(f"read frame needs an int seq, got {seq!r}")
                     read = protocol.read_from_record(frame.get("read") or {})
-                    session.submit(seq)
+                    self._mux.submit(session, seq)
                     task = asyncio.ensure_future(self._run_read(session, send, seq, read))
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
@@ -161,23 +162,28 @@ class ServingServer:
                         )
                     )
                     return
+                elif frame["type"] == "stats":
+                    # Live telemetry probe: answer with the server-wide
+                    # stats block plus the Prometheus exposition of the
+                    # mux registry. Valid any time on an open session.
+                    await send(
+                        protocol.stats_frame(
+                            self.stats().summary_record(), self.metrics_text()
+                        )
+                    )
                 elif frame["type"] == "hello":
                     raise protocol.ProtocolError("duplicate hello on an open session")
         except protocol.ProtocolError as exc:
-            try:
+            with contextlib.suppress(ConnectionError, RuntimeError):  # peer gone
                 await send(protocol.error_frame(str(exc)))
-            except (ConnectionError, RuntimeError):  # pragma: no cover - peer gone
-                pass
         except (ConnectionError, asyncio.IncompleteReadError):  # pragma: no cover
             pass  # peer vanished mid-frame; nothing to answer to
         finally:
             if session is not None:
                 self._mux.close(session)
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionError, BrokenPipeError):  # teardown race
                 await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):  # pragma: no cover - teardown race
-                pass
 
     async def _read_frame(self, reader: asyncio.StreamReader) -> dict | None:
         line = await reader.readline()
@@ -189,7 +195,7 @@ class ServingServer:
         from repro.runtime.sink import outcome_to_record
 
         outcome, latency_s = await self._dispatcher.process(read)
-        session.resolve(seq, outcome, latency_s)
+        self._mux.resolve(session, seq, outcome, latency_s)
         await send(
             protocol.verdict_frame(
                 seq,

@@ -6,9 +6,23 @@ in-flight reads onto the same worker pool, so the bookkeeping here is
 what keeps the streams apart: each submitted read is tagged with its
 ``(session_id, seq)``; each session accumulates its own verdict
 counters and enqueue->verdict :class:`~repro.perf.latency
-.LatencyHistogram`; and the :class:`SessionMux` folds closed sessions
-into the server-wide totals :class:`repro.serving.dispatch
-.ServingStats` reports.
+.LatencyHistogram`; and the :class:`SessionMux` keeps the server-wide
+aggregate.
+
+The mux's aggregate view lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` it owns: sessions, reads,
+verdicts and rejects are ``genpip_serving_*`` counters (exposed with
+the conventional ``_total`` sample suffix), live and
+peak concurrency are gauges, and the merged enqueue->verdict histogram
+is the ``genpip_serving_latency_seconds`` instrument. The instruments
+update *live* -- per submitted read and per resolved verdict, not at
+session close -- so a mid-session ``stats`` frame reads true current
+totals. The legacy
+attribute API (``sessions_served``, ``reads_total``, ...) survives as
+properties over those instruments, and
+:class:`~repro.serving.dispatch.ServingStats.from_registry` rebuilds
+the server-wide stats from the same registry -- which is also what the
+protocol's ``stats`` frame exposes as Prometheus text.
 
 Nothing here touches sockets or the pool -- the mux is plain state, so
 it is directly unit-testable and the asyncio server
@@ -22,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import ReadOutcome
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.latency import LatencyHistogram
 
 
@@ -81,38 +96,101 @@ class SessionMux:
     The server opens a session per accepted connection and closes it when
     the summary goes out (or the connection drops); the mux keeps the
     aggregate view -- total sessions served, total verdicts, the merged
-    latency histogram, and the concurrency high-water mark -- that the
-    server-wide :class:`~repro.serving.dispatch.ServingStats` is built
-    from.
+    latency histogram, and the concurrency high-water mark -- as live
+    instruments in its :attr:`registry`, from which the server-wide
+    :class:`~repro.serving.dispatch.ServingStats` is built.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._ids = itertools.count(1)
         self._live: dict[str, SessionState] = {}
         self._started = time.perf_counter()
-        self.sessions_served = 0
-        self.reads_total = 0
-        self.verdicts_total = 0
-        self.rejected_total = 0
-        self.peak_sessions = 0
-        self.latency = LatencyHistogram()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._sessions = self._registry.counter(
+            "genpip_serving_sessions", help="Sessions served to completion"
+        )
+        self._reads = self._registry.counter(
+            "genpip_serving_reads", help="Reads submitted across all sessions"
+        )
+        self._verdicts = self._registry.counter(
+            "genpip_serving_verdicts", help="Verdicts streamed across all sessions"
+        )
+        self._rejected = self._registry.counter(
+            "genpip_serving_rejected",
+            help="Early-rejected verdicts across all sessions",
+        )
+        self._live_gauge = self._registry.gauge(
+            "genpip_serving_live_sessions", help="Currently open sessions"
+        )
+        self._peak_gauge = self._registry.gauge(
+            "genpip_serving_peak_sessions", help="Concurrent-session high-water mark"
+        )
+        self._latency = self._registry.histogram(
+            "genpip_serving_latency_seconds",
+            help="Enqueue->verdict latency across all sessions",
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The mux-owned registry (the ``stats`` frame's exposition source)."""
+        return self._registry
 
     def open(self, name: str | None = None) -> SessionState:
         session = SessionState(session_id=f"s{next(self._ids)}", name=name)
         self._live[session.session_id] = session
-        if len(self._live) > self.peak_sessions:
-            self.peak_sessions = len(self._live)
+        self._live_gauge.set(len(self._live))
+        self._peak_gauge.set_max(len(self._live))
         return session
 
+    def submit(self, session: SessionState, seq: int) -> None:
+        """Register one submitted read with the session *and* the live totals."""
+        session.submit(seq)
+        self._reads.inc()
+
+    def resolve(
+        self, session: SessionState, seq: int, outcome: ReadOutcome, latency_s: float
+    ) -> None:
+        """Fold one verdict into the session and the live instruments."""
+        session.resolve(seq, outcome, latency_s)
+        self._verdicts.inc()
+        if outcome.rejected_early:
+            self._rejected.inc()
+        self._latency.observe(latency_s)
+
     def close(self, session: SessionState) -> None:
-        """Retire a session, folding its counters into the totals."""
+        """Retire a session. Read/verdict/latency instruments already
+        updated live at submit/resolve time, so this only counts the
+        completed session and drops it from the concurrency gauge."""
         if self._live.pop(session.session_id, None) is None:
             return  # already closed (summary raced a disconnect)
-        self.sessions_served += 1
-        self.reads_total += session.reads_submitted
-        self.verdicts_total += session.verdicts_sent
-        self.rejected_total += session.rejected
-        self.latency.merge(session.latency)
+        self._live_gauge.set(len(self._live))
+        self._sessions.inc()
+
+    # -- legacy attribute API (now registry-backed) ---------------------
+
+    @property
+    def sessions_served(self) -> int:
+        return int(self._sessions.value())
+
+    @property
+    def reads_total(self) -> int:
+        return int(self._reads.value())
+
+    @property
+    def verdicts_total(self) -> int:
+        return int(self._verdicts.value())
+
+    @property
+    def rejected_total(self) -> int:
+        return int(self._rejected.value())
+
+    @property
+    def peak_sessions(self) -> int:
+        return int(self._peak_gauge.value)
+
+    @property
+    def latency(self) -> LatencyHistogram:
+        return self._latency.histogram
 
     @property
     def live_sessions(self) -> int:

@@ -356,10 +356,8 @@ class TestViewTransport:
         jsonl_path = tmp_path / "outcomes.jsonl"
         if sink_kind == "jsonl":
             sink = JSONLSink(jsonl_path)
-        elif sink_kind == "null":
-            sink = NullSink()
         else:
-            sink = None
+            sink = NullSink() if sink_kind == "null" else None
         engine = DatasetEngine(
             tiny_system.pipeline,
             workers=2,

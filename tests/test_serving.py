@@ -207,11 +207,21 @@ class TestSessionMux:
     def test_close_is_idempotent(self):
         mux = SessionMux()
         session = mux.open()
-        session.submit(0)
+        mux.submit(session, 0)
         mux.close(session)
         mux.close(session)
         assert mux.sessions_served == 1
         assert mux.reads_total == 1
+
+    def test_instruments_update_live_before_close(self):
+        """Reads count at submit time -- a mid-session stats probe must
+        see in-flight work, not wait for the session to retire."""
+        mux = SessionMux()
+        session = mux.open()
+        mux.submit(session, 0)
+        mux.submit(session, 1)
+        assert mux.reads_total == 2
+        assert mux.sessions_served == 0  # still open
 
 
 # --- partitioning / reassembly ----------------------------------------------
@@ -304,6 +314,66 @@ def test_summary_frame_carries_totals_and_latency(tiny_system, tiny_dataset):
     assert summary["server"]["verdicts"] == 5
 
 
+def test_stats_frame_carries_percentiles_and_exposition(tiny_system, tiny_dataset):
+    """A ``stats`` request mid-session answers with the live server
+    telemetry: a summary block with latency percentiles plus the full
+    Prometheus exposition of the serving registry."""
+    reads = tiny_dataset.reads[:5]
+    dispatcher = PoolDispatcher(tiny_system.pipeline, workers=1)
+    with dispatcher:
+
+        async def _session():
+            async with ServingServer(dispatcher) as server:
+                return await run_session(
+                    "127.0.0.1", server.port, list(enumerate(reads)),
+                    collect_stats=True,
+                )
+
+        result = asyncio.run(_session())
+    assert len(result.verdicts) == len(reads)
+    frame = result.stats
+    assert frame["type"] == "stats"
+    server_block = frame["server"]
+    # All verdicts landed before the stats request, so the latency
+    # percentiles are live non-zero numbers.
+    assert server_block["verdicts"] == len(reads)
+    assert server_block["p99_ms"] >= server_block["p95_ms"] >= server_block["p50_ms"] > 0
+    exposition = frame["exposition"]
+    assert "# TYPE genpip_serving_reads counter" in exposition
+    assert 'genpip_serving_reads_total{key=""}' in exposition
+    assert 'genpip_serving_latency_seconds{quantile="0.5"}' in exposition
+    assert 'genpip_serving_latency_seconds{quantile="0.95"}' in exposition
+    assert 'genpip_serving_latency_seconds{quantile="0.99"}' in exposition
+    assert _no_leaked_segments()
+
+
+def test_traced_dispatch_keeps_verdicts_identical(tiny_system, tiny_dataset, serial_records):
+    """Serving with tracing on returns the same verdict stream and drains
+    one dispatch trace (plus the worker-side read trace) per read."""
+    reads = tiny_dataset.reads[:6]
+    dispatcher = PoolDispatcher(tiny_system.pipeline, workers=2, trace=True)
+    with dispatcher:
+
+        async def _session():
+            async with ServingServer(dispatcher) as server:
+                return await run_session(
+                    "127.0.0.1", server.port, list(enumerate(reads))
+                )
+
+        result = asyncio.run(_session())
+        traces = dispatcher.drain_traces()
+    outcomes = [o for _, o in result.outcomes_by_seq()]
+    assert outcomes == serial_records[: len(reads)]
+    kinds = {}
+    for trace in traces:
+        kinds[trace.kind] = kinds.get(trace.kind, 0) + 1
+    assert kinds["dispatch"] == len(reads)
+    assert kinds["read"] == len(reads)
+    labels = {t.label for t in traces if t.kind == "read"}
+    assert labels == {read.read_id for read in reads}
+    assert _no_leaked_segments()
+
+
 def test_verdict_frames_echo_seq_and_accept(tiny_system, tiny_dataset):
     reads = tiny_dataset.reads[:4]
     results, _ = serve_and_drive(tiny_system.pipeline, reads, sessions=1, workers=1)
@@ -358,9 +428,8 @@ def test_server_rejects_read_before_hello(tiny_system, tiny_dataset):
 
 def test_dispatcher_start_is_single_shot(tiny_system):
     dispatcher = PoolDispatcher(tiny_system.pipeline, workers=1)
-    with dispatcher:
-        with pytest.raises(RuntimeError, match="already started"):
-            dispatcher.start()
+    with dispatcher, pytest.raises(RuntimeError, match="already started"):
+        dispatcher.start()
 
 
 def test_dispatcher_rejects_unknown_transport(tiny_system):
